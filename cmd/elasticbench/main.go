@@ -1,0 +1,80 @@
+// Command elasticbench regenerates any table or figure of the paper's
+// evaluation and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	elasticbench -fig 19 -sf 0.01 -clients 64
+//	elasticbench -fig 19 -engine sqlserver
+//	elasticbench -fig overhead
+//	elasticbench -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"elasticore/internal/db"
+	"elasticore/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 4,5,7,13,14,15,16,17,18,19,20,overhead,all")
+		sf      = flag.Float64("sf", 0.005, "TPC-H scale factor (paper: 1.0)")
+		clients = flag.Int("clients", 64, "concurrent clients (paper: 256)")
+		seed    = flag.Uint64("seed", 1, "data and parameter seed")
+		engine  = flag.String("engine", "monetdb", "engine flavour: monetdb | sqlserver")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{SF: *sf, Clients: *clients, Seed: *seed}
+	if *engine == "sqlserver" {
+		cfg.Placement = db.PlacementNUMAAware
+	} else if *engine != "monetdb" {
+		fmt.Fprintf(os.Stderr, "elasticbench: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+
+	if err := run(*fig, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "elasticbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, cfg experiments.Config) error {
+	type artifact struct {
+		name string
+		exec func() (fmt.Stringer, error)
+	}
+	artifacts := []artifact{
+		{"4", func() (fmt.Stringer, error) { return experiments.RunFig4(cfg) }},
+		{"5", func() (fmt.Stringer, error) { return experiments.RunFig5(cfg) }},
+		{"7", func() (fmt.Stringer, error) { return experiments.RunFig7(cfg) }},
+		{"13", func() (fmt.Stringer, error) { return experiments.RunFig13(cfg) }},
+		{"14", func() (fmt.Stringer, error) { return experiments.RunFig14(cfg) }},
+		{"15", func() (fmt.Stringer, error) { return experiments.RunFig15(cfg) }},
+		{"16", func() (fmt.Stringer, error) { return experiments.RunFig16(cfg) }},
+		{"17", func() (fmt.Stringer, error) { return experiments.RunFig17(cfg) }},
+		{"18", func() (fmt.Stringer, error) { return experiments.RunFig18(cfg) }},
+		{"19", func() (fmt.Stringer, error) { return experiments.RunFig19(cfg) }},
+		{"20", func() (fmt.Stringer, error) { return experiments.RunFig20(cfg) }},
+		{"overhead", func() (fmt.Stringer, error) { return experiments.MeasureOverhead(cfg, 1000) }},
+	}
+	ran := false
+	for _, a := range artifacts {
+		if fig != "all" && fig != a.name {
+			continue
+		}
+		ran = true
+		res, err := a.exec()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", a.name, err)
+		}
+		fmt.Println(res)
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Command elastictop runs a mixed TPC-H workload under the elastic
+// mechanism and prints its state-transition timeline — a textual view of
+// the paper's Figure 7: fired transition path, load reading, allocated
+// core count and the cpuset per control period.
+//
+// Usage:
+//
+//	elastictop -sf 0.005 -clients 32 -mode adaptive -queries 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"elasticore/internal/db"
+	"elasticore/internal/petrinet"
+	"elasticore/internal/tpch"
+	"elasticore/internal/workload"
+)
+
+func main() {
+	var (
+		sf      = flag.Float64("sf", 0.005, "scale factor")
+		clients = flag.Int("clients", 32, "concurrent clients")
+		queries = flag.Int("queries", 2, "queries per client")
+		mode    = flag.String("mode", "adaptive", "allocation mode: dense | sparse | adaptive")
+	)
+	flag.Parse()
+
+	var m workload.Mode
+	switch *mode {
+	case "dense":
+		m = workload.ModeDense
+	case "sparse":
+		m = workload.ModeSparse
+	case "adaptive":
+		m = workload.ModeAdaptive
+	default:
+		fmt.Fprintf(os.Stderr, "elastictop: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	rig, err := workload.NewRig(workload.Options{SF: *sf, Mode: m})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "elastictop: %v\n", err)
+		os.Exit(1)
+	}
+	d := &workload.Driver{Rig: rig, QueriesPerClient: *queries}
+	res := d.Run(*clients, func(c, k int) *db.Plan {
+		x := uint64(c)*2654435761 + uint64(k) + 1
+		return tpch.Build(int(x%tpch.QueryCount)+1, x)
+	})
+
+	topo := rig.Machine.Topology()
+	fmt.Printf("mode=%s clients=%d completed=%d throughput=%.1f q/s elapsed=%.3fs\n\n",
+		m, *clients, res.Completed, res.Throughput, res.ElapsedSeconds)
+	fmt.Printf("%-10s %-18s %5s %6s  %s\n", "t(s)", "transition", "u", "cores", "action")
+	for _, e := range rig.Mech.Events() {
+		action := ""
+		switch e.Action {
+		case petrinet.DecisionAllocate:
+			action = fmt.Sprintf("+core %d", e.Core)
+		case petrinet.DecisionRelease:
+			action = fmt.Sprintf("-core %d", e.Core)
+		}
+		fmt.Printf("%-10.4f %-18s %5d %6d  %s\n",
+			topo.CyclesToSeconds(e.Now), e.Label, e.U, e.NAlloc, action)
+	}
+	fmt.Printf("\nfinal cpuset: %s\n", rig.CGroup.CPUs())
+	fmt.Printf("stolen=%d migrations=%d cross-node=%d\n",
+		res.Sched.StolenTasks, res.Sched.Migrations, res.Sched.CrossNodeMigrations)
+	fmt.Println(strings.Repeat("-", 60))
+	fmt.Println("net incidence matrix (A^T = Post - Pre):")
+	fmt.Println(rig.Mech.Net().Net().Incidence())
+}

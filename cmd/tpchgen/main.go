@@ -1,0 +1,83 @@
+// Command tpchgen generates the TPC-H-shaped dataset into the simulated
+// store and prints table summaries plus optional sample rows.
+//
+// Usage:
+//
+//	tpchgen -sf 0.01
+//	tpchgen -sf 0.01 -table lineitem -rows 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"elasticore/internal/db"
+	"elasticore/internal/numa"
+	"elasticore/internal/tpch"
+)
+
+func main() {
+	var (
+		sf    = flag.Float64("sf", 0.01, "scale factor")
+		seed  = flag.Uint64("seed", 1, "generator seed")
+		table = flag.String("table", "", "print sample rows of this table")
+		rows  = flag.Int("rows", 5, "sample rows to print")
+	)
+	flag.Parse()
+
+	store := db.NewStore(numa.NewMachine(numa.Opteron8387()))
+	ds, err := tpch.Load(store, tpch.Config{SF: *sf, Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpchgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("TPC-H SF %g (seed %d)\n", *sf, *seed)
+	fmt.Printf("  lineitem %9d rows\n", ds.Sizes.Lineitem)
+	fmt.Printf("  orders   %9d rows\n", ds.Sizes.Orders)
+	fmt.Printf("  customer %9d rows\n", ds.Sizes.Customer)
+	fmt.Printf("  part     %9d rows\n", ds.Sizes.Part)
+	fmt.Printf("  partsupp %9d rows\n", ds.Sizes.PartSupp)
+	fmt.Printf("  supplier %9d rows\n", ds.Sizes.Supplier)
+	fmt.Printf("  nation   %9d rows\n", ds.Sizes.Nation)
+	fmt.Printf("  region   %9d rows\n", ds.Sizes.Region)
+
+	if *table == "" {
+		return
+	}
+	if !store.HasTable(*table) {
+		fmt.Fprintf(os.Stderr, "tpchgen: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+	t := store.Table(*table)
+	cols := t.Columns()
+	sort.Strings(cols)
+	fmt.Printf("\n%s (%d rows)\n", *table, t.Rows)
+	for _, c := range cols {
+		fmt.Printf("%s", pad(c, 18))
+	}
+	fmt.Println()
+	n := *rows
+	if n > t.Rows {
+		n = t.Rows
+	}
+	for i := 0; i < n; i++ {
+		for _, c := range cols {
+			col := t.Col(c)
+			if col.Kind == db.KindI64 {
+				fmt.Printf("%s", pad(fmt.Sprint(col.I[i]), 18))
+			} else {
+				fmt.Printf("%s", pad(fmt.Sprintf("%.2f", col.F[i]), 18))
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}

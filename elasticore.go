@@ -1,0 +1,106 @@
+// Package elasticore is a faithful, fully self-contained reproduction of
+// "An Elastic Multi-Core Allocation Mechanism for Database Systems"
+// (Dominico, de Almeida, Meira, Alves — ICDE 2018).
+//
+// The library bundles everything the paper's system needs, built from
+// scratch on the standard library:
+//
+//   - a deterministic NUMA machine model with hardware counters
+//     (internal/numa),
+//   - an OS scheduler with load balancing, stealing and cgroups
+//     (internal/sched),
+//   - the Predicate/Transition net formalism and the paper's elastic net
+//     (internal/petrinet),
+//   - the elastic allocation mechanism with its dense/sparse/adaptive
+//     modes and CPU-load / HT-IMC strategies (internal/elastic),
+//   - a Volcano-style columnar DBMS in MonetDB-like and SQL-Server-like
+//     flavours (internal/db),
+//   - a TPC-H generator and all 22 queries (internal/tpch),
+//   - workload drivers, energy model, trace facilities and one
+//     experiment harness per paper figure (internal/workload,
+//     internal/metrics, internal/trace, internal/experiments).
+//
+// This file re-exports the handful of types a downstream user needs to
+// run elastic-allocation experiments without reaching into the internal
+// packages; the examples/ directory shows complete programs.
+package elasticore
+
+import (
+	"elasticore/internal/db"
+	"elasticore/internal/elastic"
+	"elasticore/internal/numa"
+	"elasticore/internal/sched"
+	"elasticore/internal/tpch"
+	"elasticore/internal/workload"
+)
+
+// Core hardware and OS model types.
+type (
+	// Topology describes a NUMA machine's shape.
+	Topology = numa.Topology
+	// Machine is the counter-accurate NUMA hardware model.
+	Machine = numa.Machine
+	// Counters is a snapshot of the hardware-counter surface.
+	Counters = numa.Counters
+	// Scheduler is the OS CPU-scheduler model.
+	Scheduler = sched.Scheduler
+	// CPUSet is a set of cores (the cgroup cpuset unit).
+	CPUSet = sched.CPUSet
+)
+
+// Mechanism and policy types.
+type (
+	// Mechanism is the paper's elastic multi-core allocation mechanism.
+	Mechanism = elastic.Mechanism
+	// Allocator is an allocation mode (dense, sparse, adaptive).
+	Allocator = elastic.Allocator
+	// Strategy is a state-transition metric (CPU load or HT/IMC ratio).
+	Strategy = elastic.Strategy
+)
+
+// Database types.
+type (
+	// Engine is the Volcano-style columnar engine.
+	Engine = db.Engine
+	// Plan is an operator pipeline.
+	Plan = db.Plan
+	// Query is one executing plan instance.
+	Query = db.Query
+)
+
+// Workload rig types.
+type (
+	// Rig is a fully wired experiment environment: machine, scheduler,
+	// store, engine, cgroup, mechanism.
+	Rig = workload.Rig
+	// RigOptions configures NewRig.
+	RigOptions = workload.Options
+	// Mode selects OS baseline or a mechanism allocation mode.
+	Mode = workload.Mode
+	// Driver runs concurrent client streams against a rig.
+	Driver = workload.Driver
+)
+
+// Modes re-exported for rig construction.
+const (
+	ModeOS       = workload.ModeOS
+	ModeDense    = workload.ModeDense
+	ModeSparse   = workload.ModeSparse
+	ModeAdaptive = workload.ModeAdaptive
+)
+
+// Opteron8387 returns the paper's testbed topology: four quad-core
+// sockets at 2.8 GHz with 6 MB shared L3s and HyperTransport 3.x links.
+func Opteron8387() *Topology { return numa.Opteron8387() }
+
+// NewRig builds a complete experiment environment: a machine, an OS
+// scheduler, a TPC-H-loaded store, a database engine inside a cgroup and
+// (unless ModeOS) the elastic mechanism steering that cgroup.
+func NewRig(opts RigOptions) (*Rig, error) { return workload.NewRig(opts) }
+
+// BuildQuery returns the plan of TPC-H query n (1..22) with seed-derived
+// parameters.
+func BuildQuery(n int, seed uint64) *Plan { return tpch.Build(n, seed) }
+
+// QueryCount is the number of TPC-H queries provided.
+const QueryCount = tpch.QueryCount

@@ -1,0 +1,46 @@
+// Concurrency: the Figure 4 / Figure 13 scenario — TPC-H Q6 under an
+// increasing number of concurrent clients, comparing the plain OS
+// scheduler against the mechanism's three allocation modes. Shows the
+// throughput and interconnect-traffic crossover the paper's introduction
+// motivates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elasticore"
+)
+
+func main() {
+	users := []int{1, 4, 16, 64}
+	modes := []elasticore.Mode{
+		elasticore.ModeOS, elasticore.ModeDense,
+		elasticore.ModeSparse, elasticore.ModeAdaptive,
+	}
+
+	fmt.Printf("%-10s %6s %10s %10s %10s %8s\n",
+		"mode", "users", "q/s", "HT MB/s", "cpu %", "stolen")
+	for _, u := range users {
+		for _, mode := range modes {
+			rig, err := elasticore.NewRig(elasticore.RigOptions{
+				SF:   0.005,
+				Mode: mode,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			d := &elasticore.Driver{Rig: rig, QueriesPerClient: 1}
+			res := d.Run(u, func(client, k int) *elasticore.Plan {
+				return elasticore.BuildQuery(6, uint64(client+1))
+			})
+			htMBs := 0.0
+			if res.ElapsedSeconds > 0 {
+				htMBs = float64(res.Window.TotalHTBytes()) / res.ElapsedSeconds / 1e6
+			}
+			fmt.Printf("%-10s %6d %10.1f %10.2f %10.1f %8d\n",
+				mode, u, res.Throughput, htMBs,
+				res.Window.CPULoad(nil), res.Sched.StolenTasks)
+		}
+	}
+}

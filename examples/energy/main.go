@@ -1,0 +1,50 @@
+// Energy: the Figure 20 scenario — estimate CPU and HyperTransport
+// energy of a TPC-H stream under the OS scheduler versus the adaptive
+// mechanism, using the paper's model (Average CPU Power per socket plus
+// per-bit interconnect transfer energy).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elasticore"
+	"elasticore/internal/metrics"
+)
+
+// measure runs the paper's protocol — each query as its own phase of
+// concurrent clients with randomized parameters — and sums the energy
+// estimate over all 22 phases.
+func measure(mode elasticore.Mode) (metrics.Energy, float64) {
+	rig, err := elasticore.NewRig(elasticore.RigOptions{SF: 0.005, Mode: mode})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := metrics.DefaultEnergyModel()
+	var total metrics.Energy
+	var elapsed float64
+	for qn := 1; qn <= elasticore.QueryCount; qn++ {
+		qn := qn
+		d := &elasticore.Driver{Rig: rig, QueriesPerClient: 1}
+		res := d.Run(24, func(client, k int) *elasticore.Plan {
+			return elasticore.BuildQuery(qn, uint64(qn*1000+client))
+		})
+		e := model.Estimate(rig.Machine.Topology(), res.Window)
+		total.CPUJoules += e.CPUJoules
+		total.HTJoules += e.HTJoules
+		elapsed += res.ElapsedSeconds
+	}
+	return total, elapsed
+}
+
+func main() {
+	osE, osT := measure(elasticore.ModeOS)
+	adE, adT := measure(elasticore.ModeAdaptive)
+
+	fmt.Printf("%-10s %12s %12s %12s %10s\n", "config", "CPU (J)", "HT (J)", "total (J)", "time (s)")
+	fmt.Printf("%-10s %12.4f %12.4f %12.4f %10.4f\n", "OS", osE.CPUJoules, osE.HTJoules, osE.Total(), osT)
+	fmt.Printf("%-10s %12.4f %12.4f %12.4f %10.4f\n", "adaptive", adE.CPUJoules, adE.HTJoules, adE.Total(), adT)
+	fmt.Printf("\nCPU savings:   %6.2f%%\n", metrics.Savings(osE.CPUJoules, adE.CPUJoules))
+	fmt.Printf("HT savings:    %6.2f%%\n", metrics.Savings(osE.HTJoules, adE.HTJoules))
+	fmt.Printf("total savings: %6.2f%%\n", metrics.Savings(osE.Total(), adE.Total()))
+}

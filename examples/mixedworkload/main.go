@@ -1,0 +1,54 @@
+// Mixedworkload: the Figure 19 scenario — all 22 TPC-H queries with
+// randomized parameters under concurrent clients, comparing the adaptive
+// mode's per-query latency and HT/IMC ratio against the OS scheduler.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elasticore"
+)
+
+const (
+	sf      = 0.005
+	clients = 16
+)
+
+func runAll(mode elasticore.Mode) (lat [elasticore.QueryCount]float64, ratio [elasticore.QueryCount]float64) {
+	rig, err := elasticore.NewRig(elasticore.RigOptions{SF: sf, Mode: mode})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for qn := 1; qn <= elasticore.QueryCount; qn++ {
+		qn := qn
+		d := &elasticore.Driver{Rig: rig, QueriesPerClient: 1}
+		res := d.Run(clients, func(client, k int) *elasticore.Plan {
+			return elasticore.BuildQuery(qn, uint64(qn*1000+client))
+		})
+		lat[qn-1] = res.MeanLatencySeconds
+		ratio[qn-1] = res.Window.HTIMCRatio()
+	}
+	return lat, ratio
+}
+
+func main() {
+	osLat, osRatio := runAll(elasticore.ModeOS)
+	adLat, adRatio := runAll(elasticore.ModeAdaptive)
+
+	fmt.Printf("%-5s %12s %12s %9s %9s %9s\n",
+		"query", "OS lat(s)", "adp lat(s)", "speedup", "OS ratio", "adp ratio")
+	var best float64
+	for i := 0; i < elasticore.QueryCount; i++ {
+		speedup := 0.0
+		if adLat[i] > 0 {
+			speedup = osLat[i] / adLat[i]
+		}
+		if speedup > best {
+			best = speedup
+		}
+		fmt.Printf("Q%-4d %12.4f %12.4f %9.2f %9.3f %9.3f\n",
+			i+1, osLat[i], adLat[i], speedup, osRatio[i], adRatio[i])
+	}
+	fmt.Printf("\nbest per-query speedup: %.2fx\n", best)
+}

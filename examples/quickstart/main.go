@@ -1,0 +1,52 @@
+// Quickstart: build a complete rig — simulated Opteron NUMA machine, OS
+// scheduler, TPC-H-loaded columnar engine, cgroup — attach the elastic
+// mechanism in adaptive mode, run TPC-H Q6 with concurrent clients, and
+// print the result, the allocation timeline and the NUMA-friendliness
+// metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elasticore"
+)
+
+func main() {
+	// A rig wires the whole system; ModeAdaptive attaches the mechanism
+	// with the adaptive priority allocation mode and CPU-load strategy.
+	rig, err := elasticore.NewRig(elasticore.RigOptions{
+		SF:   0.005,
+		Mode: elasticore.ModeAdaptive,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run 16 concurrent clients, each executing TPC-H Q6 twice.
+	driver := &elasticore.Driver{Rig: rig, QueriesPerClient: 2}
+	res := driver.Run(16, func(client, k int) *elasticore.Plan {
+		return elasticore.BuildQuery(6, uint64(client*100+k+1))
+	})
+
+	fmt.Printf("completed %d queries in %.3f virtual seconds (%.1f q/s)\n",
+		res.Completed, res.ElapsedSeconds, res.Throughput)
+	fmt.Printf("mean latency: %.4fs\n", res.MeanLatencySeconds)
+	fmt.Printf("HT/IMC ratio: %.3f (smaller = more NUMA-friendly)\n", res.Window.HTIMCRatio())
+	fmt.Printf("stolen tasks: %d, cross-node migrations: %d\n",
+		res.Sched.StolenTasks, res.Sched.CrossNodeMigrations)
+
+	// The mechanism's state transitions (paper Figure 7).
+	events := rig.Mech.Events()
+	fmt.Printf("\n%d control periods; last transitions:\n", len(events))
+	start := len(events) - 8
+	if start < 0 {
+		start = 0
+	}
+	topo := rig.Machine.Topology()
+	for _, e := range events[start:] {
+		fmt.Printf("  t=%.4fs %-18s u=%3d cores=%d\n",
+			topo.CyclesToSeconds(e.Now), e.Label, e.U, e.NAlloc)
+	}
+	fmt.Printf("\nfinal cpuset handed to the OS: %s\n", rig.CGroup.CPUs())
+}

@@ -1,0 +1,240 @@
+// Package db is a Volcano-style columnar database engine modelled on the
+// systems the paper evaluates. Like MonetDB, it stores each column as a
+// Binary Association Table (BAT), executes one operator at a time with
+// horizontal parallelism (every operator fans out one task per worker over
+// disjoint partitions), and runs a fixed pool of worker threads, one per
+// hardware core. A NUMA-aware placement mode reproduces SQL Server's
+// behaviour: workers pinned to cores and tasks dispatched toward the node
+// holding their data.
+//
+// All column data is real (queries compute true results); simultaneously,
+// every scan, materialization and probe charges block-granular accesses to
+// the simulated NUMA machine, which is what the elastic mechanism observes.
+package db
+
+import (
+	"fmt"
+	"sort"
+
+	"elasticore/internal/numa"
+	"elasticore/internal/sched"
+)
+
+// Kind is the storage type of a BAT's tail column.
+type Kind int
+
+const (
+	// KindI64 stores 64-bit integers (also OIDs, dates as yyyymmdd, and
+	// dictionary codes for strings).
+	KindI64 Kind = iota
+	// KindF64 stores 64-bit floats (prices, discounts, quantities).
+	KindF64
+)
+
+// valueBytes is the storage width of every value (MonetDB-style fixed
+// 8-byte tails).
+const valueBytes = 8
+
+// BAT is a Binary Association Table: a head of virtual OIDs (0..n-1) and a
+// typed tail vector. Base-table BATs are backed by a region of simulated
+// NUMA memory homed lazily at first touch during scans; intermediate BATs
+// are homed by the task that materializes them.
+type BAT struct {
+	Name string
+	Kind Kind
+	I    []int64
+	F    []float64
+
+	region numa.Region
+	placed bool
+}
+
+// NewI64 builds an integer BAT over the given values.
+func NewI64(name string, vals []int64) *BAT { return &BAT{Name: name, Kind: KindI64, I: vals} }
+
+// NewF64 builds a float BAT over the given values.
+func NewF64(name string, vals []float64) *BAT { return &BAT{Name: name, Kind: KindF64, F: vals} }
+
+// Len returns the number of values.
+func (b *BAT) Len() int {
+	if b.Kind == KindI64 {
+		return len(b.I)
+	}
+	return len(b.F)
+}
+
+// Bytes returns the simulated storage footprint.
+func (b *BAT) Bytes() int { return b.Len() * valueBytes }
+
+// Region returns the simulated memory region backing the BAT (zero Region
+// if not yet placed).
+func (b *BAT) Region() numa.Region { return b.region }
+
+// ensureRegion allocates backing blocks for the BAT if needed.
+func (b *BAT) ensureRegion(mem *numa.Memory, blockBytes int) {
+	if b.placed || b.Len() == 0 {
+		return
+	}
+	blocks := (b.Bytes() + blockBytes - 1) / blockBytes
+	b.region = mem.Alloc(blocks)
+	b.placed = true
+}
+
+// chargeRange issues the simulated memory accesses for rows [lo, hi) of
+// the BAT on the executing core, returning the cycle cost. write marks the
+// accesses as stores (materialization), triggering coherence traffic.
+func (b *BAT) chargeRange(ctx *sched.ExecContext, lo, hi int, write bool) uint64 {
+	if b.Len() == 0 || hi <= lo {
+		return 0
+	}
+	topo := ctx.Machine.Topology()
+	b.ensureRegion(ctx.Machine.Memory(), topo.BlockBytes)
+	startByte := lo * valueBytes
+	endByte := hi * valueBytes
+	firstBlock := startByte / topo.BlockBytes
+	lastBlock := (endByte - 1) / topo.BlockBytes
+	var cycles uint64
+	for blk := firstBlock; blk <= lastBlock; blk++ {
+		bs := blk * topo.BlockBytes
+		be := bs + topo.BlockBytes
+		if bs < startByte {
+			bs = startByte
+		}
+		if be > endByte {
+			be = endByte
+		}
+		cycles += ctx.Access(numa.Access{
+			Block: b.region.Block(blk),
+			Bytes: be - bs,
+			Write: write,
+			PID:   ctx.PID,
+		})
+	}
+	return cycles
+}
+
+// HomeOfRow returns the NUMA node owning the block that holds the given
+// row, or numa.NoNode when unplaced (used for NUMA-aware dispatch).
+func (b *BAT) HomeOfRow(mem *numa.Memory, blockBytes, row int) numa.NodeID {
+	if !b.placed {
+		return numa.NoNode
+	}
+	blk := row * valueBytes / blockBytes
+	if blk >= b.region.Blocks {
+		return numa.NoNode
+	}
+	return mem.Home(b.region.Block(blk))
+}
+
+// Table is a named collection of equal-length BATs.
+type Table struct {
+	Name string
+	Rows int
+	cols map[string]*BAT
+}
+
+// Col returns the named column, panicking on unknown names (schema errors
+// are programming errors in plan builders).
+func (t *Table) Col(name string) *BAT {
+	c, ok := t.cols[name]
+	if !ok {
+		panic(fmt.Sprintf("db: table %s has no column %s", t.Name, name))
+	}
+	return c
+}
+
+// HasCol reports whether the column exists.
+func (t *Table) HasCol(name string) bool {
+	_, ok := t.cols[name]
+	return ok
+}
+
+// Columns returns the column names (unordered).
+func (t *Table) Columns() []string {
+	out := make([]string, 0, len(t.cols))
+	for n := range t.cols {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Store is the database catalog bound to a simulated machine.
+type Store struct {
+	machine *numa.Machine
+	tables  map[string]*Table
+	// loadPID owns base-column pages for residency accounting; loadNode
+	// rotates per created column, modelling a sequential loader whose
+	// first-touch lands each column on the node it happened to occupy
+	// (the per-socket column placement visible in the paper's Fig 18).
+	loadPID  int
+	loadNode int
+}
+
+// NewStore creates an empty catalog over the machine. Base columns are
+// homed at load time under the given owner pid, one node per column in
+// rotation.
+func NewStore(m *numa.Machine) *Store {
+	return &Store{machine: m, tables: make(map[string]*Table), loadPID: 1}
+}
+
+// SetLoadPID sets the process id that owns base-table pages (usually the
+// DBMS server pid, so the adaptive mode's residency sees them).
+func (s *Store) SetLoadPID(pid int) { s.loadPID = pid }
+
+// Machine returns the backing hardware model.
+func (s *Store) Machine() *numa.Machine { return s.machine }
+
+// CreateTable registers a table from its columns; all columns must share
+// one length. Backing regions are allocated immediately but homed lazily
+// at first touch, matching memory-mapped base columns.
+func (s *Store) CreateTable(name string, cols map[string]*BAT) (*Table, error) {
+	if _, dup := s.tables[name]; dup {
+		return nil, fmt.Errorf("db: table %s already exists", name)
+	}
+	rows := -1
+	for cname, c := range cols {
+		if rows == -1 {
+			rows = c.Len()
+		} else if c.Len() != rows {
+			return nil, fmt.Errorf("db: table %s column %s has %d rows, want %d", name, cname, c.Len(), rows)
+		}
+	}
+	if rows < 0 {
+		rows = 0
+	}
+	t := &Table{Name: name, Rows: rows, cols: cols}
+	// Allocate regions in name order: map iteration order must never
+	// influence the address-space layout (simulation determinism).
+	names := make([]string, 0, len(cols))
+	for n := range cols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	topo := s.machine.Topology()
+	for _, n := range names {
+		c := cols[n]
+		c.ensureRegion(s.machine.Memory(), topo.BlockBytes)
+		if c.placed {
+			node := numa.NodeID(s.loadNode % topo.NodeCount)
+			s.machine.Memory().HomeRegionOn(c.region, node, s.loadPID)
+			s.loadNode++
+		}
+	}
+	s.tables[name] = t
+	return t, nil
+}
+
+// Table returns the named table, panicking on unknown names.
+func (s *Store) Table(name string) *Table {
+	t, ok := s.tables[name]
+	if !ok {
+		panic(fmt.Sprintf("db: unknown table %s", name))
+	}
+	return t
+}
+
+// HasTable reports whether the table exists.
+func (s *Store) HasTable(name string) bool {
+	_, ok := s.tables[name]
+	return ok
+}

@@ -1,0 +1,433 @@
+package db
+
+import (
+	"fmt"
+
+	"elasticore/internal/numa"
+	"elasticore/internal/sched"
+)
+
+// Placement selects the engine's thread/data placement strategy.
+type Placement int
+
+const (
+	// PlacementOS leaves thread scheduling entirely to the OS, like
+	// MonetDB: every submitted query fans out its own set of unpinned
+	// worker threads ("the SQL version generates multiple threads for
+	// every operator in the query plan", Section II-B), which the kernel
+	// places and balances — the thread churn of Figures 4 and 5.
+	PlacementOS Placement = iota
+	// PlacementNUMAAware runs a fixed pool with one worker pinned to each
+	// core and dispatches tasks toward the node holding their input data,
+	// like SQL Server.
+	PlacementNUMAAware
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	if p == PlacementNUMAAware {
+		return "numa-aware"
+	}
+	return "os"
+}
+
+// Config assembles an Engine.
+type Config struct {
+	// Scheduler the worker threads run under.
+	Scheduler *sched.Scheduler
+	// PID is the DBMS server process id (cgroup membership, residency).
+	PID int
+	// Workers is the pool size; zero selects one per core (the MonetDB
+	// default: "one thread per core").
+	Workers int
+	// Fanout is the partition count per operator; zero selects Workers.
+	Fanout int
+	// Placement selects OS-managed (MonetDB) or NUMA-aware (SQL Server)
+	// behaviour.
+	Placement Placement
+	// MinPartRows bounds partitioning for small inputs; zero selects 256.
+	MinPartRows int
+	// ParseCycles is the serial admission cost per query: parsing,
+	// optimization and catalog access run under a global lock in one
+	// server thread (MonetDB's mvc/MAL front end). Zero selects 150 us at
+	// the machine clock; negative disables the front end entirely
+	// (queries start their dataflow immediately).
+	ParseCycles int64
+	// AdvanceCycles is the serial dataflow-claim cost per operator stage:
+	// MonetDB's DFLOW scheduler admits each instruction's worker fan-out
+	// through a central claim section, which is what keeps measured CPU
+	// load below saturation at high client counts. Zero selects 30 us;
+	// only charged when the front end is enabled.
+	AdvanceCycles int64
+}
+
+// TaskEvent is emitted when a worker finishes a task (tomograph feed).
+type TaskEvent struct {
+	Worker sched.TID
+	Op     string
+	Start  uint64 // cycles
+	End    uint64 // cycles
+}
+
+// Engine executes plans over a Store with a fixed worker-thread pool.
+type Engine struct {
+	cfg     Config
+	store   *Store
+	machine *numa.Machine
+	sched   *sched.Scheduler
+
+	workers []*worker
+	// queue is the central dispatch FIFO (PlacementOS); nodeQueues are
+	// per-node FIFOs used first under PlacementNUMAAware.
+	queue      []*dispatched
+	nodeQueues [][]*dispatched
+
+	queries     []*Query
+	nextQueryID int
+
+	// serverJobs is the serial front-end queue drained by serverThread:
+	// query admissions (parse) and stage advances (dataflow claims).
+	serverJobs   []serverJob
+	serverThread *sched.Thread
+
+	// TasksExecuted counts finished tasks (paper Fig 13 (c)).
+	TasksExecuted uint64
+	// OnTaskDone, if set, observes task completions.
+	OnTaskDone func(TaskEvent)
+}
+
+// dispatched pairs a task with its owning query.
+type dispatched struct {
+	task  Task
+	query *Query
+	start uint64
+}
+
+// NewEngine creates the engine and spawns its worker pool. Workers block
+// until tasks arrive.
+func NewEngine(store *Store, cfg Config) (*Engine, error) {
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("db: Scheduler is required")
+	}
+	if cfg.PID == 0 {
+		return nil, fmt.Errorf("db: PID is required")
+	}
+	topo := store.Machine().Topology()
+	if cfg.Workers == 0 {
+		cfg.Workers = topo.TotalCores()
+	}
+	if cfg.Fanout == 0 {
+		cfg.Fanout = cfg.Workers
+	}
+	if cfg.MinPartRows == 0 {
+		cfg.MinPartRows = 256
+	}
+	e := &Engine{
+		cfg:        cfg,
+		store:      store,
+		machine:    store.Machine(),
+		sched:      cfg.Scheduler,
+		nodeQueues: make([][]*dispatched, topo.NodeCount),
+	}
+	if cfg.ParseCycles == 0 {
+		cfg.ParseCycles = int64(topo.SecondsToCycles(150e-6))
+	}
+	if cfg.AdvanceCycles == 0 {
+		cfg.AdvanceCycles = int64(topo.SecondsToCycles(30e-6))
+	}
+	e.cfg = cfg
+	if cfg.Placement == PlacementNUMAAware {
+		// SQL Server style: a fixed pool, one worker pinned per core.
+		for i := 0; i < cfg.Workers; i++ {
+			w := &worker{eng: e, id: i, pinnedNode: numa.NoNode}
+			core := numa.CoreID(i % topo.TotalCores())
+			w.pinnedNode = topo.NodeOf(core)
+			w.thread = cfg.Scheduler.Spawn(cfg.PID, fmt.Sprintf("worker%d", i), w,
+				sched.Pinned(sched.NewCPUSet(core)))
+			e.workers = append(e.workers, w)
+		}
+	}
+	if cfg.ParseCycles > 0 {
+		e.serverThread = cfg.Scheduler.Spawn(cfg.PID, "server", &serverRunner{eng: e})
+	}
+	return e, nil
+}
+
+// serverJob is one unit of serial front-end work.
+type serverJob struct {
+	query  *Query
+	cycles uint64
+	start  bool // parse+start vs stage advance
+}
+
+// serverRunner is the single front-end thread: it burns the serial cost
+// of parses and dataflow claims, then performs them. Its serialization is
+// the Amdahl component that keeps many-client CPU load in the elastic
+// band.
+type serverRunner struct {
+	eng       *Engine
+	cur       *serverJob
+	remaining uint64
+}
+
+// Run implements sched.Runner.
+func (s *serverRunner) Run(_ *sched.ExecContext, budget uint64) (uint64, bool, bool) {
+	var used uint64
+	for used < budget {
+		if s.cur == nil {
+			if len(s.eng.serverJobs) == 0 {
+				return used, used == 0, false
+			}
+			s.cur = &s.eng.serverJobs[0]
+			s.eng.serverJobs = s.eng.serverJobs[1:]
+			s.remaining = s.cur.cycles
+		}
+		slice := budget - used
+		if slice < s.remaining {
+			s.remaining -= slice
+			return budget, false, false
+		}
+		used += s.remaining
+		job := *s.cur
+		s.cur = nil
+		if job.start {
+			s.eng.startQuery(job.query)
+		} else {
+			s.eng.advance(job.query)
+		}
+	}
+	return used, false, false
+}
+
+// Store returns the engine's catalog.
+func (e *Engine) Store() *Store { return e.store }
+
+// PID returns the server process id.
+func (e *Engine) PID() int { return e.cfg.PID }
+
+// Placement returns the configured placement strategy.
+func (e *Engine) Placement() Placement { return e.cfg.Placement }
+
+// Submit starts executing a plan and returns its Query handle. The first
+// stage's tasks are enqueued immediately. Under PlacementOS the query
+// fans out its own worker threads (MonetDB's per-query dataflow threads);
+// they exit when the query completes.
+func (e *Engine) Submit(p *Plan) *Query {
+	e.nextQueryID++
+	q := &Query{
+		ID:          e.nextQueryID,
+		Plan:        p,
+		eng:         e,
+		vars:        make(map[string]*PartSet),
+		sets:        make(map[string]map[int64]int64),
+		scalars:     make(map[string]float64),
+		partials:    make(map[string][]map[int64]float64),
+		startCycles: e.machine.Now(),
+	}
+	e.queries = append(e.queries, q)
+	if e.serverThread != nil {
+		// Serial front end: parse/optimize first, dataflow after.
+		e.serverJobs = append(e.serverJobs, serverJob{
+			query: q, cycles: uint64(e.cfg.ParseCycles), start: true,
+		})
+		e.sched.Wake(e.serverThread)
+		return q
+	}
+	e.startQuery(q)
+	return q
+}
+
+// startQuery launches the dataflow of an admitted query.
+func (e *Engine) startQuery(q *Query) {
+	if e.cfg.Placement == PlacementOS {
+		// The dataflow threads fork near their client connection's
+		// handler; the OS balancer spreads them afterwards (the stolen
+		// tasks of Fig 13 (d)).
+		home := numa.NodeID(q.ID % e.machine.Topology().NodeCount)
+		for i := 0; i < e.cfg.Workers; i++ {
+			w := &worker{eng: e, id: i, pinnedNode: numa.NoNode, query: q}
+			w.thread = e.sched.Spawn(e.cfg.PID, fmt.Sprintf("q%d-w%d", q.ID, i), w,
+				sched.NearNode(home))
+		}
+	}
+	e.advance(q)
+}
+
+// advance plans and enqueues the next stage of q, skipping empty stages,
+// and completes the query after the last one.
+func (e *Engine) advance(q *Query) {
+	for q.stage < len(q.Plan.Stages) {
+		tasks := q.Plan.Stages[q.stage](q)
+		q.stage++
+		if len(tasks) == 0 {
+			continue
+		}
+		q.pending = len(tasks)
+		for _, t := range tasks {
+			e.enqueue(&dispatched{task: t, query: q})
+		}
+		return
+	}
+	q.done = true
+	q.endCycles = e.machine.Now()
+	// Wake blocked per-query workers so they observe completion and exit.
+	e.sched.WakeAll(e.cfg.PID)
+}
+
+// enqueue places a task on the dispatch queue(s) and wakes blocked
+// workers.
+func (e *Engine) enqueue(d *dispatched) {
+	d.start = e.machine.Now()
+	switch {
+	case e.cfg.Placement == PlacementOS:
+		// Per-query dataflow: the owning query's threads consume it.
+		d.query.taskQueue = append(d.query.taskQueue, d)
+	case d.task.PreferredNode() != numa.NoNode:
+		e.nodeQueues[d.task.PreferredNode()] = append(e.nodeQueues[d.task.PreferredNode()], d)
+	default:
+		e.queue = append(e.queue, d)
+	}
+	e.sched.WakeAll(e.cfg.PID)
+}
+
+// dispatch hands the next task to a worker, or nil when nothing is
+// queued. Per-query workers only serve their own query; NUMA-aware
+// workers drain their own node's queue first, then the global queue, then
+// steal from other nodes (SQL Server's soft affinity).
+func (e *Engine) dispatch(w *worker) *dispatched {
+	if w.query != nil {
+		return popQueue(&w.query.taskQueue)
+	}
+	if e.cfg.Placement == PlacementNUMAAware && w.pinnedNode != numa.NoNode {
+		if d := popQueue(&e.nodeQueues[w.pinnedNode]); d != nil {
+			return d
+		}
+		if d := popQueue(&e.queue); d != nil {
+			return d
+		}
+		for n := range e.nodeQueues {
+			if d := popQueue(&e.nodeQueues[n]); d != nil {
+				return d
+			}
+		}
+		return nil
+	}
+	return popQueue(&e.queue)
+}
+
+func popQueue(q *[]*dispatched) *dispatched {
+	if len(*q) == 0 {
+		return nil
+	}
+	d := (*q)[0]
+	*q = (*q)[1:]
+	return d
+}
+
+// taskFinished accounts a completed task and advances its query when the
+// stage drains.
+func (e *Engine) taskFinished(w *worker, d *dispatched) {
+	e.TasksExecuted++
+	if e.OnTaskDone != nil {
+		e.OnTaskDone(TaskEvent{
+			Worker: w.thread.ID,
+			Op:     d.task.Op(),
+			Start:  d.start,
+			End:    e.machine.Now(),
+		})
+	}
+	d.query.pending--
+	if d.query.pending == 0 {
+		if e.serverThread != nil {
+			// The next stage's fan-out goes through the serial dataflow
+			// claim.
+			e.serverJobs = append(e.serverJobs, serverJob{
+				query: d.query, cycles: uint64(e.cfg.AdvanceCycles),
+			})
+			e.sched.Wake(e.serverThread)
+			return
+		}
+		e.advance(d.query)
+	}
+}
+
+// PendingTasks returns the number of queued (undispatched) tasks.
+func (e *Engine) PendingTasks() int {
+	n := len(e.queue)
+	for _, q := range e.nodeQueues {
+		n += len(q)
+	}
+	for _, q := range e.queries {
+		n += len(q.taskQueue)
+	}
+	return n
+}
+
+// ActiveQueries returns the number of submitted-but-unfinished queries.
+func (e *Engine) ActiveQueries() int {
+	n := 0
+	for _, q := range e.queries {
+		if !q.done {
+			n++
+		}
+	}
+	return n
+}
+
+// Drain removes finished queries from the engine's tracking list and
+// returns them (workload bookkeeping between phases).
+func (e *Engine) Drain() []*Query {
+	var done, live []*Query
+	for _, q := range e.queries {
+		if q.done {
+			done = append(done, q)
+		} else {
+			live = append(live, q)
+		}
+	}
+	e.queries = live
+	return done
+}
+
+// worker is the Runner behind each pool or per-query thread: it pulls
+// tasks and steps them within the scheduler's budget.
+type worker struct {
+	eng        *Engine
+	id         int
+	thread     *sched.Thread
+	cur        *dispatched
+	pinnedNode numa.NodeID
+	// query, when set, ties the worker to one query's dataflow
+	// (MonetDB-style per-query threads); the worker exits when the query
+	// completes.
+	query *Query
+}
+
+// Run implements sched.Runner.
+func (w *worker) Run(ctx *sched.ExecContext, budget uint64) (uint64, bool, bool) {
+	var used uint64
+	for used < budget {
+		if w.cur == nil {
+			if w.query != nil && w.query.done {
+				return used, false, true // dataflow finished: thread exits
+			}
+			w.cur = w.eng.dispatch(w)
+			if w.cur == nil {
+				// Nothing to do: block until the engine wakes the pool.
+				return used, used == 0, false
+			}
+		}
+		u, done := w.cur.task.Step(ctx, budget-used)
+		used += u
+		if done {
+			d := w.cur
+			w.cur = nil
+			w.eng.taskFinished(w, d)
+			continue
+		}
+		if u == 0 {
+			break
+		}
+	}
+	return used, false, false
+}

@@ -1,0 +1,578 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+
+	"elasticore/internal/numa"
+	"elasticore/internal/sched"
+)
+
+// operators.go defines the stage builders of the MAL-like operator set:
+// selections producing candidate lists, gather-style projections, value
+// maps, aggregates, hash joins and group-bys. Every builder returns a
+// StageFn; plans are ordered lists of them (Figure 3's query plan).
+//
+// All per-query mutable state lives in the Query (vars, sets, scalars,
+// partials), so a Plan value itself is immutable and reusable.
+
+// Per-tuple compute costs in cycles, by operator class.
+const (
+	cyclesScan   = 3
+	cyclesGather = 4
+	cyclesMap    = 2
+	cyclesSum    = 2
+	cyclesGroup  = 10
+	cyclesBuild  = 12
+	cyclesProbe  = 8
+	cyclesSort   = 40
+)
+
+// Pred is a typed predicate over column values.
+type Pred struct {
+	I func(int64) bool
+	F func(float64) bool
+}
+
+// PredIRange matches lo <= v < hi on integer columns.
+func PredIRange(lo, hi int64) Pred {
+	return Pred{I: func(v int64) bool { return v >= lo && v < hi }}
+}
+
+// PredFRange matches lo <= v <= hi on float columns.
+func PredFRange(lo, hi float64) Pred {
+	return Pred{F: func(v float64) bool { return v >= lo && v <= hi }}
+}
+
+// PredIEq matches v == x.
+func PredIEq(x int64) Pred {
+	return Pred{I: func(v int64) bool { return v == x }}
+}
+
+// PredIIn matches v in the given list (the paper's Q19/Q22 "IN" predicates
+// over a series of constant values shared in a list).
+func PredIIn(list ...int64) Pred {
+	set := make(map[int64]bool, len(list))
+	for _, v := range list {
+		set[v] = true
+	}
+	return Pred{I: func(v int64) bool { return set[v] }}
+}
+
+func (p Pred) eval(b *BAT, row int) bool {
+	if b.Kind == KindI64 {
+		if p.I == nil {
+			panic(fmt.Sprintf("db: integer column %s filtered with non-integer predicate", b.Name))
+		}
+		return p.I(b.I[row])
+	}
+	if p.F == nil {
+		panic(fmt.Sprintf("db: float column %s filtered with non-float predicate", b.Name))
+	}
+	return p.F(b.F[row])
+}
+
+// ThetaSelect plans algebra.thetasubselect: a full partitioned scan of a
+// base-table column producing per-partition candidate lists (row OIDs) in
+// variable out.
+func ThetaSelect(table, col, out string, p Pred) StageFn {
+	return func(q *Query) []Task {
+		base := q.eng.store.Table(table)
+		c := base.Col(col)
+		ranges := partitionRanges(base.Rows, q.Fanout(), q.eng.cfg.MinPartRows)
+		ps := &PartSet{Parts: make([]*BAT, len(ranges))}
+		q.SetVar(out, ps)
+		tasks := make([]Task, len(ranges))
+		for i, r := range ranges {
+			i, r := i, r
+			t := newChunkTask("algebra.thetasubselect", q.Machine(), []*BAT{c}, r[0], r[1], cyclesScan)
+			ids := make([]int64, 0, (r[1]-r[0])/2)
+			t.process = func(a, b int) {
+				for row := a; row < b; row++ {
+					if p.eval(c, row) {
+						ids = append(ids, int64(row))
+					}
+				}
+			}
+			t.finish = func(*sched.ExecContext) []*BAT {
+				frag := NewI64(out, ids)
+				ps.Parts[i] = frag
+				return []*BAT{frag}
+			}
+			tasks[i] = t
+		}
+		return tasks
+	}
+}
+
+// gatherCharge returns an extraCharge hook charging the underlying column
+// for the id range covered by each chunk of an (ascending) candidate
+// fragment.
+func gatherCharge(cand *BAT, col *BAT) func(*sched.ExecContext, int, int) uint64 {
+	return func(ctx *sched.ExecContext, a, b int) uint64 {
+		if b <= a || len(cand.I) == 0 {
+			return 0
+		}
+		if b > len(cand.I) {
+			b = len(cand.I)
+		}
+		if a >= b {
+			return 0
+		}
+		lo := int(cand.I[a])
+		hi := int(cand.I[b-1]) + 1
+		return col.chargeRange(ctx, lo, hi, false)
+	}
+}
+
+// SubSelect plans algebra.subselect: it refines candidate lists in
+// variable in against a further predicate on a base column, producing out.
+func SubSelect(in, table, col, out string, p Pred) StageFn {
+	return func(q *Query) []Task {
+		c := q.eng.store.Table(table).Col(col)
+		inPS := q.Var(in)
+		ps := &PartSet{Parts: make([]*BAT, len(inPS.Parts))}
+		q.SetVar(out, ps)
+		var tasks []Task
+		for i, cand := range inPS.Parts {
+			i, cand := i, cand
+			if cand == nil || cand.Len() == 0 {
+				ps.Parts[i] = NewI64(out, nil)
+				continue
+			}
+			t := newChunkTask("algebra.subselect", q.Machine(), []*BAT{cand}, 0, cand.Len(), cyclesGather)
+			t.extraCharge = gatherCharge(cand, c)
+			ids := make([]int64, 0, cand.Len()/2)
+			t.process = func(a, b int) {
+				for k := a; k < b && k < len(cand.I); k++ {
+					if p.eval(c, int(cand.I[k])) {
+						ids = append(ids, cand.I[k])
+					}
+				}
+			}
+			t.finish = func(*sched.ExecContext) []*BAT {
+				frag := NewI64(out, ids)
+				ps.Parts[i] = frag
+				return []*BAT{frag}
+			}
+			tasks = append(tasks, t)
+		}
+		return tasks
+	}
+}
+
+// Projection plans algebra.projection: it gathers base-column values at
+// the candidate positions in variable in, producing aligned value
+// fragments in out.
+func Projection(in, table, col, out string) StageFn {
+	return func(q *Query) []Task {
+		c := q.eng.store.Table(table).Col(col)
+		inPS := q.Var(in)
+		ps := &PartSet{Parts: make([]*BAT, len(inPS.Parts))}
+		q.SetVar(out, ps)
+		var tasks []Task
+		for i, cand := range inPS.Parts {
+			i, cand := i, cand
+			if cand == nil || cand.Len() == 0 {
+				ps.Parts[i] = emptyLike(c, out)
+				continue
+			}
+			t := newChunkTask("algebra.projection", q.Machine(), []*BAT{cand}, 0, cand.Len(), cyclesGather)
+			t.extraCharge = gatherCharge(cand, c)
+			outB := emptyLike(c, out)
+			t.process = func(a, b int) {
+				for k := a; k < b && k < len(cand.I); k++ {
+					row := int(cand.I[k])
+					if c.Kind == KindI64 {
+						outB.I = append(outB.I, c.I[row])
+					} else {
+						outB.F = append(outB.F, c.F[row])
+					}
+				}
+			}
+			t.finish = func(*sched.ExecContext) []*BAT {
+				ps.Parts[i] = outB
+				return []*BAT{outB}
+			}
+			tasks = append(tasks, t)
+		}
+		return tasks
+	}
+}
+
+func emptyLike(c *BAT, name string) *BAT {
+	if c.Kind == KindI64 {
+		return NewI64(name, nil)
+	}
+	return NewF64(name, nil)
+}
+
+// MapF2 plans batcalc binary arithmetic over two aligned float variables
+// (e.g. [*](extendedprice, discount)).
+func MapF2(a, b, out string, f func(x, y float64) float64) StageFn {
+	return func(q *Query) []Task {
+		pa, pb := q.Var(a), q.Var(b)
+		if len(pa.Parts) != len(pb.Parts) {
+			panic(fmt.Sprintf("db: MapF2 over misaligned vars %s (%d parts) and %s (%d parts)", a, len(pa.Parts), b, len(pb.Parts)))
+		}
+		ps := &PartSet{Parts: make([]*BAT, len(pa.Parts))}
+		q.SetVar(out, ps)
+		var tasks []Task
+		for i := range pa.Parts {
+			i := i
+			fa, fb := pa.Parts[i], pb.Parts[i]
+			if fa == nil || fa.Len() == 0 {
+				ps.Parts[i] = NewF64(out, nil)
+				continue
+			}
+			t := newChunkTask("batcalc.*", q.Machine(), []*BAT{fa, fb}, 0, fa.Len(), cyclesMap)
+			res := make([]float64, 0, fa.Len())
+			t.process = func(lo, hi int) {
+				for k := lo; k < hi && k < len(fa.F); k++ {
+					res = append(res, f(fa.F[k], fb.F[k]))
+				}
+			}
+			t.finish = func(*sched.ExecContext) []*BAT {
+				frag := NewF64(out, res)
+				ps.Parts[i] = frag
+				return []*BAT{frag}
+			}
+			tasks = append(tasks, t)
+		}
+		return tasks
+	}
+}
+
+// SumF plans aggr.sum over a float variable: per-partition partials
+// accumulate into the named scalar.
+func SumF(in, scalar string) StageFn {
+	return func(q *Query) []Task {
+		ps := q.Var(in)
+		var tasks []Task
+		for _, frag := range ps.Parts {
+			frag := frag
+			if frag == nil || frag.Len() == 0 {
+				continue
+			}
+			t := newChunkTask("aggr.sum", q.Machine(), []*BAT{frag}, 0, frag.Len(), cyclesSum)
+			var partial float64
+			t.process = func(a, b int) {
+				for k := a; k < b && k < len(frag.F); k++ {
+					partial += frag.F[k]
+				}
+			}
+			t.finish = func(*sched.ExecContext) []*BAT {
+				q.AddScalar(scalar, partial)
+				return nil
+			}
+			tasks = append(tasks, t)
+		}
+		return tasks
+	}
+}
+
+// Count plans aggr.count over a variable, storing the row count in the
+// named scalar.
+func Count(in, scalar string) StageFn {
+	return func(q *Query) []Task {
+		q.SetScalar(scalar, float64(q.Var(in).Rows()))
+		return nil
+	}
+}
+
+// funcTask runs a closure once, then pays its computed cycle cost down
+// across quanta (single-task combine operators: hash build, merges,
+// sorts).
+type funcTask struct {
+	op   string
+	pref numa.NodeID
+	work func(ctx *sched.ExecContext) uint64
+
+	started   bool
+	remaining uint64
+}
+
+func (t *funcTask) Op() string                 { return t.op }
+func (t *funcTask) PreferredNode() numa.NodeID { return t.pref }
+
+func (t *funcTask) Step(ctx *sched.ExecContext, budget uint64) (uint64, bool) {
+	if !t.started {
+		t.started = true
+		t.remaining = t.work(ctx)
+	}
+	if t.remaining <= budget {
+		used := t.remaining
+		t.remaining = 0
+		return used, true
+	}
+	t.remaining -= budget
+	return budget, false
+}
+
+// BuildMap plans a hash-join build side: a single task hashing keysVar to
+// payloads from valsVar (or to 1 when valsVar is empty), bound to setName.
+func BuildMap(keysVar, valsVar, setName string) StageFn {
+	return func(q *Query) []Task {
+		keys := q.Var(keysVar)
+		var vals *PartSet
+		if valsVar != "" {
+			vals = q.Var(valsVar)
+		}
+		t := &funcTask{op: "hash.build", pref: numa.NoNode}
+		t.work = func(ctx *sched.ExecContext) uint64 {
+			m := make(map[int64]int64, keys.Rows())
+			var cost uint64
+			for pi, frag := range keys.Parts {
+				if frag == nil || frag.Len() == 0 {
+					continue
+				}
+				cost += frag.chargeRange(ctx, 0, frag.Len(), false)
+				for k, key := range frag.I {
+					payload := int64(1)
+					if vals != nil {
+						vf := vals.Parts[pi]
+						if vf.Kind == KindI64 {
+							payload = vf.I[k]
+						} else {
+							payload = int64(vf.F[k])
+						}
+					}
+					m[key] = payload
+				}
+				cost += uint64(frag.Len()) * cyclesBuild
+			}
+			q.SetSet(setName, m)
+			return cost
+		}
+		return []Task{t}
+	}
+}
+
+// ProbeSemi plans the probe side of a semijoin: candidate rows of inCand
+// whose base-column value hits setName survive into outCand.
+func ProbeSemi(inCand, table, col, setName, outCand string) StageFn {
+	return probe(inCand, table, col, setName, outCand, "", false)
+}
+
+// ProbeFetch plans a fetch join: surviving candidates also gather the
+// build side's payload into outVals (aligned with outCand).
+func ProbeFetch(inCand, table, col, setName, outCand, outVals string) StageFn {
+	return probe(inCand, table, col, setName, outCand, outVals, false)
+}
+
+// ProbeAnti plans an anti-join: candidates whose value does NOT hit the
+// set survive (NOT EXISTS / NOT IN shapes).
+func ProbeAnti(inCand, table, col, setName, outCand string) StageFn {
+	return probe(inCand, table, col, setName, outCand, "", true)
+}
+
+func probe(inCand, table, col, setName, outCand, outVals string, anti bool) StageFn {
+	return func(q *Query) []Task {
+		c := q.eng.store.Table(table).Col(col)
+		inPS := q.Var(inCand)
+		set := q.Set(setName)
+		ps := &PartSet{Parts: make([]*BAT, len(inPS.Parts))}
+		q.SetVar(outCand, ps)
+		var vps *PartSet
+		if outVals != "" {
+			vps = &PartSet{Parts: make([]*BAT, len(inPS.Parts))}
+			q.SetVar(outVals, vps)
+		}
+		var tasks []Task
+		for i, cand := range inPS.Parts {
+			i, cand := i, cand
+			if cand == nil || cand.Len() == 0 {
+				ps.Parts[i] = NewI64(outCand, nil)
+				if vps != nil {
+					vps.Parts[i] = NewI64(outVals, nil)
+				}
+				continue
+			}
+			t := newChunkTask("join.probe", q.Machine(), []*BAT{cand}, 0, cand.Len(), cyclesProbe)
+			t.extraCharge = gatherCharge(cand, c)
+			ids := make([]int64, 0, cand.Len()/2)
+			var payloads []int64
+			t.process = func(a, b int) {
+				for k := a; k < b && k < len(cand.I); k++ {
+					row := int(cand.I[k])
+					payload, hit := set[c.I[row]]
+					if hit == anti {
+						continue
+					}
+					ids = append(ids, cand.I[k])
+					if vps != nil {
+						payloads = append(payloads, payload)
+					}
+				}
+			}
+			t.finish = func(*sched.ExecContext) []*BAT {
+				frag := NewI64(outCand, ids)
+				ps.Parts[i] = frag
+				outs := []*BAT{frag}
+				if vps != nil {
+					vf := NewI64(outVals, payloads)
+					vps.Parts[i] = vf
+					outs = append(outs, vf)
+				}
+				return outs
+			}
+			tasks = append(tasks, t)
+		}
+		return tasks
+	}
+}
+
+// ScanAll plans a full scan over a base column producing all row OIDs
+// (the sql.tid pattern: a candidate list covering the table).
+func ScanAll(table, col, out string) StageFn {
+	always := Pred{
+		I: func(int64) bool { return true },
+		F: func(float64) bool { return true },
+	}
+	return ThetaSelect(table, col, out, always)
+}
+
+// GroupSum plans the partial phase of a grouped aggregation: per-partition
+// hash maps of keysVar -> sum(valsVar), stored on the query under
+// partialsName. An empty valsVar counts rows per group instead. Pair it
+// with GroupMerge as the following stage — the two-phase grouping the
+// paper credits HyPer/BLU with (local build, then merge).
+func GroupSum(keysVar, valsVar, partialsName string) StageFn {
+	return func(q *Query) []Task {
+		keys := q.Var(keysVar)
+		vals := keys // count mode: alignment only
+		if valsVar != "" {
+			vals = q.Var(valsVar)
+		}
+		if len(keys.Parts) != len(vals.Parts) {
+			panic(fmt.Sprintf("db: GroupSum misaligned %s/%s", keysVar, valsVar))
+		}
+		countMode := valsVar == ""
+		partials := make([]map[int64]float64, len(keys.Parts))
+		q.setPartials(partialsName, partials)
+		var tasks []Task
+		for i := range keys.Parts {
+			i := i
+			kf, vf := keys.Parts[i], vals.Parts[i]
+			if kf == nil || kf.Len() == 0 {
+				continue
+			}
+			inputs := []*BAT{kf}
+			if !countMode {
+				inputs = append(inputs, vf)
+			}
+			t := newChunkTask("group.sum", q.Machine(), inputs, 0, kf.Len(), cyclesGroup)
+			m := make(map[int64]float64)
+			t.process = func(a, b int) {
+				for k := a; k < b && k < len(kf.I); k++ {
+					v := 1.0
+					if !countMode && vf != nil && vf.Len() > k {
+						if vf.Kind == KindF64 {
+							v = vf.F[k]
+						} else {
+							v = float64(vf.I[k])
+						}
+					}
+					m[kf.I[k]] += v
+				}
+			}
+			t.finish = func(*sched.ExecContext) []*BAT {
+				partials[i] = m
+				return nil
+			}
+			tasks = append(tasks, t)
+		}
+		return tasks
+	}
+}
+
+// GroupMerge plans the merge phase after GroupSum: a single mat.pack-style
+// task combining the partial maps into outKeys/outSums (single-fragment
+// PartSets, keys ascending).
+func GroupMerge(partialsName, outKeys, outSums string) StageFn {
+	return func(q *Query) []Task {
+		partials := q.partialsOf(partialsName)
+		merge := &funcTask{op: "mat.pack", pref: numa.NoNode}
+		merge.work = func(ctx *sched.ExecContext) uint64 {
+			total := make(map[int64]float64)
+			n := 0
+			for _, m := range partials {
+				for k, v := range m {
+					total[k] += v
+					n++
+				}
+			}
+			ks := make([]int64, 0, len(total))
+			for k := range total {
+				ks = append(ks, k)
+			}
+			sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+			sums := make([]float64, len(ks))
+			for i, k := range ks {
+				sums[i] = total[k]
+			}
+			kb, sb := NewI64(outKeys, ks), NewF64(outSums, sums)
+			q.SetVar(outKeys, &PartSet{Parts: []*BAT{kb}})
+			q.SetVar(outSums, &PartSet{Parts: []*BAT{sb}})
+			cost := uint64(n)*cyclesGroup + uint64(len(ks))*cyclesSort
+			cost += kb.chargeRange(ctx, 0, kb.Len(), true)
+			cost += sb.chargeRange(ctx, 0, sb.Len(), true)
+			return cost
+		}
+		return []Task{merge}
+	}
+}
+
+// GroupFilter plans a single task dropping merged groups whose sum fails
+// the predicate (HAVING clauses); outKeys/outSums are filtered in place.
+func GroupFilter(outKeys, outSums string, keep func(sum float64) bool) StageFn {
+	return func(q *Query) []Task {
+		t := &funcTask{op: "group.filter", pref: numa.NoNode}
+		t.work = func(ctx *sched.ExecContext) uint64 {
+			keys := q.Var(outKeys).FlattenI64()
+			sums := q.Var(outSums).FlattenF64()
+			var ks []int64
+			var ss []float64
+			for i, s := range sums {
+				if keep(s) {
+					ks = append(ks, keys[i])
+					ss = append(ss, s)
+				}
+			}
+			q.SetVar(outKeys, &PartSet{Parts: []*BAT{NewI64(outKeys, ks)}})
+			q.SetVar(outSums, &PartSet{Parts: []*BAT{NewF64(outSums, ss)}})
+			return uint64(len(keys)) * cyclesMap
+		}
+		return []Task{t}
+	}
+}
+
+// TopN plans a final single-task sort of the merged outSums descending,
+// keeping n groups; results replace outKeys/outSums.
+func TopN(outKeys, outSums string, n int) StageFn {
+	return func(q *Query) []Task {
+		t := &funcTask{op: "algebra.topn", pref: numa.NoNode}
+		t.work = func(ctx *sched.ExecContext) uint64 {
+			keys := q.Var(outKeys).FlattenI64()
+			sums := q.Var(outSums).FlattenF64()
+			idx := make([]int, len(keys))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.SliceStable(idx, func(a, b int) bool { return sums[idx[a]] > sums[idx[b]] })
+			if n > len(idx) {
+				n = len(idx)
+			}
+			ks := make([]int64, n)
+			ss := make([]float64, n)
+			for i := 0; i < n; i++ {
+				ks[i] = keys[idx[i]]
+				ss[i] = sums[idx[i]]
+			}
+			q.SetVar(outKeys, &PartSet{Parts: []*BAT{NewI64(outKeys, ks)}})
+			q.SetVar(outSums, &PartSet{Parts: []*BAT{NewF64(outSums, ss)}})
+			return uint64(len(keys)) * cyclesSort
+		}
+		return []Task{t}
+	}
+}

@@ -1,0 +1,138 @@
+package db
+
+import (
+	"fmt"
+
+	"elasticore/internal/numa"
+)
+
+// PartSet is a partitioned intermediate: one BAT fragment per task of the
+// producing stage (MonetDB's partitioned BATs). Fragments stay partitioned
+// so the next operator fans out over them — the horizontal parallelism of
+// the Volcano model.
+type PartSet struct {
+	Parts []*BAT
+}
+
+// Rows returns the total row count across fragments.
+func (ps *PartSet) Rows() int {
+	n := 0
+	for _, p := range ps.Parts {
+		n += p.Len()
+	}
+	return n
+}
+
+// FlattenI64 concatenates integer fragments (result extraction).
+func (ps *PartSet) FlattenI64() []int64 {
+	out := make([]int64, 0, ps.Rows())
+	for _, p := range ps.Parts {
+		out = append(out, p.I...)
+	}
+	return out
+}
+
+// FlattenF64 concatenates float fragments (result extraction).
+func (ps *PartSet) FlattenF64() []float64 {
+	out := make([]float64, 0, ps.Rows())
+	for _, p := range ps.Parts {
+		out = append(out, p.F...)
+	}
+	return out
+}
+
+// StageFn plans one operator of a query: given the query context it
+// returns the partition tasks to dispatch. A stage with zero tasks
+// completes immediately.
+type StageFn func(q *Query) []Task
+
+// Plan is an ordered pipeline of operator stages (the MAL program of
+// Figure 3, operator-at-a-time).
+type Plan struct {
+	Name   string
+	Stages []StageFn
+}
+
+// Query is one executing instance of a plan, owned by a client session.
+type Query struct {
+	ID   int
+	Plan *Plan
+
+	eng      *Engine
+	vars     map[string]*PartSet
+	sets     map[string]map[int64]int64 // hash-join build sides
+	scalars  map[string]float64
+	partials map[string][]map[int64]float64 // grouped-aggregation partials
+
+	stage     int
+	pending   int
+	done      bool
+	taskQueue []*dispatched // per-query dataflow queue (PlacementOS)
+
+	startCycles, endCycles uint64
+}
+
+// Done reports whether the query has finished all stages.
+func (q *Query) Done() bool { return q.done }
+
+// Var returns a named intermediate, panicking on absent names (plan bugs).
+func (q *Query) Var(name string) *PartSet {
+	ps, ok := q.vars[name]
+	if !ok {
+		panic(fmt.Sprintf("db: query %s: undefined variable %s", q.Plan.Name, name))
+	}
+	return ps
+}
+
+// SetVar binds a named intermediate.
+func (q *Query) SetVar(name string, ps *PartSet) { q.vars[name] = ps }
+
+// Set returns a named hash-join build table.
+func (q *Query) Set(name string) map[int64]int64 {
+	s, ok := q.sets[name]
+	if !ok {
+		panic(fmt.Sprintf("db: query %s: undefined set %s", q.Plan.Name, name))
+	}
+	return s
+}
+
+// SetSet binds a named hash-join build table.
+func (q *Query) SetSet(name string, s map[int64]int64) { q.sets[name] = s }
+
+// Scalar returns a named scalar result (0 when absent).
+func (q *Query) Scalar(name string) float64 { return q.scalars[name] }
+
+// SetScalar binds a named scalar result.
+func (q *Query) SetScalar(name string, v float64) { q.scalars[name] = v }
+
+// AddScalar accumulates into a named scalar (partial aggregation).
+func (q *Query) AddScalar(name string, v float64) { q.scalars[name] += v }
+
+func (q *Query) setPartials(name string, p []map[int64]float64) {
+	q.partials[name] = p
+}
+
+func (q *Query) partialsOf(name string) []map[int64]float64 {
+	p, ok := q.partials[name]
+	if !ok {
+		panic(fmt.Sprintf("db: query %s: undefined partials %s", q.Plan.Name, name))
+	}
+	return p
+}
+
+// Engine returns the executing engine.
+func (q *Query) Engine() *Engine { return q.eng }
+
+// Machine returns the hardware model (convenience for stage builders).
+func (q *Query) Machine() *numa.Machine { return q.eng.machine }
+
+// Fanout returns the partition count for full-table scans.
+func (q *Query) Fanout() int { return q.eng.cfg.Fanout }
+
+// ElapsedCycles returns the query latency once done.
+func (q *Query) ElapsedCycles() uint64 {
+	if !q.done {
+		return 0
+	}
+	return q.endCycles - q.startCycles
+}

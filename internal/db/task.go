@@ -1,0 +1,183 @@
+package db
+
+import (
+	"elasticore/internal/numa"
+	"elasticore/internal/sched"
+)
+
+// Task is one partition of one operator: the unit dispatched to worker
+// threads. Step consumes up to budget cycles and reports progress; tasks
+// are resumable across scheduler quanta.
+type Task interface {
+	// Step runs on the worker's current core. used may slightly exceed
+	// budget when a chunk cannot be split (the scheduler clamps).
+	Step(ctx *sched.ExecContext, budget uint64) (used uint64, done bool)
+	// Op returns the operator label, e.g. "algebra.thetasubselect"
+	// (tomograph traces).
+	Op() string
+	// PreferredNode returns the node the task's input data lives on, or
+	// numa.NoNode (NUMA-aware dispatch hint).
+	PreferredNode() numa.NodeID
+}
+
+// chunkTask is the shared implementation of partition tasks: it walks rows
+// [lo, hi) in chunks, charging simulated accesses on the inputs and
+// running the real computation, then materializes its output with write
+// accesses on the executing core (first touch places the intermediate
+// where it was produced).
+type chunkTask struct {
+	op     string
+	inputs []*BAT // charged per chunk
+	lo, hi int
+	chunk  int // rows per step iteration
+
+	cursor         int
+	cyclesPerTuple uint64
+	pref           numa.NodeID
+
+	// process runs the real computation for rows [a, b).
+	process func(a, b int)
+	// extraCharge, if set, charges additional simulated accesses for rows
+	// [a, b) (gather operators charge the underlying column here).
+	extraCharge func(ctx *sched.ExecContext, a, b int) uint64
+	// finish materializes the partition output; it may return BATs to
+	// charge as written (their regions get homed here).
+	finish func(ctx *sched.ExecContext) []*BAT
+
+	finished bool
+	onDone   func()
+	// debt carries cycles owed beyond the last quantum's budget: a chunk
+	// is atomic, so its overshoot is paid down across subsequent quanta.
+	// Without this, congestion-stretched access costs would be silently
+	// truncated at the quantum boundary and bandwidth limits would not
+	// bind.
+	debt uint64
+}
+
+// newChunkTask builds a task over [lo, hi) with a default chunk of one
+// placement block worth of rows.
+func newChunkTask(op string, machine *numa.Machine, inputs []*BAT, lo, hi int, cyclesPerTuple uint64) *chunkTask {
+	topo := machine.Topology()
+	chunk := topo.BlockBytes / valueBytes
+	if chunk < 1 {
+		chunk = 1
+	}
+	t := &chunkTask{
+		op:             op,
+		inputs:         inputs,
+		lo:             lo,
+		hi:             hi,
+		chunk:          chunk,
+		cursor:         lo,
+		cyclesPerTuple: cyclesPerTuple,
+		pref:           numa.NoNode,
+	}
+	// Dispatch hint: the home of the first input's first block.
+	for _, in := range inputs {
+		if in == nil || in.Len() == 0 {
+			continue
+		}
+		if n := in.HomeOfRow(machine.Memory(), topo.BlockBytes, lo); n != numa.NoNode {
+			t.pref = n
+			break
+		}
+	}
+	return t
+}
+
+// Op implements Task.
+func (t *chunkTask) Op() string { return t.op }
+
+// PreferredNode implements Task.
+func (t *chunkTask) PreferredNode() numa.NodeID { return t.pref }
+
+// Step implements Task.
+func (t *chunkTask) Step(ctx *sched.ExecContext, budget uint64) (uint64, bool) {
+	var used uint64
+	if t.debt > 0 {
+		if t.debt >= budget {
+			t.debt -= budget
+			return budget, false
+		}
+		used = t.debt
+		t.debt = 0
+	}
+	for used < budget && t.cursor < t.hi {
+		n := t.chunk
+		if rem := t.hi - t.cursor; n > rem {
+			n = rem
+		}
+		cost := uint64(n) * t.cyclesPerTuple
+		for _, in := range t.inputs {
+			if in != nil && in.Len() > 0 {
+				lo, hi := t.cursor, t.cursor+n
+				if hi > in.Len() {
+					hi = in.Len()
+				}
+				if lo < hi {
+					cost += in.chargeRange(ctx, lo, hi, false)
+				}
+			}
+		}
+		if t.extraCharge != nil {
+			cost += t.extraCharge(ctx, t.cursor, t.cursor+n)
+		}
+		if t.process != nil {
+			t.process(t.cursor, t.cursor+n)
+		}
+		t.cursor += n
+		used += cost
+	}
+	if t.cursor >= t.hi && !t.finished {
+		t.finished = true
+		if t.finish != nil {
+			for _, out := range t.finish(ctx) {
+				if out != nil && out.Len() > 0 {
+					used += out.chargeRange(ctx, 0, out.Len(), true)
+				}
+			}
+		}
+		if t.onDone != nil {
+			t.onDone()
+		}
+	}
+	if used > budget {
+		t.debt = used - budget
+		used = budget
+	}
+	return used, t.finished && t.debt == 0
+}
+
+// partitionRanges splits n rows into at most parts contiguous ranges of
+// near-equal size, each at least minRows (except possibly the only one).
+func partitionRanges(n, parts, minRows int) [][2]int {
+	if n <= 0 {
+		return [][2]int{{0, 0}}
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if minRows < 1 {
+		minRows = 1
+	}
+	maxParts := n / minRows
+	if maxParts < 1 {
+		maxParts = 1
+	}
+	if parts > maxParts {
+		parts = maxParts
+	}
+	out := make([][2]int, 0, parts)
+	base := n / parts
+	extra := n % parts
+	lo := 0
+	for i := 0; i < parts; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		out = append(out, [2]int{lo, lo + size})
+		lo += size
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+package elastic
+
+// lonc.go implements the paper's Equation 1, the Local Optimum Number of
+// Cores: for any workload w there exists an allocation nalloc such that
+// the per-core load stays between the thresholds and performance with
+// nalloc cores is at least the performance with all ntotal cores.
+
+// LONCProbe evaluates a candidate allocation size: it returns the average
+// resource usage u of the database threads (same domain as the strategy
+// thresholds) and the performance function p(n) (higher is better, e.g.
+// queries per second).
+type LONCProbe func(n int) (u float64, perf float64)
+
+// FindLONC searches allocation sizes 1..nTotal for the smallest n
+// satisfying Equation 1:
+//
+//	(thmin < u < thmax) && p(n) >= p(nTotal)
+//
+// It returns the found n and true, or nTotal and false when no allocation
+// satisfies both conditions (the workload then runs on the full machine).
+// The probe is called once per candidate plus once for nTotal.
+func FindLONC(probe LONCProbe, nTotal int, thMin, thMax float64) (int, bool) {
+	if nTotal < 1 {
+		return 0, false
+	}
+	_, perfAll := probe(nTotal)
+	for n := 1; n <= nTotal; n++ {
+		u, perf := probe(n)
+		if u > thMin && u < thMax && perf >= perfAll {
+			return n, true
+		}
+	}
+	return nTotal, false
+}

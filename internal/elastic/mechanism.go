@@ -1,0 +1,167 @@
+package elastic
+
+import (
+	"fmt"
+
+	"elasticore/internal/numa"
+	"elasticore/internal/petrinet"
+	"elasticore/internal/sched"
+)
+
+// TransitionEvent records one control-period evaluation for the state
+// transition timeline (paper Figure 7).
+type TransitionEvent struct {
+	Now    uint64 // virtual time, cycles
+	Label  string // e.g. "t1-Overload-t5"
+	U      int    // the reading fed to the net
+	NAlloc int    // allocated cores after the action
+	Core   numa.CoreID
+	Action petrinet.Decision
+}
+
+// Config assembles a Mechanism.
+type Config struct {
+	// Scheduler and CGroup identify the OS facilities the mechanism acts
+	// through; CGroup must already contain the DBMS PIDs.
+	Scheduler *sched.Scheduler
+	CGroup    *sched.CGroup
+	// Allocator is the allocation mode (dense, sparse, adaptive).
+	Allocator Allocator
+	// Strategy is the state-transition metric (CPU load or HT/IMC ratio).
+	Strategy Strategy
+	// ControlPeriod is the sampling interval in cycles; zero selects 50 ms
+	// at the machine clock.
+	ControlPeriod uint64
+	// InitialCores is how many cores to hand out at start; zero selects 1
+	// (the paper's default marking m0(Provision) = {1}).
+	InitialCores int
+}
+
+// Mechanism is the elastic multi-core allocation mechanism: a single
+// instance supports all DBMS clients (Section V). Call Maybe from the
+// simulation loop; it self-schedules on the control period.
+type Mechanism struct {
+	cfg   Config
+	net   *petrinet.ElasticNet
+	topo  *numa.Topology
+	total int
+
+	last     numa.Counters
+	nextEval uint64
+
+	events []TransitionEvent
+	// TokenFlows counts net evaluations (overhead accounting).
+	TokenFlows uint64
+}
+
+// New wires a mechanism. It immediately shrinks the cgroup to the initial
+// allocation, so the OS starts with the minimum core set.
+func New(cfg Config) (*Mechanism, error) {
+	if cfg.Scheduler == nil || cfg.CGroup == nil {
+		return nil, fmt.Errorf("elastic: Scheduler and CGroup are required")
+	}
+	if cfg.Allocator == nil {
+		return nil, fmt.Errorf("elastic: Allocator is required")
+	}
+	if cfg.Strategy == nil {
+		cfg.Strategy = CPULoadStrategy{}
+	}
+	machine := cfg.Scheduler.Machine()
+	topo := machine.Topology()
+	if cfg.ControlPeriod == 0 {
+		cfg.ControlPeriod = topo.SecondsToCycles(50e-3)
+	}
+	if cfg.InitialCores <= 0 {
+		cfg.InitialCores = 1
+	}
+
+	min, max := cfg.Strategy.Thresholds()
+	m := &Mechanism{
+		cfg:   cfg,
+		net:   petrinet.NewElasticNet(min, max, topo.TotalCores()),
+		topo:  topo,
+		total: topo.TotalCores(),
+		last:  machine.Snapshot(),
+	}
+
+	// Start from an empty set and allocate the initial cores through the
+	// mode, so even the first cores follow its placement order.
+	set := sched.CPUSet(0)
+	for i := 0; i < cfg.InitialCores; i++ {
+		core, ok := cfg.Allocator.Next(set)
+		if !ok {
+			break
+		}
+		set = set.Add(core)
+	}
+	cfg.CGroup.SetCPUs(set)
+	m.net.SetNAlloc(set.Count())
+	m.nextEval = machine.Now() + cfg.ControlPeriod
+	return m, nil
+}
+
+// Net exposes the underlying PrT net (matrices, marking inspection).
+func (m *Mechanism) Net() *petrinet.ElasticNet { return m.net }
+
+// Allocated returns the cpuset currently handed to the OS.
+func (m *Mechanism) Allocated() sched.CPUSet { return m.cfg.CGroup.CPUs() }
+
+// Events returns the state-transition timeline recorded so far.
+func (m *Mechanism) Events() []TransitionEvent { return m.events }
+
+// ControlPeriod returns the sampling interval in cycles.
+func (m *Mechanism) ControlPeriod() uint64 { return m.cfg.ControlPeriod }
+
+// Maybe runs one control step if the control period has elapsed. It is
+// cheap to call every scheduler tick.
+func (m *Mechanism) Maybe() {
+	if m.cfg.Scheduler.Machine().Now() < m.nextEval {
+		return
+	}
+	m.Step()
+}
+
+// Step samples the counter window, evaluates the PrT net and applies the
+// resulting action to the cgroup cpuset — the complete
+// rule-condition-action pipeline of Section III.
+func (m *Mechanism) Step() {
+	machine := m.cfg.Scheduler.Machine()
+	snap := machine.Snapshot()
+	window := snap.Sub(m.last)
+	m.last = snap
+	m.nextEval = machine.Now() + m.cfg.ControlPeriod
+
+	current := m.cfg.CGroup.CPUs()
+	sample := Sample{Window: window, Allocated: current.Cores()}
+	u := m.cfg.Strategy.Reading(sample)
+
+	// Keep the net's Provision marking synchronized with reality before
+	// evaluating (an earlier decision may not have been honoured).
+	m.net.SetNAlloc(current.Count())
+	ev := m.net.Evaluate(u)
+	m.TokenFlows++
+
+	event := TransitionEvent{
+		Now:    machine.Now(),
+		Label:  ev.Label,
+		U:      u,
+		Action: ev.Decision,
+	}
+	switch ev.Decision {
+	case petrinet.DecisionAllocate:
+		if core, ok := m.cfg.Allocator.Next(current); ok {
+			current = current.Add(core)
+			m.cfg.CGroup.SetCPUs(current)
+			event.Core = core
+		}
+	case petrinet.DecisionRelease:
+		if core, ok := m.cfg.Allocator.Victim(current); ok && current.Count() > 1 {
+			current = current.Remove(core)
+			m.cfg.CGroup.SetCPUs(current)
+			event.Core = core
+		}
+	}
+	m.net.SetNAlloc(current.Count())
+	event.NAlloc = current.Count()
+	m.events = append(m.events, event)
+}

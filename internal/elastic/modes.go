@@ -1,0 +1,154 @@
+package elastic
+
+import (
+	"elasticore/internal/numa"
+	"elasticore/internal/sched"
+)
+
+// Allocator decides *where* the next core is allocated or released once
+// the PrT net decides *whether* (Section IV-B). Implementations are the
+// paper's three allocation modes.
+type Allocator interface {
+	// Name identifies the mode ("dense", "sparse", "adaptive").
+	Name() string
+	// Next returns the core to add given the currently allocated set, or
+	// false when every core is already allocated.
+	Next(current sched.CPUSet) (numa.CoreID, bool)
+	// Victim returns the core to release given the currently allocated
+	// set, or false when no core can be released.
+	Victim(current sched.CPUSet) (numa.CoreID, bool)
+}
+
+// denseOrder returns the allocation sequence of the dense mode: iterate
+// over j within i — fill a node completely before moving to the next
+// (Figure 12 (b)).
+func denseOrder(t *numa.Topology) []numa.CoreID {
+	out := make([]numa.CoreID, 0, t.TotalCores())
+	for i := 0; i < t.NodeCount; i++ {
+		for j := 0; j < t.CoresPerNode; j++ {
+			out = append(out, t.CoreOf(numa.NodeID(i), j))
+		}
+	}
+	return out
+}
+
+// sparseOrder returns the allocation sequence of the sparse mode: iterate
+// over i within j — one core at a time on a different NUMA node
+// (Figure 12 (a)).
+func sparseOrder(t *numa.Topology) []numa.CoreID {
+	out := make([]numa.CoreID, 0, t.TotalCores())
+	for j := 0; j < t.CoresPerNode; j++ {
+		for i := 0; i < t.NodeCount; i++ {
+			out = append(out, t.CoreOf(numa.NodeID(i), j))
+		}
+	}
+	return out
+}
+
+// sequenceAllocator allocates along a fixed core order and releases in the
+// reverse order (incremental allocation as in Porobic et al. and the
+// paper's Figure 12).
+type sequenceAllocator struct {
+	name  string
+	order []numa.CoreID
+}
+
+// NewDense returns the dense allocation mode: cores are handed out within
+// one NUMA node before the next node is opened, maximizing cache sharing
+// for threads over shared data.
+func NewDense(t *numa.Topology) Allocator {
+	return &sequenceAllocator{name: "dense", order: denseOrder(t)}
+}
+
+// NewSparse returns the sparse allocation mode: consecutive cores land on
+// different NUMA nodes, spreading threads over private data apart to avoid
+// cache competition.
+func NewSparse(t *numa.Topology) Allocator {
+	return &sequenceAllocator{name: "sparse", order: sparseOrder(t)}
+}
+
+func (a *sequenceAllocator) Name() string { return a.name }
+
+func (a *sequenceAllocator) Next(current sched.CPUSet) (numa.CoreID, bool) {
+	for _, c := range a.order {
+		if !current.Contains(c) {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+func (a *sequenceAllocator) Victim(current sched.CPUSet) (numa.CoreID, bool) {
+	if current.Count() <= 1 {
+		return 0, false
+	}
+	for i := len(a.order) - 1; i >= 0; i-- {
+		if current.Contains(a.order[i]) {
+			return a.order[i], true
+		}
+	}
+	return 0, false
+}
+
+// ResidencyFunc reports, per NUMA node, the number of live memory blocks
+// owned by the tracked process group (numa.Machine.Residency over the
+// cgroup's PIDs).
+type ResidencyFunc func() []int
+
+// adaptiveAllocator is the adaptive priority mode (Section IV-B.2): the
+// next core is allocated on the node where the database threads hold the
+// most memory; the released core comes from the node where they hold the
+// least.
+type adaptiveAllocator struct {
+	topo      *numa.Topology
+	queue     *NodePriorityQueue
+	residency ResidencyFunc
+}
+
+// NewAdaptive returns the adaptive priority allocation mode backed by the
+// given residency source.
+func NewAdaptive(t *numa.Topology, residency ResidencyFunc) Allocator {
+	return &adaptiveAllocator{
+		topo:      t,
+		queue:     NewNodePriorityQueue(t.NodeCount),
+		residency: residency,
+	}
+}
+
+func (a *adaptiveAllocator) Name() string { return "adaptive" }
+
+func (a *adaptiveAllocator) refresh() {
+	a.queue.Update(a.residency())
+}
+
+// Next allocates in the highest-priority node that still has a free core;
+// within a node, lower core indices first.
+func (a *adaptiveAllocator) Next(current sched.CPUSet) (numa.CoreID, bool) {
+	a.refresh()
+	for _, e := range a.queue.Ranked() {
+		for _, c := range a.topo.Cores(e.Node) {
+			if !current.Contains(c) {
+				return c, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Victim releases from the lowest-priority node that has an allocated
+// core; within a node, higher core indices first.
+func (a *adaptiveAllocator) Victim(current sched.CPUSet) (numa.CoreID, bool) {
+	if current.Count() <= 1 {
+		return 0, false
+	}
+	a.refresh()
+	ranked := a.queue.Ranked()
+	for i := len(ranked) - 1; i >= 0; i-- {
+		cores := current.CoresOnNode(a.topo, ranked[i].Node)
+		if len(cores) == 0 {
+			continue
+		}
+		return cores[len(cores)-1], true
+	}
+	return 0, false
+}

@@ -1,0 +1,119 @@
+// Package elastic implements the paper's core contribution: the elastic
+// multi-core allocation mechanism (Sections III-IV). It samples hardware
+// counters each control period, classifies the database's performance
+// state through the PrT net, and allocates or releases one core at the
+// NUMA node chosen by the active allocation mode — handing the OS only the
+// local optimum number of cores (LONC) for the current workload.
+package elastic
+
+import (
+	"container/heap"
+
+	"elasticore/internal/numa"
+)
+
+// NodePages is one priority-queue entry: a NUMA node and the number of
+// live pages (placement blocks) the tracked threads hold there.
+type NodePages struct {
+	Node  numa.NodeID
+	Pages int
+}
+
+// NodePriorityQueue tracks the memory address space used by the database
+// threads per NUMA node (Section IV-B.2): "a priority queue is used to
+// indicate the node with the largest/smallest amount of allocated memory
+// (on top/bottom priority)". The top node receives the next allocated
+// core; the bottom node gives up a core on release.
+type NodePriorityQueue struct {
+	entries maxHeap
+	pos     []int // node -> index in entries
+}
+
+// NewNodePriorityQueue creates a queue over nodeCount nodes, all starting
+// at zero pages.
+func NewNodePriorityQueue(nodeCount int) *NodePriorityQueue {
+	q := &NodePriorityQueue{
+		entries: make(maxHeap, nodeCount),
+		pos:     make([]int, nodeCount),
+	}
+	for i := 0; i < nodeCount; i++ {
+		q.entries[i] = NodePages{Node: numa.NodeID(i)}
+		q.pos[i] = i
+	}
+	heap.Init(&q.entries)
+	q.reindex()
+	return q
+}
+
+// Update replaces the page counts from a fresh residency reading (pages
+// indexed by node).
+func (q *NodePriorityQueue) Update(pages []int) {
+	for node, count := range pages {
+		idx := q.pos[node]
+		if q.entries[idx].Pages == count {
+			continue
+		}
+		q.entries[idx].Pages = count
+		heap.Fix(&q.entries, idx)
+		q.reindex()
+	}
+}
+
+// Top returns the highest-priority entry: the node with the most pages.
+// Ties break toward the lower node ID for determinism.
+func (q *NodePriorityQueue) Top() NodePages { return q.entries[0] }
+
+// Bottom returns the lowest-priority entry: the node with the fewest
+// pages. Ties break toward the higher node ID so Top and Bottom differ
+// whenever possible.
+func (q *NodePriorityQueue) Bottom() NodePages {
+	best := q.entries[0]
+	for _, e := range q.entries[1:] {
+		if e.Pages < best.Pages || (e.Pages == best.Pages && e.Node > best.Node) {
+			best = e
+		}
+	}
+	return best
+}
+
+// Ranked returns all entries ordered from highest to lowest priority.
+func (q *NodePriorityQueue) Ranked() []NodePages {
+	out := append([]NodePages(nil), q.entries...)
+	// Insertion sort: node count is small and determinism matters.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j-1], out[j]); j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// less orders a below b in priority (fewer pages, or same pages and higher
+// node ID).
+func less(a, b NodePages) bool {
+	if a.Pages != b.Pages {
+		return a.Pages < b.Pages
+	}
+	return a.Node > b.Node
+}
+
+func (q *NodePriorityQueue) reindex() {
+	for i, e := range q.entries {
+		q.pos[e.Node] = i
+	}
+}
+
+// maxHeap implements heap.Interface ordered by descending page count.
+type maxHeap []NodePages
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return less(h[j], h[i]) }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(NodePages)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

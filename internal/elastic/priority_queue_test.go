@@ -1,0 +1,98 @@
+package elastic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"elasticore/internal/numa"
+)
+
+func TestQueueTopBottom(t *testing.T) {
+	q := NewNodePriorityQueue(4)
+	q.Update([]int{5, 100, 20, 1})
+	if top := q.Top(); top.Node != 1 || top.Pages != 100 {
+		t.Errorf("Top = %+v, want node 1 / 100 pages", top)
+	}
+	if bot := q.Bottom(); bot.Node != 3 || bot.Pages != 1 {
+		t.Errorf("Bottom = %+v, want node 3 / 1 page", bot)
+	}
+}
+
+func TestQueueUpdateReorders(t *testing.T) {
+	q := NewNodePriorityQueue(4)
+	q.Update([]int{10, 20, 30, 40})
+	if q.Top().Node != 3 {
+		t.Fatalf("Top = %+v, want node 3", q.Top())
+	}
+	q.Update([]int{100, 20, 30, 40})
+	if q.Top().Node != 0 {
+		t.Errorf("Top after update = %+v, want node 0", q.Top())
+	}
+	if q.Bottom().Node != 1 {
+		t.Errorf("Bottom after update = %+v, want node 1", q.Bottom())
+	}
+}
+
+func TestQueueRankedOrder(t *testing.T) {
+	q := NewNodePriorityQueue(4)
+	q.Update([]int{7, 3, 9, 3})
+	ranked := q.Ranked()
+	wantNodes := []numa.NodeID{2, 0, 1, 3} // ties (1,3) break toward lower ID first
+	for i, e := range ranked {
+		if e.Node != wantNodes[i] {
+			t.Fatalf("Ranked = %v, want node order %v", ranked, wantNodes)
+		}
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Pages > ranked[i-1].Pages {
+			t.Fatalf("Ranked not descending: %v", ranked)
+		}
+	}
+}
+
+func TestQueueTopIsMaxProperty(t *testing.T) {
+	f := func(a, b, c, d uint16) bool {
+		q := NewNodePriorityQueue(4)
+		pages := []int{int(a), int(b), int(c), int(d)}
+		q.Update(pages)
+		top, bot := q.Top(), q.Bottom()
+		for _, p := range pages {
+			if p > top.Pages || p < bot.Pages {
+				return false
+			}
+		}
+		return pages[top.Node] == top.Pages && pages[bot.Node] == bot.Pages
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueRepeatedUpdatesConsistent(t *testing.T) {
+	// Property: after any sequence of updates, Ranked is a permutation of
+	// all nodes and descending by priority.
+	f := func(updates [][4]uint8) bool {
+		q := NewNodePriorityQueue(4)
+		for _, u := range updates {
+			q.Update([]int{int(u[0]), int(u[1]), int(u[2]), int(u[3])})
+			ranked := q.Ranked()
+			if len(ranked) != 4 {
+				return false
+			}
+			seen := map[numa.NodeID]bool{}
+			for i, e := range ranked {
+				if seen[e.Node] {
+					return false
+				}
+				seen[e.Node] = true
+				if i > 0 && less(ranked[i-1], ranked[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package elastic
+
+// sla.go implements the paper's future-work sketch (Section VII): driving
+// the elastic allocation from a service-level objective — an energy or
+// data-traffic budget — "like meeting service level agreements (e.g.,
+// energy or data traffic)" in a cloud setting where cores are paid for as
+// allocated. The abstract PrT model is unchanged; only the reading and
+// its thresholds differ, demonstrating the model's claimed portability to
+// new metrics.
+
+// TrafficBudgetStrategy classifies the database by its interconnect
+// traffic rate against a budget: the state is Overloaded (needs more
+// local cores near the data) while the rate exceeds the budget, Idle
+// (cores can be returned to the provider) when traffic falls below the
+// floor fraction of the budget, and Stable in between.
+//
+// The reading is the traffic rate as a percentage of the budget, so the
+// net thresholds live in the same 0..100+ domain as CPU load.
+type TrafficBudgetStrategy struct {
+	// BudgetBytesPerSec is the agreed interconnect traffic budget.
+	BudgetBytesPerSec float64
+	// ClockHz converts window cycles to seconds (machine clock).
+	ClockHz float64
+	// FloorPct and CeilPct override the default 10/100 band when
+	// non-zero: below FloorPct of budget release, above CeilPct allocate.
+	FloorPct, CeilPct int
+}
+
+// Name implements Strategy.
+func (TrafficBudgetStrategy) Name() string { return "traffic-budget" }
+
+// Reading implements Strategy: the window's HT byte rate as a percentage
+// of the budget.
+func (s TrafficBudgetStrategy) Reading(sm Sample) int {
+	if s.BudgetBytesPerSec <= 0 || s.ClockHz <= 0 || sm.Window.Now == 0 {
+		return 0
+	}
+	seconds := float64(sm.Window.Now) / s.ClockHz
+	rate := float64(sm.Window.TotalHTBytes()) / seconds
+	return int(100 * rate / s.BudgetBytesPerSec)
+}
+
+// Thresholds implements Strategy.
+func (s TrafficBudgetStrategy) Thresholds() (int, int) {
+	min, max := s.FloorPct, s.CeilPct
+	if min == 0 {
+		min = 10
+	}
+	if max == 0 {
+		max = 100
+	}
+	return min, max
+}

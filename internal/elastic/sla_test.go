@@ -1,0 +1,93 @@
+package elastic
+
+import (
+	"testing"
+
+	"elasticore/internal/numa"
+	"elasticore/internal/sched"
+)
+
+func TestTrafficBudgetReading(t *testing.T) {
+	clock := 1e9
+	s := TrafficBudgetStrategy{BudgetBytesPerSec: 1000, ClockHz: clock}
+	mk := func(bytes uint64, seconds float64) Sample {
+		return Sample{Window: numa.Counters{
+			Now:   uint64(seconds * clock),
+			Nodes: []numa.NodeCounters{{HTBytesOut: bytes}},
+		}}
+	}
+	// 500 B over 1 s against a 1000 B/s budget = 50%.
+	if got := s.Reading(mk(500, 1)); got != 50 {
+		t.Errorf("Reading = %d, want 50", got)
+	}
+	// 3000 B over 1 s = 300% — deep overload.
+	if got := s.Reading(mk(3000, 1)); got != 300 {
+		t.Errorf("Reading = %d, want 300", got)
+	}
+	// Degenerate inputs read as zero, never panicking.
+	if got := s.Reading(mk(500, 0)); got != 0 {
+		t.Errorf("zero-window Reading = %d", got)
+	}
+	if got := (TrafficBudgetStrategy{}).Reading(mk(500, 1)); got != 0 {
+		t.Errorf("zero-budget Reading = %d", got)
+	}
+}
+
+func TestTrafficBudgetThresholds(t *testing.T) {
+	min, max := TrafficBudgetStrategy{}.Thresholds()
+	if min != 10 || max != 100 {
+		t.Errorf("default thresholds = (%d,%d), want (10,100)", min, max)
+	}
+	min, max = TrafficBudgetStrategy{FloorPct: 20, CeilPct: 80}.Thresholds()
+	if min != 20 || max != 80 {
+		t.Errorf("override thresholds = (%d,%d)", min, max)
+	}
+}
+
+// TestTrafficBudgetDrivesMechanism wires the SLA strategy into a full
+// mechanism: heavy remote traffic must trigger allocations through the
+// unchanged PrT net.
+func TestTrafficBudgetDrivesMechanism(t *testing.T) {
+	machine := numa.NewMachine(numa.Opteron8387())
+	topo := machine.Topology()
+	sc := sched.New(machine, sched.Config{})
+	g := sc.NewCGroup("dbms")
+	g.AddPID(1)
+	m, err := New(Config{
+		Scheduler: sc,
+		CGroup:    g,
+		Allocator: NewDense(topo),
+		Strategy: TrafficBudgetStrategy{
+			BudgetBytesPerSec: 1e6, // tiny budget: any remote traffic overloads
+			ClockHz:           topo.ClockHz,
+		},
+		ControlPeriod: sc.Quantum() * 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Home data remotely and stream a region larger than the L3 so every
+	// pass keeps crossing the interconnect.
+	blocks := topo.L3Bytes/topo.BlockBytes + 128
+	region := machine.Memory().AllocOn(blocks, 3, 1)
+	i := 0
+	reader := sched.RunnerFunc(func(ctx *sched.ExecContext, budget uint64) (uint64, bool, bool) {
+		var used uint64
+		for used < budget {
+			used += ctx.Access(numa.Access{
+				Block: region.Block(i % region.Blocks),
+				Bytes: topo.BlockBytes,
+			})
+			i++
+		}
+		return used, false, false
+	})
+	sc.Spawn(1, "w", reader)
+	for j := 0; j < 40; j++ {
+		sc.Tick()
+		m.Maybe()
+	}
+	if got := m.Allocated().Count(); got < 2 {
+		t.Errorf("SLA strategy allocated %d cores under budget overrun, want growth", got)
+	}
+}

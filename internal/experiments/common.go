@@ -1,0 +1,143 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sections II and V): one Run function per artifact, each
+// returning a typed result whose String method prints the same rows or
+// series the paper reports. The benchmarks in the repository root and the
+// cmd/elasticbench tool both delegate here.
+//
+// Scaling note: the paper ran a 1 GB database (SF 1) with 256 clients and
+// a 50 ms-class control loop on real hardware. The simulation defaults to
+// SF 0.005-0.02 with proportionally shorter quanta and control periods so
+// a full figure regenerates in seconds; Config lets callers raise SF and
+// client counts toward the paper's operating point.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"elasticore/internal/db"
+	"elasticore/internal/elastic"
+	"elasticore/internal/numa"
+	"elasticore/internal/tpch"
+	"elasticore/internal/workload"
+)
+
+// Config scales an experiment.
+type Config struct {
+	// SF is the TPC-H scale factor (default 0.005).
+	SF float64
+	// Clients is the concurrency for single-point experiments
+	// (default 64; the paper uses 256).
+	Clients int
+	// Users is the concurrency sweep for Fig 4/13 (default 1,4,16,64).
+	Users []int
+	// Seed varies data and parameters (default 1).
+	Seed uint64
+	// Placement selects the engine flavour (MonetDB-like by default).
+	Placement db.Placement
+}
+
+func (c Config) withDefaults() Config {
+	if c.SF == 0 {
+		c.SF = 0.005
+	}
+	if c.Clients == 0 {
+		c.Clients = 64
+	}
+	if len(c.Users) == 0 {
+		c.Users = []int{1, 4, 16, 64}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// newRig builds a workload rig with simulation timing and machine
+// geometry scaled to the dataset (workload.ScaledTopology): 50 us
+// quantum, 0.25 ms control period, SF-proportional caches and
+// bandwidths.
+func newRig(c Config, mode workload.Mode, strategy elastic.Strategy) (*workload.Rig, error) {
+	return workload.NewRig(workload.Options{
+		SF:        c.SF,
+		Seed:      c.Seed,
+		Mode:      mode,
+		Placement: c.Placement,
+		Strategy:  strategy,
+	})
+}
+
+// q6Fixed returns the canonical Q6 parameters used by the
+// microbenchmarks: year 1997, discount 0.07, quantity 24 (Figure 3).
+func q6Fixed() tpch.Q6Params {
+	return tpch.Q6Params{Year: 1997, Discount: 0.07, Quantity: 24}
+}
+
+// thetaPlan builds the isolated thetasubselect workload of Figures 13-15:
+// a partitioned scan of l_quantity at the given selectivity (0..1) whose
+// candidate list is materialized and counted.
+func thetaPlan(selectivity float64) *db.Plan {
+	cut := 1 + selectivity*50
+	return &db.Plan{Name: "thetasubselect", Stages: []db.StageFn{
+		db.ThetaSelect("lineitem", "l_quantity", "c1",
+			db.Pred{F: func(v float64) bool { return v < cut }}),
+		db.Count("c1", "result"),
+	}}
+}
+
+// table renders aligned rows: header plus formatted cells.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// mb converts bytes to megabytes.
+func mb(bytes uint64) float64 { return float64(bytes) / 1e6 }
+
+// perNodeIMCThroughput returns GB/s served by each node's memory
+// controller over a window.
+func perNodeIMCThroughput(topo *numa.Topology, w numa.Counters) []float64 {
+	secs := topo.CyclesToSeconds(w.Now)
+	out := make([]float64, len(w.Nodes))
+	if secs == 0 {
+		return out
+	}
+	for i, n := range w.Nodes {
+		out[i] = float64(n.IMCBytes) / secs / 1e9
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"elasticore/internal/db"
+	"elasticore/internal/tpch"
+	"elasticore/internal/workload"
+)
+
+// fig04.go reproduces Figure 4: TPC-H Q6 with an increasing number of
+// concurrent clients, comparing the hand-coded C kernel under preset
+// affinities (Dense/C, Sparse/C, OS/C) against the Volcano engine under
+// the plain OS scheduler (OS/MonetDB). Reported per user count:
+// (a) throughput, (b) minor page faults/s, (c) HT traffic MB/s.
+
+// Fig4Row is one (configuration, users) measurement.
+type Fig4Row struct {
+	Config     string
+	Users      int
+	Throughput float64 // queries (kernel runs) per second
+	FaultsPerS float64
+	HTMBPerS   float64
+}
+
+// Fig4Result is the full sweep.
+type Fig4Result struct {
+	Rows []Fig4Row
+}
+
+// Row returns the measurement for a configuration and user count, or nil.
+func (r *Fig4Result) Row(config string, users int) *Fig4Row {
+	for i := range r.Rows {
+		if r.Rows[i].Config == config && r.Rows[i].Users == users {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// String renders the three panels as one table.
+func (r *Fig4Result) String() string {
+	t := &table{header: []string{"config", "users", "q/s", "faults/s", "HT MB/s"}}
+	for _, row := range r.Rows {
+		t.add(row.Config, fmt.Sprint(row.Users), f3(row.Throughput),
+			f2(row.FaultsPerS), f2(row.HTMBPerS))
+	}
+	return "Figure 4: Q6 under increasing concurrency\n" + t.String()
+}
+
+// RunFig4 executes the sweep.
+func RunFig4(c Config) (*Fig4Result, error) {
+	c = c.withDefaults()
+	res := &Fig4Result{}
+	for _, users := range c.Users {
+		// OS/MonetDB: Volcano engine, no mechanism.
+		r, err := newRig(c, workload.ModeOS, nil)
+		if err != nil {
+			return nil, err
+		}
+		d := &workload.Driver{Rig: r, QueriesPerClient: 1}
+		p := q6Fixed()
+		phase := d.Run(users, func(cl, k int) *db.Plan { return tpch.BuildQ6With(p) })
+		res.Rows = append(res.Rows, fig4Row("OS/MonetDB", users, phase))
+
+		// The C kernel under its three affinity policies.
+		for _, aff := range []db.RawAffinity{db.RawOS, db.RawDense, db.RawSparse} {
+			row, err := runFig4Raw(c, users, aff)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+func fig4Row(config string, users int, phase workload.PhaseResult) Fig4Row {
+	row := Fig4Row{Config: config, Users: users, Throughput: phase.Throughput}
+	if phase.ElapsedSeconds > 0 {
+		row.FaultsPerS = float64(phase.Window.TotalMinorFaults()) / phase.ElapsedSeconds
+		row.HTMBPerS = mb(phase.Window.TotalHTBytes()) / phase.ElapsedSeconds
+	}
+	return row
+}
+
+// runFig4Raw launches one raw-kernel run per user (each user is its own
+// process of 4 fused-scan threads, Section II-B) and measures the window.
+func runFig4Raw(c Config, users int, aff db.RawAffinity) (Fig4Row, error) {
+	r, err := newRig(c, workload.ModeOS, nil)
+	if err != nil {
+		return Fig4Row{}, err
+	}
+	start := r.Machine.Snapshot()
+	startT := r.Machine.NowSeconds()
+	kernels := make([]*db.RawQ6, users)
+	for u := 0; u < users; u++ {
+		k, err := db.SpawnRawQ6(r.Store, r.Sched, 1000+u, 4, aff)
+		if err != nil {
+			return Fig4Row{}, err
+		}
+		kernels[u] = k
+	}
+	done := func() bool {
+		for _, k := range kernels {
+			if !k.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	if !r.Sched.RunUntil(done, r.Machine.Topology().SecondsToCycles(600)) {
+		return Fig4Row{}, fmt.Errorf("experiments: raw kernels (%v, %d users) timed out", aff, users)
+	}
+	elapsed := r.Machine.NowSeconds() - startT
+	w := r.Machine.Snapshot().Sub(start)
+	var name string
+	switch aff {
+	case db.RawDense:
+		name = "Dense/C"
+	case db.RawSparse:
+		name = "Sparse/C"
+	default:
+		name = "OS/C"
+	}
+	row := Fig4Row{Config: name, Users: users}
+	if elapsed > 0 {
+		row.Throughput = float64(users) / elapsed
+		row.FaultsPerS = float64(w.TotalMinorFaults()) / elapsed
+		row.HTMBPerS = mb(w.TotalHTBytes()) / elapsed
+	}
+	return row, nil
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"elasticore/internal/tpch"
+	"elasticore/internal/trace"
+	"elasticore/internal/workload"
+)
+
+// fig05.go reproduces Figures 5 and 6: the lifespan/core-migration map of
+// the threads spawned for a single-client Q6 under the plain OS scheduler,
+// and the tomograph of its worker-thread operator calls.
+
+// Fig5Result captures the single-client scheduling behaviour.
+type Fig5Result struct {
+	// Migrations and CrossNode are total thread reassignments during the
+	// query and the subset that changed NUMA node.
+	Migrations, CrossNode int
+	// ThreadsObserved counts worker threads that executed slices.
+	ThreadsObserved int
+	// MultiNodeThreads counts threads that ran on more than one node
+	// (the Figure 5 pathology).
+	MultiNodeThreads int
+	// LifespanMap is the rendered ASCII map.
+	LifespanMap string
+	// Tomograph is the rendered per-operator table (Figure 6).
+	Tomograph string
+	// ParallelTheta is the number of tasks the first thetasubselect
+	// fanned out to (the paper observes ~15 on 16 cores).
+	ParallelTheta int
+}
+
+// String renders both artifacts.
+func (r *Fig5Result) String() string {
+	return fmt.Sprintf(
+		"Figure 5: single-client Q6 thread scheduling under the OS\n"+
+			"threads=%d migrations=%d cross-node=%d multi-node-threads=%d\n%s\n"+
+			"Figure 6: tomograph of worker threads\n%s",
+		r.ThreadsObserved, r.Migrations, r.CrossNode, r.MultiNodeThreads,
+		r.LifespanMap, r.Tomograph)
+}
+
+// RunFig5 executes a single-client Q6 on the OS-scheduled engine and
+// collects the traces.
+func RunFig5(c Config) (*Fig5Result, error) {
+	c = c.withDefaults()
+	r, err := newRig(c, workload.ModeOS, nil)
+	if err != nil {
+		return nil, err
+	}
+	mt := trace.NewMigrationTrace(r.Sched)
+	tg := trace.NewTomograph(r.Engine, r.Machine.Topology())
+
+	q := r.Engine.Submit(tpch.BuildQ6With(q6Fixed()))
+	if !r.Sched.RunUntil(q.Done, r.Machine.Topology().SecondsToCycles(600)) {
+		return nil, fmt.Errorf("experiments: fig5 query timed out")
+	}
+
+	res := &Fig5Result{}
+	res.Migrations, res.CrossNode = mt.MigrationCount()
+	nodes := mt.NodesUsed()
+	res.ThreadsObserved = len(nodes)
+	for _, n := range nodes {
+		if n > 1 {
+			res.MultiNodeThreads++
+		}
+	}
+	res.LifespanMap = mt.Render(24, 16)
+	res.Tomograph = tg.Render()
+	for _, s := range tg.Stats() {
+		if s.Op == "algebra.thetasubselect" {
+			res.ParallelTheta = s.Calls
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"elasticore/internal/petrinet"
+	"elasticore/internal/tpch"
+	"elasticore/internal/workload"
+)
+
+// fig07.go reproduces Figure 7: the PrT state transitions fired while the
+// mechanism supports Q6, with the CPU usage and the allocated core count
+// at every control period.
+
+// Fig7Point is one control-period evaluation.
+type Fig7Point struct {
+	AtSeconds float64
+	Label     string
+	CPULoad   int
+	Cores     int
+}
+
+// Fig7Result is the transition timeline.
+type Fig7Result struct {
+	Points []Fig7Point
+	// PeakCores and FinalCores summarize the ramp-up/release behaviour.
+	PeakCores, FinalCores int
+	// Allocations and Releases count fired actions.
+	Allocations, Releases int
+}
+
+// String renders the timeline like the Figure 7 x-axis.
+func (r *Fig7Result) String() string {
+	t := &table{header: []string{"t(s)", "transition", "cpu%", "cores"}}
+	for _, p := range r.Points {
+		t.add(f3(p.AtSeconds), p.Label, fmt.Sprint(p.CPULoad), fmt.Sprint(p.Cores))
+	}
+	return fmt.Sprintf("Figure 7: state transitions (peak=%d cores, final=%d, +%d/-%d)\n%s",
+		r.PeakCores, r.FinalCores, r.Allocations, r.Releases, t.String())
+}
+
+// RunFig7 drives a burst of concurrent Q6 clients under the adaptive
+// mechanism and returns the recorded transitions.
+func RunFig7(c Config) (*Fig7Result, error) {
+	c = c.withDefaults()
+	r, err := newRig(c, workload.ModeAdaptive, nil)
+	if err != nil {
+		return nil, err
+	}
+	d := &workload.Driver{Rig: r, QueriesPerClient: 2}
+	d.RunSameQuery(c.Clients, tpch.BuildQ6)
+	// Let the system idle so the release transitions fire too.
+	idleTicks := 50
+	for i := 0; i < idleTicks; i++ {
+		r.Tick()
+	}
+
+	res := &Fig7Result{}
+	topo := r.Machine.Topology()
+	for _, e := range r.Mech.Events() {
+		res.Points = append(res.Points, Fig7Point{
+			AtSeconds: topo.CyclesToSeconds(e.Now),
+			Label:     e.Label,
+			CPULoad:   e.U,
+			Cores:     e.NAlloc,
+		})
+		if e.NAlloc > res.PeakCores {
+			res.PeakCores = e.NAlloc
+		}
+		switch e.Action {
+		case petrinet.DecisionAllocate:
+			res.Allocations++
+		case petrinet.DecisionRelease:
+			res.Releases++
+		}
+	}
+	if n := len(res.Points); n > 0 {
+		res.FinalCores = res.Points[n-1].Cores
+	}
+	return res, nil
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"elasticore/internal/db"
+	"elasticore/internal/workload"
+)
+
+// fig13.go reproduces Figure 13: the thetasubselect workload (45%
+// selectivity over l_quantity) under increasing concurrency across the
+// four configurations {OS, Dense, Sparse, Adaptive}, reporting
+// (a) throughput, (b) CPU load, (c) tasks, (d) stolen tasks.
+
+// Fig13Row is one (mode, users) measurement.
+type Fig13Row struct {
+	Mode        workload.Mode
+	Users       int
+	Throughput  float64
+	CPULoad     float64
+	Tasks       uint64
+	StolenTasks uint64
+}
+
+// Fig13Result is the full sweep.
+type Fig13Result struct {
+	Rows []Fig13Row
+}
+
+// Row returns the measurement for (mode, users), or nil.
+func (r *Fig13Result) Row(mode workload.Mode, users int) *Fig13Row {
+	for i := range r.Rows {
+		if r.Rows[i].Mode == mode && r.Rows[i].Users == users {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// String renders the four panels as one table.
+func (r *Fig13Result) String() string {
+	t := &table{header: []string{"mode", "users", "q/s", "cpu%", "tasks", "stolen"}}
+	for _, row := range r.Rows {
+		t.add(row.Mode.String(), fmt.Sprint(row.Users), f3(row.Throughput),
+			f2(row.CPULoad), fmt.Sprint(row.Tasks), fmt.Sprint(row.StolenTasks))
+	}
+	return "Figure 13: thetasubselect under increasing concurrency\n" + t.String()
+}
+
+// RunFig13 executes the sweep.
+func RunFig13(c Config) (*Fig13Result, error) {
+	c = c.withDefaults()
+	res := &Fig13Result{}
+	for _, users := range c.Users {
+		for _, mode := range workload.AllModes {
+			r, err := newRig(c, mode, nil)
+			if err != nil {
+				return nil, err
+			}
+			tasksBefore := r.Engine.TasksExecuted
+			d := &workload.Driver{Rig: r, QueriesPerClient: 1}
+			phase := d.Run(users, func(cl, k int) *db.Plan { return thetaPlan(0.45) })
+			row := Fig13Row{
+				Mode:        mode,
+				Users:       users,
+				Throughput:  phase.Throughput,
+				CPULoad:     phase.Window.CPULoad(nil),
+				Tasks:       r.Engine.TasksExecuted - tasksBefore,
+				StolenTasks: phase.Sched.StolenTasks,
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"elasticore/internal/db"
+	"elasticore/internal/workload"
+)
+
+// fig14.go reproduces Figure 14: per-socket memory-access metrics at the
+// highest concurrency of the thetasubselect workload — (a) L3 load
+// misses, (b) memory throughput, (c) HT traffic — across the four modes.
+
+// Fig14Row is one mode's per-socket measurements.
+type Fig14Row struct {
+	Mode workload.Mode
+	// L3MissesPerSocket and MemTPPerSocket are indexed by NodeID.
+	L3MissesPerSocket []uint64
+	MemTPPerSocket    []float64 // GB/s
+	HTGBPerS          float64
+	TotalL3Misses     uint64
+}
+
+// Fig14Result is the four-mode comparison.
+type Fig14Result struct {
+	Clients int
+	Rows    []Fig14Row
+}
+
+// Row returns the measurement for the mode, or nil.
+func (r *Fig14Result) Row(mode workload.Mode) *Fig14Row {
+	for i := range r.Rows {
+		if r.Rows[i].Mode == mode {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// String renders the three panels.
+func (r *Fig14Result) String() string {
+	t := &table{header: []string{"mode", "L3miss S0", "S1", "S2", "S3", "memTP GB/s S0", "S1", "S2", "S3", "HT GB/s"}}
+	for _, row := range r.Rows {
+		cells := []string{row.Mode.String()}
+		for _, m := range row.L3MissesPerSocket {
+			cells = append(cells, fmt.Sprint(m))
+		}
+		for _, tp := range row.MemTPPerSocket {
+			cells = append(cells, f3(tp))
+		}
+		cells = append(cells, f3(row.HTGBPerS))
+		t.add(cells...)
+	}
+	return fmt.Sprintf("Figure 14: memory access metrics with %d clients\n%s", r.Clients, t.String())
+}
+
+// RunFig14 executes the comparison.
+func RunFig14(c Config) (*Fig14Result, error) {
+	c = c.withDefaults()
+	res := &Fig14Result{Clients: c.Clients}
+	for _, mode := range workload.AllModes {
+		r, err := newRig(c, mode, nil)
+		if err != nil {
+			return nil, err
+		}
+		d := &workload.Driver{Rig: r, QueriesPerClient: 1}
+		phase := d.Run(c.Clients, func(cl, k int) *db.Plan { return thetaPlan(0.45) })
+		row := Fig14Row{Mode: mode}
+		for _, n := range phase.Window.Nodes {
+			row.L3MissesPerSocket = append(row.L3MissesPerSocket, n.L3Misses)
+			row.TotalL3Misses += n.L3Misses
+		}
+		row.MemTPPerSocket = perNodeIMCThroughput(r.Machine.Topology(), phase.Window)
+		if phase.ElapsedSeconds > 0 {
+			row.HTGBPerS = float64(phase.Window.TotalHTBytes()) / phase.ElapsedSeconds / 1e9
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"elasticore/internal/db"
+	"elasticore/internal/workload"
+)
+
+// fig15.go reproduces Figure 15: L3 load misses of the thetasubselect
+// workload across selectivities {2,4,8,16,32,64,100}% for the four modes.
+
+// Fig15Selectivities is the paper's sweep.
+var Fig15Selectivities = []float64{0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.0}
+
+// Fig15Row is one (mode, selectivity) measurement.
+type Fig15Row struct {
+	Mode        workload.Mode
+	Selectivity float64
+	L3Misses    uint64
+}
+
+// Fig15Result is the sweep.
+type Fig15Result struct {
+	Clients int
+	Rows    []Fig15Row
+}
+
+// Row returns the measurement for (mode, selectivity), or nil.
+func (r *Fig15Result) Row(mode workload.Mode, sel float64) *Fig15Row {
+	for i := range r.Rows {
+		if r.Rows[i].Mode == mode && r.Rows[i].Selectivity == sel {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// String renders the panel grid.
+func (r *Fig15Result) String() string {
+	t := &table{header: []string{"mode", "selectivity", "L3 misses"}}
+	for _, row := range r.Rows {
+		t.add(row.Mode.String(), fmt.Sprintf("%.0f%%", row.Selectivity*100), fmt.Sprint(row.L3Misses))
+	}
+	return fmt.Sprintf("Figure 15: L3 misses vs selectivity, %d clients\n%s", r.Clients, t.String())
+}
+
+// RunFig15 executes the sweep.
+func RunFig15(c Config) (*Fig15Result, error) {
+	c = c.withDefaults()
+	res := &Fig15Result{Clients: c.Clients}
+	for _, sel := range Fig15Selectivities {
+		for _, mode := range workload.AllModes {
+			r, err := newRig(c, mode, nil)
+			if err != nil {
+				return nil, err
+			}
+			sel := sel
+			d := &workload.Driver{Rig: r, QueriesPerClient: 1}
+			phase := d.Run(c.Clients, func(cl, k int) *db.Plan { return thetaPlan(sel) })
+			res.Rows = append(res.Rows, Fig15Row{
+				Mode:        mode,
+				Selectivity: sel,
+				L3Misses:    phase.Window.TotalL3Misses(),
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"elasticore/internal/tpch"
+	"elasticore/internal/trace"
+	"elasticore/internal/workload"
+)
+
+// fig16.go reproduces Figure 16: the lifespan/migration maps of a
+// single-client Q6 under all four configurations, showing that dense and
+// adaptive keep threads on one node while the OS scatters them.
+
+// Fig16Row is one mode's scheduling summary.
+type Fig16Row struct {
+	Mode             workload.Mode
+	Migrations       int
+	CrossNode        int
+	MultiNodeThreads int
+	NodesTouched     int // distinct nodes used across all threads
+	LifespanMap      string
+}
+
+// Fig16Result is the four-mode comparison.
+type Fig16Result struct {
+	Rows []Fig16Row
+}
+
+// Row returns the summary for the mode, or nil.
+func (r *Fig16Result) Row(mode workload.Mode) *Fig16Row {
+	for i := range r.Rows {
+		if r.Rows[i].Mode == mode {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// String renders the comparison and the maps.
+func (r *Fig16Result) String() string {
+	t := &table{header: []string{"mode", "migrations", "cross-node", "multi-node threads", "nodes touched"}}
+	for _, row := range r.Rows {
+		t.add(row.Mode.String(), fmt.Sprint(row.Migrations), fmt.Sprint(row.CrossNode),
+			fmt.Sprint(row.MultiNodeThreads), fmt.Sprint(row.NodesTouched))
+	}
+	out := "Figure 16: single-client Q6 thread migration per mode\n" + t.String()
+	for _, row := range r.Rows {
+		out += fmt.Sprintf("\n[%s]\n%s", row.Mode, row.LifespanMap)
+	}
+	return out
+}
+
+// RunFig16 executes the comparison.
+func RunFig16(c Config) (*Fig16Result, error) {
+	c = c.withDefaults()
+	res := &Fig16Result{}
+	for _, mode := range workload.AllModes {
+		r, err := newRig(c, mode, nil)
+		if err != nil {
+			return nil, err
+		}
+		mt := trace.NewMigrationTrace(r.Sched)
+		q := r.Engine.Submit(tpch.BuildQ6With(q6Fixed()))
+		deadline := r.Machine.Topology().SecondsToCycles(600)
+		ok := r.Sched.RunUntil(func() bool {
+			if r.Mech != nil {
+				r.Mech.Maybe()
+			}
+			return q.Done()
+		}, deadline)
+		if !ok {
+			return nil, fmt.Errorf("experiments: fig16 %v timed out", mode)
+		}
+		row := Fig16Row{Mode: mode}
+		row.Migrations, row.CrossNode = mt.MigrationCount()
+		nodesSeen := map[int]bool{}
+		for _, n := range mt.NodesUsed() {
+			if n > 1 {
+				row.MultiNodeThreads++
+			}
+		}
+		topo := r.Machine.Topology()
+		for _, cores := range mt.CoresUsed() {
+			for _, core := range cores {
+				nodesSeen[int(topo.NodeOf(core))] = true
+			}
+		}
+		row.NodesTouched = len(nodesSeen)
+		row.LifespanMap = mt.Render(16, 16)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

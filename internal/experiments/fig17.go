@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"elasticore/internal/db"
+	"elasticore/internal/elastic"
+	"elasticore/internal/tpch"
+	"elasticore/internal/workload"
+)
+
+// fig17.go reproduces Figure 17: Q6 with a single client comparing the
+// mechanism's two state-transition strategies — CPU load and the HT/IMC
+// traffic ratio — against the OS baseline, reporting response time, HT
+// traffic and L3 misses.
+
+// Fig17Row is one (mode, strategy) measurement.
+type Fig17Row struct {
+	Mode         workload.Mode
+	Strategy     string
+	ResponseSecs float64
+	HTMBPerS     float64
+	L3Misses     uint64
+}
+
+// Fig17Result is the strategy comparison.
+type Fig17Result struct {
+	Rows []Fig17Row
+}
+
+// Row returns the measurement for (mode, strategy), or nil.
+func (r *Fig17Result) Row(mode workload.Mode, strategy string) *Fig17Row {
+	for i := range r.Rows {
+		if r.Rows[i].Mode == mode && r.Rows[i].Strategy == strategy {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// String renders the panels.
+func (r *Fig17Result) String() string {
+	t := &table{header: []string{"mode", "strategy", "resp (s)", "HT MB/s", "L3 misses"}}
+	for _, row := range r.Rows {
+		t.add(row.Mode.String(), row.Strategy, f3(row.ResponseSecs),
+			f2(row.HTMBPerS), fmt.Sprint(row.L3Misses))
+	}
+	return "Figure 17: CPU-load vs HT/IMC state-transition strategies, Q6, 1 client\n" + t.String()
+}
+
+// RunFig17 executes the comparison. The OS baseline appears once under
+// strategy "-"; each mechanism mode appears under both strategies.
+func RunFig17(c Config) (*Fig17Result, error) {
+	c = c.withDefaults()
+	res := &Fig17Result{}
+	type combo struct {
+		mode     workload.Mode
+		strategy elastic.Strategy
+		name     string
+	}
+	combos := []combo{{workload.ModeOS, nil, "-"}}
+	for _, mode := range []workload.Mode{workload.ModeDense, workload.ModeSparse, workload.ModeAdaptive} {
+		combos = append(combos,
+			combo{mode, elastic.CPULoadStrategy{}, "cpu-load"},
+			combo{mode, elastic.HTIMCStrategy{}, "ht-imc"},
+		)
+	}
+	for _, cb := range combos {
+		r, err := newRig(c, cb.mode, cb.strategy)
+		if err != nil {
+			return nil, err
+		}
+		d := &workload.Driver{Rig: r, QueriesPerClient: 1}
+		p := q6Fixed()
+		phase := d.Run(1, func(cl, k int) *db.Plan { return tpch.BuildQ6With(p) })
+		row := Fig17Row{
+			Mode:         cb.mode,
+			Strategy:     cb.name,
+			ResponseSecs: phase.MeanLatencySeconds,
+			L3Misses:     phase.Window.TotalL3Misses(),
+		}
+		if phase.ElapsedSeconds > 0 {
+			row.HTMBPerS = mb(phase.Window.TotalHTBytes()) / phase.ElapsedSeconds
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"elasticore/internal/db"
+	"elasticore/internal/workload"
+)
+
+// fig18.go reproduces Figure 18: the stable-phases workload — each of the
+// 22 queries executed concurrently by all clients, one query at a time —
+// comparing {OS, Adaptive} x {MonetDB-like, SQL-Server-like}, with
+// per-socket memory-throughput timelines.
+
+// Fig18Run is one configuration's outcome.
+type Fig18Run struct {
+	Label        string
+	Mode         workload.Mode
+	Placement    db.Placement
+	TotalSeconds float64
+	// Timeline is per-sample per-socket memory throughput (GB/s).
+	Timeline []Fig18Sample
+	// MeanMemTP is the time-averaged total memory throughput.
+	MeanMemTP float64
+}
+
+// Fig18Sample is one timeline point.
+type Fig18Sample struct {
+	AtSeconds float64
+	PerSocket []float64
+	Allocated int
+}
+
+// Fig18Result is the four-configuration comparison.
+type Fig18Result struct {
+	Clients int
+	Runs    []Fig18Run
+}
+
+// Run returns the outcome for a label, or nil.
+func (r *Fig18Result) Run(label string) *Fig18Run {
+	for i := range r.Runs {
+		if r.Runs[i].Label == label {
+			return &r.Runs[i]
+		}
+	}
+	return nil
+}
+
+// String renders run summaries and timelines.
+func (r *Fig18Result) String() string {
+	t := &table{header: []string{"config", "total (s)", "mean memTP GB/s", "samples"}}
+	for _, run := range r.Runs {
+		t.add(run.Label, f3(run.TotalSeconds), f3(run.MeanMemTP), fmt.Sprint(len(run.Timeline)))
+	}
+	return fmt.Sprintf("Figure 18: stable phases workload, %d clients\n%s", r.Clients, t.String())
+}
+
+// RunFig18 executes the four configurations.
+func RunFig18(c Config) (*Fig18Result, error) {
+	c = c.withDefaults()
+	res := &Fig18Result{Clients: c.Clients}
+	configs := []struct {
+		label     string
+		mode      workload.Mode
+		placement db.Placement
+	}{
+		{"OS/MonetDB", workload.ModeOS, db.PlacementOS},
+		{"Adaptive/MonetDB", workload.ModeAdaptive, db.PlacementOS},
+		{"OS/SQLServer", workload.ModeOS, db.PlacementNUMAAware},
+		{"Adaptive/SQLServer", workload.ModeAdaptive, db.PlacementNUMAAware},
+	}
+	for _, cfg := range configs {
+		cc := c
+		cc.Placement = cfg.placement
+		r, err := newRig(cc, cfg.mode, nil)
+		if err != nil {
+			return nil, err
+		}
+		topo := r.Machine.Topology()
+		sampleEvery := 0.002
+		phases := workload.StablePhases(r, c.Clients, sampleEvery)
+		run := Fig18Run{Label: cfg.label, Mode: cfg.mode, Placement: cfg.placement}
+		var offset float64
+		var tpSum float64
+		var tpN int
+		for _, ph := range phases {
+			for _, s := range ph.Samples {
+				perSocket := perNodeIMCThroughput(topo, s.Window)
+				var total float64
+				for _, v := range perSocket {
+					total += v
+				}
+				tpSum += total
+				tpN++
+				run.Timeline = append(run.Timeline, Fig18Sample{
+					AtSeconds: offset + s.AtSeconds,
+					PerSocket: perSocket,
+					Allocated: s.Allocated,
+				})
+			}
+			offset += ph.ElapsedSeconds
+			run.TotalSeconds += ph.ElapsedSeconds
+		}
+		if tpN > 0 {
+			run.MeanMemTP = tpSum / float64(tpN)
+		}
+		res.Runs = append(res.Runs, run)
+	}
+	return res, nil
+}

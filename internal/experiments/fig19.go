@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"elasticore/internal/db"
+	"elasticore/internal/metrics"
+	"elasticore/internal/workload"
+)
+
+// fig19.go reproduces Figure 19: the mixed-phases workload split per
+// query — per-query speedup of each mechanism mode over the OS scheduler,
+// and the per-query HT/IMC ratio (smaller is more NUMA-friendly) — for
+// both the MonetDB-like and the SQL-Server-like engine.
+
+// Fig19Query is one query's cross-mode measurement.
+type Fig19Query struct {
+	QueryNumber int
+	// LatencySecs and Ratio are indexed by mode.
+	LatencySecs map[workload.Mode]float64
+	Ratio       map[workload.Mode]float64
+	// Speedup is latency(OS) / latency(mode) for the mechanism modes.
+	Speedup map[workload.Mode]float64
+}
+
+// Fig19Result is one engine flavour's full run.
+type Fig19Result struct {
+	Engine  string
+	Clients int
+	Queries []Fig19Query
+	// MaxSpeedup, MeanSpeedup and MaxRatioImprovement summarize the
+	// adaptive mode like the paper's headline numbers.
+	MaxSpeedup, MeanSpeedup, MaxRatioImprovement, MeanRatioImprovement float64
+}
+
+// String renders the per-query split.
+func (r *Fig19Result) String() string {
+	t := &table{header: []string{"query", "OS lat(s)", "adaptive lat(s)", "speedup", "OS ratio", "adaptive ratio", "ratio x-smaller"}}
+	for _, q := range r.Queries {
+		osr, ar := q.Ratio[workload.ModeOS], q.Ratio[workload.ModeAdaptive]
+		imp := 0.0
+		if ar > 0 {
+			imp = osr / ar
+		}
+		t.add(fmt.Sprintf("Q%d", q.QueryNumber),
+			f3(q.LatencySecs[workload.ModeOS]), f3(q.LatencySecs[workload.ModeAdaptive]),
+			f2(q.Speedup[workload.ModeAdaptive]), f3(osr), f3(ar), f2(imp))
+	}
+	return fmt.Sprintf(
+		"Figure 19 (%s): mixed phases, %d clients — adaptive max speedup %.2fx (mean %.2fx), ratio up to %.2fx smaller (mean %.2fx)\n%s",
+		r.Engine, r.Clients, r.MaxSpeedup, r.MeanSpeedup, r.MaxRatioImprovement, r.MeanRatioImprovement, t.String())
+}
+
+// RunFig19 executes the per-query mixed workload for one engine flavour
+// across all four modes.
+func RunFig19(c Config) (*Fig19Result, error) {
+	c = c.withDefaults()
+	engine := "MonetDB"
+	if c.Placement == db.PlacementNUMAAware {
+		engine = "SQLServer"
+	}
+	res := &Fig19Result{Engine: engine, Clients: c.Clients}
+
+	perMode := make(map[workload.Mode][]workload.QueryPhase)
+	for _, mode := range workload.AllModes {
+		r, err := newRig(c, mode, nil)
+		if err != nil {
+			return nil, err
+		}
+		perMode[mode] = workload.MixedPhases(r, c.Clients)
+	}
+
+	n := len(perMode[workload.ModeOS])
+	var speedups, improvements []float64
+	for i := 0; i < n; i++ {
+		q := Fig19Query{
+			QueryNumber: perMode[workload.ModeOS][i].QueryNumber,
+			LatencySecs: map[workload.Mode]float64{},
+			Ratio:       map[workload.Mode]float64{},
+			Speedup:     map[workload.Mode]float64{},
+		}
+		for mode, phases := range perMode {
+			q.LatencySecs[mode] = phases[i].MeanLatencySeconds
+			q.Ratio[mode] = phases[i].HTIMCRatio()
+		}
+		osLat := q.LatencySecs[workload.ModeOS]
+		for _, mode := range []workload.Mode{workload.ModeDense, workload.ModeSparse, workload.ModeAdaptive} {
+			if lat := q.LatencySecs[mode]; lat > 0 {
+				q.Speedup[mode] = osLat / lat
+			}
+		}
+		speedups = append(speedups, q.Speedup[workload.ModeAdaptive])
+		if ar := q.Ratio[workload.ModeAdaptive]; ar > 0 {
+			improvements = append(improvements, q.Ratio[workload.ModeOS]/ar)
+		}
+		res.Queries = append(res.Queries, q)
+	}
+	res.MaxSpeedup = metrics.Max(speedups)
+	res.MeanSpeedup = metrics.Mean(speedups)
+	res.MaxRatioImprovement = metrics.Max(improvements)
+	res.MeanRatioImprovement = metrics.Mean(improvements)
+	return res, nil
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"elasticore/internal/metrics"
+	"elasticore/internal/workload"
+)
+
+// fig20.go reproduces Figure 20: per-query CPU and HT energy estimates
+// for the OS scheduler versus the adaptive mode, using the paper's model
+// (Average CPU Power per socket, per-bit HT transfer energy).
+
+// Fig20Query is one query's energy comparison.
+type Fig20Query struct {
+	QueryNumber     int
+	OS, Adaptive    metrics.Energy
+	CPUSavingsPct   float64
+	HTSavingsPct    float64
+	TotalSavingsPct float64
+}
+
+// Fig20Result is the full benchmark.
+type Fig20Result struct {
+	Clients int
+	Queries []Fig20Query
+	// Aggregates as the paper reports them: geometric-mean per-component
+	// savings and the total system saving.
+	GeoCPUSavingsPct, GeoHTSavingsPct, TotalSavingsPct float64
+}
+
+// String renders the per-query bars.
+func (r *Fig20Result) String() string {
+	t := &table{header: []string{"query", "OS cpu(J)", "OS ht(J)", "adp cpu(J)", "adp ht(J)", "cpu save%", "ht save%"}}
+	for _, q := range r.Queries {
+		t.add(fmt.Sprintf("Q%d", q.QueryNumber),
+			f3(q.OS.CPUJoules), f3(q.OS.HTJoules),
+			f3(q.Adaptive.CPUJoules), f3(q.Adaptive.HTJoules),
+			f2(q.CPUSavingsPct), f2(q.HTSavingsPct))
+	}
+	return fmt.Sprintf(
+		"Figure 20: energy estimates, %d clients — CPU geo-save %.2f%%, HT geo-save %.2f%%, total saving %.2f%%\n%s",
+		r.Clients, r.GeoCPUSavingsPct, r.GeoHTSavingsPct, r.TotalSavingsPct, t.String())
+}
+
+// RunFig20 executes the per-query energy comparison.
+func RunFig20(c Config) (*Fig20Result, error) {
+	c = c.withDefaults()
+	model := metrics.DefaultEnergyModel()
+	res := &Fig20Result{Clients: c.Clients}
+
+	run := func(mode workload.Mode) ([]workload.QueryPhase, error) {
+		r, err := newRig(c, mode, nil)
+		if err != nil {
+			return nil, err
+		}
+		return workload.MixedPhases(r, c.Clients), nil
+	}
+	osPhases, err := run(workload.ModeOS)
+	if err != nil {
+		return nil, err
+	}
+	adPhases, err := run(workload.ModeAdaptive)
+	if err != nil {
+		return nil, err
+	}
+
+	topo := mustTopo()
+	var cpuSav, htSav []float64
+	var osTotal, adTotal float64
+	for i := range osPhases {
+		q := Fig20Query{QueryNumber: osPhases[i].QueryNumber}
+		q.OS = model.Estimate(topo, osPhases[i].Window)
+		q.Adaptive = model.Estimate(topo, adPhases[i].Window)
+		q.CPUSavingsPct = metrics.Savings(q.OS.CPUJoules, q.Adaptive.CPUJoules)
+		q.HTSavingsPct = metrics.Savings(q.OS.HTJoules, q.Adaptive.HTJoules)
+		q.TotalSavingsPct = metrics.Savings(q.OS.Total(), q.Adaptive.Total())
+		osTotal += q.OS.Total()
+		adTotal += q.Adaptive.Total()
+		if q.CPUSavingsPct > 0 {
+			cpuSav = append(cpuSav, q.CPUSavingsPct)
+		}
+		if q.HTSavingsPct > 0 {
+			htSav = append(htSav, q.HTSavingsPct)
+		}
+		res.Queries = append(res.Queries, q)
+	}
+	res.GeoCPUSavingsPct = metrics.GeoMean(cpuSav)
+	res.GeoHTSavingsPct = metrics.GeoMean(htSav)
+	res.TotalSavingsPct = metrics.Savings(osTotal, adTotal)
+	return res, nil
+}

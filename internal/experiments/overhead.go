@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"elasticore/internal/numa"
+	"elasticore/internal/tpch"
+	"elasticore/internal/workload"
+)
+
+// overhead.go reproduces the mechanism-overhead measurement of Section V:
+// "the flow of tokens in a 5x8 matrix to trigger a transition" — the cost
+// of one control step (sample counters, evaluate the net, act) for each
+// allocation mode. The paper measured dense 0.017 s < sparse 0.021 s <
+// adaptive 0.031 s; the shape target is the same ordering with the
+// adaptive mode the most expensive (it maintains the priority queue).
+
+// OverheadResult is the per-mode control-step cost.
+type OverheadResult struct {
+	// PerStep is the mean wall-clock cost of one Mechanism.Step.
+	PerStep map[workload.Mode]time.Duration
+	Steps   int
+}
+
+// String renders the comparison.
+func (r *OverheadResult) String() string {
+	t := &table{header: []string{"mode", "per-step"}}
+	for _, m := range []workload.Mode{workload.ModeDense, workload.ModeSparse, workload.ModeAdaptive} {
+		t.add(m.String(), r.PerStep[m].String())
+	}
+	return fmt.Sprintf("Mechanism overhead (token flow, %d steps averaged)\n%s", r.Steps, t.String())
+}
+
+// mustTopo returns the default topology (shared helper).
+func mustTopo() *numa.Topology { return numa.Opteron8387() }
+
+// MeasureOverhead times steps Mechanism.Step calls per mode on a loaded
+// rig with background work, in host wall-clock time.
+func MeasureOverhead(c Config, steps int) (*OverheadResult, error) {
+	c = c.withDefaults()
+	if steps <= 0 {
+		steps = 1000
+	}
+	res := &OverheadResult{PerStep: map[workload.Mode]time.Duration{}, Steps: steps}
+	for _, mode := range []workload.Mode{workload.ModeDense, workload.ModeSparse, workload.ModeAdaptive} {
+		r, err := newRig(c, mode, nil)
+		if err != nil {
+			return nil, err
+		}
+		// Background load so counters and residency are non-trivial.
+		for i := 0; i < 8; i++ {
+			r.Engine.Submit(tpch.BuildQ6(uint64(i)))
+		}
+		for i := 0; i < 20; i++ {
+			r.Sched.Tick()
+		}
+		start := time.Now()
+		for i := 0; i < steps; i++ {
+			r.Mech.Step()
+			r.Sched.Tick()
+		}
+		res.PerStep[mode] = time.Since(start) / time.Duration(steps)
+	}
+	return res, nil
+}

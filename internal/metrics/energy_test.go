@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"elasticore/internal/numa"
+)
+
+func TestEstimateCPUEnergy(t *testing.T) {
+	topo := numa.Opteron8387()
+	m := DefaultEnergyModel()
+	w := numa.Counters{Cores: make([]numa.CoreCounters, topo.TotalCores())}
+	// One core busy for one second, everything else idle zero time.
+	w.Cores[0].BusyCycles = topo.SecondsToCycles(1)
+	e := m.Estimate(topo, w)
+	wantCPU := m.CPUWattsPerSocket / float64(topo.CoresPerNode) // 1 s at per-core ACP share
+	if math.Abs(e.CPUJoules-wantCPU) > 1e-6 {
+		t.Errorf("CPUJoules = %g, want %g", e.CPUJoules, wantCPU)
+	}
+	if e.HTJoules != 0 {
+		t.Errorf("HTJoules = %g, want 0", e.HTJoules)
+	}
+}
+
+func TestEstimateHTEnergy(t *testing.T) {
+	topo := numa.Opteron8387()
+	m := DefaultEnergyModel()
+	w := numa.Counters{
+		Nodes: []numa.NodeCounters{{HTBytesOut: 1e9}},
+		Cores: make([]numa.CoreCounters, topo.TotalCores()),
+	}
+	e := m.Estimate(topo, w)
+	want := 1e9 * 8 * m.HTJoulesPerBit
+	if math.Abs(e.HTJoules-want) > 1e-9 {
+		t.Errorf("HTJoules = %g, want %g", e.HTJoules, want)
+	}
+}
+
+func TestEnergyMonotoneInTraffic(t *testing.T) {
+	topo := numa.Opteron8387()
+	m := DefaultEnergyModel()
+	f := func(a, b uint32) bool {
+		lo, hi := uint64(a), uint64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		mk := func(bytes uint64) numa.Counters {
+			return numa.Counters{
+				Nodes: []numa.NodeCounters{{HTBytesOut: bytes}},
+				Cores: make([]numa.CoreCounters, topo.TotalCores()),
+			}
+		}
+		return m.Estimate(topo, mk(lo)).HTJoules <= m.Estimate(topo, mk(hi)).HTJoules
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSavings(t *testing.T) {
+	if got := Savings(100, 74); math.Abs(got-26) > 1e-9 {
+		t.Errorf("Savings(100,74) = %g, want 26", got)
+	}
+	if got := Savings(0, 5); got != 0 {
+		t.Errorf("Savings(0,5) = %g, want 0", got)
+	}
+	if got := Savings(100, 120); got >= 0 {
+		t.Errorf("Savings with regression = %g, want negative", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean(2,8) = %g, want 4", got)
+	}
+	if got := GeoMean([]float64{-1, 0}); got != 0 {
+		t.Errorf("GeoMean of non-positives = %g, want 0", got)
+	}
+	// Skips non-positive entries.
+	if got := GeoMean([]float64{4, 0}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean(4,0) = %g, want 4", got)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	if Mean(vals) != 2 || Min(vals) != 1 || Max(vals) != 3 {
+		t.Errorf("Mean/Min/Max = %g/%g/%g", Mean(vals), Min(vals), Max(vals))
+	}
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty-input aggregates not zero")
+	}
+}
+
+func TestTotal(t *testing.T) {
+	e := Energy{CPUJoules: 3, HTJoules: 4}
+	if e.Total() != 7 {
+		t.Errorf("Total = %g", e.Total())
+	}
+}

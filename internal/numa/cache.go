@@ -1,0 +1,201 @@
+package numa
+
+// cache.go models the cache hierarchy at block granularity: a small
+// per-core private cache standing in for L1+L2, and a per-node shared L3
+// implemented as an LRU over placement blocks. The model captures the
+// effects the paper measures — capacity/conflict misses when many private
+// working sets share one node's L3, coherence invalidations when writers
+// touch blocks cached remotely, and the hit-rate benefit of co-locating
+// threads that share data.
+
+// lruCache is a fixed-capacity LRU set of BlockIDs with O(1) lookup,
+// insert and eviction (intrusive doubly-linked list over a map).
+type lruCache struct {
+	capacity int
+	entries  map[BlockID]*lruEntry
+	head     *lruEntry // most recently used
+	tail     *lruEntry // least recently used
+}
+
+type lruEntry struct {
+	block      BlockID
+	prev, next *lruEntry
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{
+		capacity: capacity,
+		entries:  make(map[BlockID]*lruEntry, capacity),
+	}
+}
+
+// Contains reports whether the block is resident without promoting it.
+func (c *lruCache) Contains(b BlockID) bool {
+	_, ok := c.entries[b]
+	return ok
+}
+
+// Touch promotes the block to most-recently-used, inserting it if absent.
+// It returns whether the block was already resident and, when an insertion
+// evicted an older block, that victim.
+func (c *lruCache) Touch(b BlockID) (hit bool, evicted BlockID, didEvict bool) {
+	if e, ok := c.entries[b]; ok {
+		c.moveToFront(e)
+		return true, 0, false
+	}
+	e := &lruEntry{block: b}
+	c.entries[b] = e
+	c.pushFront(e)
+	if len(c.entries) > c.capacity {
+		victim := c.tail
+		c.remove(victim)
+		delete(c.entries, victim.block)
+		return false, victim.block, true
+	}
+	return false, 0, false
+}
+
+// Invalidate drops the block if resident, returning whether it was.
+func (c *lruCache) Invalidate(b BlockID) bool {
+	e, ok := c.entries[b]
+	if !ok {
+		return false
+	}
+	c.remove(e)
+	delete(c.entries, b)
+	return true
+}
+
+// Len returns the number of resident blocks.
+func (c *lruCache) Len() int { return len(c.entries) }
+
+// Clear empties the cache (used when a thread migrates away and its
+// private-cache affinity is lost).
+func (c *lruCache) Clear() {
+	c.entries = make(map[BlockID]*lruEntry, c.capacity)
+	c.head, c.tail = nil, nil
+}
+
+func (c *lruCache) pushFront(e *lruEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *lruCache) remove(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *lruCache) moveToFront(e *lruEntry) {
+	if c.head == e {
+		return
+	}
+	c.remove(e)
+	c.pushFront(e)
+}
+
+// cacheHierarchy bundles the per-core private caches and per-node shared
+// L3s of the whole machine.
+type cacheHierarchy struct {
+	topo    *Topology
+	private []*lruCache // indexed by CoreID; stands in for L1+L2
+	shared  []*lruCache // indexed by NodeID; the L3
+}
+
+func newCacheHierarchy(t *Topology) *cacheHierarchy {
+	h := &cacheHierarchy{
+		topo:    t,
+		private: make([]*lruCache, t.TotalCores()),
+		shared:  make([]*lruCache, t.NodeCount),
+	}
+	privCap := (t.L1Bytes + t.L2Bytes) / t.BlockBytes
+	if privCap < 1 {
+		privCap = 1
+	}
+	for c := range h.private {
+		h.private[c] = newLRUCache(privCap)
+	}
+	for n := range h.shared {
+		h.shared[n] = newLRUCache(t.L3Bytes / t.BlockBytes)
+	}
+	return h
+}
+
+// lookupLevel identifies where an access was satisfied.
+type lookupLevel int
+
+const (
+	levelPrivate lookupLevel = iota // L1/L2 hit
+	levelL3                         // shared-cache hit
+	levelMemory                     // L3 miss, served from DRAM
+)
+
+// access walks the hierarchy for one block access on the given core,
+// filling caches on the way, and returns the level that satisfied it.
+func (h *cacheHierarchy) access(core CoreID, b BlockID) lookupLevel {
+	node := h.topo.NodeOf(core)
+	if hit, _, _ := h.private[core].Touch(b); hit {
+		// Keep L3 inclusive of private caches so shared readers on the
+		// same node observe the block as resident.
+		h.shared[node].Touch(b)
+		return levelPrivate
+	}
+	if hit, _, _ := h.shared[node].Touch(b); hit {
+		return levelL3
+	}
+	return levelMemory
+}
+
+// invalidateRemote removes the block from every cache outside writerNode,
+// returning how many node-level copies were invalidated. This is the
+// coherence cost a write imposes when readers on other sockets hold the
+// block (the paper's "cache invalidations between the threads").
+func (h *cacheHierarchy) invalidateRemote(writerCore CoreID, b BlockID) int {
+	writerNode := h.topo.NodeOf(writerCore)
+	invalidated := 0
+	for n := 0; n < h.topo.NodeCount; n++ {
+		if NodeID(n) == writerNode {
+			continue
+		}
+		if h.shared[n].Invalidate(b) {
+			invalidated++
+		}
+		for _, c := range h.topo.Cores(NodeID(n)) {
+			h.private[c].Invalidate(b)
+		}
+	}
+	for _, c := range h.topo.Cores(writerNode) {
+		if c != writerCore {
+			h.private[c].Invalidate(b)
+		}
+	}
+	return invalidated
+}
+
+// dropCore clears a core's private cache, modelling lost affinity after a
+// thread migration replaced its working set.
+func (h *cacheHierarchy) dropCore(core CoreID) { h.private[core].Clear() }
+
+// l3Resident reports whether the block is in the node's L3 (for tests).
+func (h *cacheHierarchy) l3Resident(n NodeID, b BlockID) bool {
+	return h.shared[n].Contains(b)
+}

@@ -1,0 +1,154 @@
+package numa
+
+// counters.go defines the hardware-counter surface of the machine: the
+// per-node and per-core event counts the paper's prototype reads through
+// likwid (L3CACHE, HT, MEM groups), mpstat (CPU load) and /proc (minor
+// faults). The elastic mechanism consumes snapshots and windows of these
+// counters; it never reaches into the machine internals.
+
+// NodeCounters holds cumulative event counts for one NUMA node.
+type NodeCounters struct {
+	// L3Hits and L3Misses count shared-cache lookups at line granularity
+	// (one block access contributes LinesPerBlock events).
+	L3Hits   uint64
+	L3Misses uint64
+	// HTBytesOut / HTBytesIn count interconnect traffic crossing this
+	// node's links, requester side / responder side.
+	HTBytesOut uint64
+	HTBytesIn  uint64
+	// IMCBytes counts bytes served by this node's integrated memory
+	// controller (local DRAM traffic; the likwid MEM group).
+	IMCBytes uint64
+	// MinorFaults counts VM minor faults attributed to this node.
+	MinorFaults uint64
+	// Invalidations counts coherence invalidations of this node's cached
+	// copies triggered by remote writers.
+	Invalidations uint64
+	// DataTouches counts block accesses whose target data is homed on
+	// this node, wherever the accessing core sits. Its per-window delta
+	// tells the adaptive mode where the active address space lives.
+	DataTouches uint64
+}
+
+// CoreCounters holds cumulative cycle accounting for one core.
+type CoreCounters struct {
+	BusyCycles uint64
+	IdleCycles uint64
+}
+
+// Counters is a full snapshot of the machine's counter state at a point in
+// virtual time.
+type Counters struct {
+	// Now is the virtual time of the snapshot, in cycles.
+	Now uint64
+	// Nodes and Cores are indexed by NodeID / CoreID.
+	Nodes []NodeCounters
+	Cores []CoreCounters
+}
+
+// Clone returns a deep copy of the snapshot.
+func (c Counters) Clone() Counters {
+	out := Counters{Now: c.Now}
+	out.Nodes = append([]NodeCounters(nil), c.Nodes...)
+	out.Cores = append([]CoreCounters(nil), c.Cores...)
+	return out
+}
+
+// Sub returns the per-event deltas of c relative to an earlier snapshot
+// prev. It is the windowing primitive the mechanism uses each control
+// period.
+func (c Counters) Sub(prev Counters) Counters {
+	out := c.Clone()
+	out.Now = c.Now - prev.Now
+	for i := range out.Nodes {
+		if i >= len(prev.Nodes) {
+			break
+		}
+		out.Nodes[i].L3Hits -= prev.Nodes[i].L3Hits
+		out.Nodes[i].L3Misses -= prev.Nodes[i].L3Misses
+		out.Nodes[i].HTBytesOut -= prev.Nodes[i].HTBytesOut
+		out.Nodes[i].HTBytesIn -= prev.Nodes[i].HTBytesIn
+		out.Nodes[i].IMCBytes -= prev.Nodes[i].IMCBytes
+		out.Nodes[i].MinorFaults -= prev.Nodes[i].MinorFaults
+		out.Nodes[i].Invalidations -= prev.Nodes[i].Invalidations
+		out.Nodes[i].DataTouches -= prev.Nodes[i].DataTouches
+	}
+	for i := range out.Cores {
+		if i >= len(prev.Cores) {
+			break
+		}
+		out.Cores[i].BusyCycles -= prev.Cores[i].BusyCycles
+		out.Cores[i].IdleCycles -= prev.Cores[i].IdleCycles
+	}
+	return out
+}
+
+// TotalHTBytes returns interconnect bytes summed over nodes (requester
+// side, so each transfer is counted once).
+func (c Counters) TotalHTBytes() uint64 {
+	var sum uint64
+	for _, n := range c.Nodes {
+		sum += n.HTBytesOut
+	}
+	return sum
+}
+
+// TotalIMCBytes returns memory-controller bytes summed over nodes.
+func (c Counters) TotalIMCBytes() uint64 {
+	var sum uint64
+	for _, n := range c.Nodes {
+		sum += n.IMCBytes
+	}
+	return sum
+}
+
+// TotalL3Misses returns shared-cache misses summed over nodes.
+func (c Counters) TotalL3Misses() uint64 {
+	var sum uint64
+	for _, n := range c.Nodes {
+		sum += n.L3Misses
+	}
+	return sum
+}
+
+// TotalMinorFaults returns minor faults summed over nodes.
+func (c Counters) TotalMinorFaults() uint64 {
+	var sum uint64
+	for _, n := range c.Nodes {
+		sum += n.MinorFaults
+	}
+	return sum
+}
+
+// HTIMCRatio returns the interconnect-to-memory traffic ratio, the
+// NUMA-friendliness metric of Section V-B ("the system is able to process
+// more data with less interconnection traffic"). Smaller is better. Returns
+// 0 when no memory traffic occurred.
+func (c Counters) HTIMCRatio() float64 {
+	imc := c.TotalIMCBytes()
+	if imc == 0 {
+		return 0
+	}
+	return float64(c.TotalHTBytes()) / float64(imc)
+}
+
+// CPULoad returns the mean busy fraction (0..100) over the given cores. A
+// nil core list averages over all cores.
+func (c Counters) CPULoad(cores []CoreID) float64 {
+	if len(cores) == 0 {
+		cores = make([]CoreID, len(c.Cores))
+		for i := range cores {
+			cores[i] = CoreID(i)
+		}
+	}
+	var busy, total uint64
+	for _, id := range cores {
+		cc := c.Cores[id]
+		busy += cc.BusyCycles
+		total += cc.BusyCycles + cc.IdleCycles
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(busy) / float64(total)
+}

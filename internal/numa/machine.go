@@ -1,0 +1,263 @@
+package numa
+
+import "fmt"
+
+// CostModel holds the per-event cycle costs used to charge memory accesses.
+// The defaults approximate the relative latencies of the Opteron 8387
+// memory hierarchy; the mechanism's behaviour depends on the *ratios*
+// (remote vs local, miss vs hit), not the absolute values.
+type CostModel struct {
+	// Per cache line (CacheLineBytes), in cycles.
+	PrivateHit   uint64 // L1/L2 hit
+	L3Hit        uint64 // shared-cache hit
+	LocalMemory  uint64 // L3 miss served by the local IMC
+	RemoteMemory uint64 // L3 miss served by a remote IMC, first hop
+	PerHop       uint64 // additional cycles per extra interconnect hop
+	Invalidation uint64 // per invalidated remote copy, charged to the writer
+}
+
+// DefaultCostModel returns latencies in line with published Opteron
+// measurements: L3 ~ 40 cycles, local DRAM ~ 200 cycles, remote DRAM
+// 1.9-2.6x local depending on hop count (HyperTransport 3.x probe +
+// transfer), coherence invalidations ~ an L2-miss round trip.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PrivateHit:   4,
+		L3Hit:        40,
+		LocalMemory:  200,
+		RemoteMemory: 440,
+		PerHop:       140,
+		Invalidation: 80,
+	}
+}
+
+// Access describes one memory operation issued by executing code: Bytes
+// bytes read or written within a single placement block.
+type Access struct {
+	Block BlockID
+	Bytes int
+	Write bool
+	// PID attributes first-touch residency (for the adaptive priority
+	// queue); zero means anonymous.
+	PID int
+}
+
+// Cost is the outcome of charging an access.
+type Cost struct {
+	Cycles  uint64
+	HTBytes uint64 // interconnect bytes generated
+}
+
+// Machine is the complete NUMA hardware model: topology, memory with
+// first-touch placement, cache hierarchy, interconnect traffic accounting
+// with bandwidth-driven congestion, and the counter surface.
+type Machine struct {
+	topo   *Topology
+	mem    *Memory
+	caches *cacheHierarchy
+	cost   CostModel
+
+	now   uint64 // virtual time, cycles
+	nodes []NodeCounters
+	cores []CoreCounters
+
+	// Congestion model: interconnect and per-node memory demand within the
+	// current accounting window stretch subsequent access costs. factor >= 1.
+	window struct {
+		htBytes  uint64
+		imcBytes []uint64
+		cycles   uint64
+	}
+	htFactor  float64
+	imcFactor []float64
+}
+
+// NewMachine builds a machine for the topology with the default cost model.
+// It panics if the topology is invalid, since every other subsystem depends
+// on it.
+func NewMachine(t *Topology) *Machine {
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{
+		topo:      t,
+		mem:       NewMemory(t),
+		caches:    newCacheHierarchy(t),
+		cost:      DefaultCostModel(),
+		nodes:     make([]NodeCounters, t.NodeCount),
+		cores:     make([]CoreCounters, t.TotalCores()),
+		htFactor:  1,
+		imcFactor: make([]float64, t.NodeCount),
+	}
+	m.window.imcBytes = make([]uint64, t.NodeCount)
+	for i := range m.imcFactor {
+		m.imcFactor[i] = 1
+	}
+	return m
+}
+
+// SetCostModel overrides the access cost model (for ablation benches).
+func (m *Machine) SetCostModel(c CostModel) { m.cost = c }
+
+// Topology returns the machine's static shape.
+func (m *Machine) Topology() *Topology { return m.topo }
+
+// Memory exposes the placement layer (allocation is done through it).
+func (m *Machine) Memory() *Memory { return m.mem }
+
+// Now returns the current virtual time in cycles.
+func (m *Machine) Now() uint64 { return m.now }
+
+// NowSeconds returns the current virtual time in seconds.
+func (m *Machine) NowSeconds() float64 { return m.topo.CyclesToSeconds(m.now) }
+
+// Access charges one memory operation executed on the given core and
+// returns its cost. It updates the placement table (first touch), the cache
+// hierarchy, and every affected counter.
+func (m *Machine) Access(core CoreID, a Access) Cost {
+	if a.Bytes <= 0 {
+		return Cost{}
+	}
+	if a.Bytes > m.topo.BlockBytes {
+		panic(fmt.Sprintf("numa: access of %d bytes exceeds block size %d", a.Bytes, m.topo.BlockBytes))
+	}
+	node := m.topo.NodeOf(core)
+	lines := uint64((a.Bytes + m.topo.CacheLineBytes - 1) / m.topo.CacheLineBytes)
+
+	tr := m.mem.touch(a.Block, node, a.PID)
+	m.nodes[tr.home].DataTouches++
+	level := m.caches.access(core, a.Block)
+
+	var c Cost
+	switch level {
+	case levelPrivate:
+		m.nodes[node].L3Hits += lines
+		c.Cycles = lines * m.cost.PrivateHit
+	case levelL3:
+		m.nodes[node].L3Hits += lines
+		c.Cycles = lines * m.cost.L3Hit
+	case levelMemory:
+		m.nodes[node].L3Misses += lines
+		bytes := lines * uint64(m.topo.CacheLineBytes)
+		home := tr.home
+		m.nodes[home].IMCBytes += bytes
+		m.window.imcBytes[home] += bytes
+		if home == node {
+			c.Cycles = uint64(float64(lines*m.cost.LocalMemory) * m.imcFactor[home])
+		} else {
+			hops := m.topo.Hops(node, home)
+			per := m.cost.RemoteMemory + uint64(hops-1)*m.cost.PerHop
+			// A remote access crosses the interconnect AND the home
+			// node's memory controller; the slower pipe bounds it.
+			stretch := m.htFactor
+			if m.imcFactor[home] > stretch {
+				stretch = m.imcFactor[home]
+			}
+			c.Cycles = uint64(float64(lines*per) * stretch)
+			m.nodes[node].HTBytesOut += bytes
+			m.nodes[home].HTBytesIn += bytes
+			m.window.htBytes += bytes
+			c.HTBytes = bytes
+		}
+	}
+
+	if a.Write {
+		inv := m.caches.invalidateRemote(core, a.Block)
+		if inv > 0 {
+			m.nodes[node].Invalidations += uint64(inv)
+			c.Cycles += uint64(inv) * m.cost.Invalidation * lines
+			// Invalidation messages traverse the interconnect.
+			invBytes := uint64(inv) * uint64(m.topo.CacheLineBytes)
+			m.nodes[node].HTBytesOut += invBytes
+			m.window.htBytes += invBytes
+			c.HTBytes += invBytes
+		}
+	}
+	return c
+}
+
+// ChargeBusy accounts cycles of useful execution on a core and advances
+// nothing else; the scheduler calls it once per quantum slice.
+func (m *Machine) ChargeBusy(core CoreID, cycles uint64) {
+	m.cores[core].BusyCycles += cycles
+}
+
+// ChargeIdle accounts idle cycles on a core.
+func (m *Machine) ChargeIdle(core CoreID, cycles uint64) {
+	m.cores[core].IdleCycles += cycles
+}
+
+// AdvanceTime moves virtual time forward by the given cycles and refreshes
+// the congestion factors from the demand observed in the elapsed window:
+// when interconnect demand exceeds HT capacity, or a node's DRAM demand
+// exceeds its IMC bandwidth, subsequent accesses are stretched
+// proportionally. This is the causal chain of the paper's Figure 4: more
+// concurrent clients -> more interconnect traffic -> lower throughput.
+func (m *Machine) AdvanceTime(cycles uint64) {
+	m.now += cycles
+	m.window.cycles += cycles
+	// Refresh factors roughly every millisecond of virtual time.
+	windowCycles := m.topo.SecondsToCycles(1e-3)
+	if m.window.cycles < windowCycles {
+		return
+	}
+	seconds := m.topo.CyclesToSeconds(m.window.cycles)
+	htCapacity := m.topo.HTBandwidth * seconds
+	m.htFactor = smoothFactor(m.htFactor, float64(m.window.htBytes)/htCapacity)
+	for n := range m.imcFactor {
+		cap := m.topo.MemBandwidth * seconds
+		m.imcFactor[n] = smoothFactor(m.imcFactor[n], float64(m.window.imcBytes[n])/cap)
+		m.window.imcBytes[n] = 0
+	}
+	m.window.htBytes = 0
+	m.window.cycles = 0
+}
+
+// smoothFactor updates a stretch factor from the utilization measured
+// *under the previous factor*. The measured window already reflects the
+// old stretch, so the physical fixed point (delivered bytes == capacity)
+// is reached by multiplying the old factor by the measured utilization;
+// an EMA smooths the correction. Floored at 1 — an idle link adds no
+// speedup.
+func smoothFactor(prev, utilization float64) float64 {
+	target := prev * utilization
+	if target < 1 {
+		target = 1
+	}
+	f := 0.5*prev + 0.5*target
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// HTCongestion returns the current interconnect stretch factor (>= 1).
+func (m *Machine) HTCongestion() float64 { return m.htFactor }
+
+// DropCoreAffinity clears a core's private cache, modelling the working-set
+// loss after a thread migration.
+func (m *Machine) DropCoreAffinity(core CoreID) { m.caches.dropCore(core) }
+
+// L3Resident reports whether a block is resident in a node's L3 (testing
+// and diagnostics).
+func (m *Machine) L3Resident(n NodeID, b BlockID) bool {
+	return m.caches.l3Resident(n, b)
+}
+
+// Snapshot returns a copy of all counters at the current virtual time.
+func (m *Machine) Snapshot() Counters {
+	c := Counters{
+		Now:   m.now,
+		Nodes: append([]NodeCounters(nil), m.nodes...),
+		Cores: append([]CoreCounters(nil), m.cores...),
+	}
+	faults := m.mem.MinorFaults()
+	for i := range c.Nodes {
+		c.Nodes[i].MinorFaults = faults[i]
+	}
+	return c
+}
+
+// Residency exposes the per-node live-block counts for a set of PIDs (the
+// adaptive priority queue's input).
+func (m *Machine) Residency(pids []int) []int { return m.mem.Residency(pids) }

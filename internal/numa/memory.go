@@ -1,0 +1,234 @@
+package numa
+
+import "fmt"
+
+// BlockID identifies one placement block of simulated physical memory.
+// Blocks are the granularity of homing (first touch), caching and traffic
+// accounting; each block spans Topology.PagesPerBlock VM pages.
+type BlockID uint64
+
+// NoNode marks a block that has not been first-touched yet.
+const NoNode NodeID = -1
+
+// Region is a contiguous run of blocks returned by Memory.Alloc. It is the
+// unit handed to storage layers (a BAT segment, an intermediate result).
+type Region struct {
+	Start  BlockID
+	Blocks int
+}
+
+// Contains reports whether b falls inside the region.
+func (r Region) Contains(b BlockID) bool {
+	return b >= r.Start && b < r.Start+BlockID(r.Blocks)
+}
+
+// Block returns the i-th block of the region.
+func (r Region) Block(i int) BlockID { return r.Start + BlockID(i) }
+
+// Bytes returns the region size in bytes for the given topology.
+func (r Region) Bytes(t *Topology) int { return r.Blocks * t.BlockBytes }
+
+// blockInfo tracks the placement state of one block.
+type blockInfo struct {
+	home NodeID // node owning the backing frame; NoNode until first touch
+	// mapped is a bitmask of nodes that have established a mapping to the
+	// block. The first mapping from a node other than the home produces a
+	// remote minor fault (Section II-B.1 of the paper).
+	mapped uint32
+	owner  int // PID that first touched the block (for residency stats)
+}
+
+// Memory is the machine's physical memory: an allocator plus the per-block
+// placement table implementing the node-local first-touch policy.
+type Memory struct {
+	topo   *Topology
+	blocks []blockInfo
+	free   []Region // simple free list of released regions
+
+	// residency[pid][node] counts blocks first-touched by pid homed on
+	// node. This is the information the adaptive priority mode reads
+	// (Section IV-B.2: "the number of pages per NUMA node is recorded in a
+	// counter").
+	residency map[int][]int
+
+	// per-node counters, owned by Machine but updated here
+	minorFaults []uint64
+	homedBlocks []int
+}
+
+// NewMemory creates an empty memory for the topology.
+func NewMemory(t *Topology) *Memory {
+	return &Memory{
+		topo:        t,
+		residency:   make(map[int][]int),
+		minorFaults: make([]uint64, t.NodeCount),
+		homedBlocks: make([]int, t.NodeCount),
+	}
+}
+
+// Alloc reserves a region of n blocks. Placement is lazy: each block is
+// homed at first touch on the node of the touching core (the Linux
+// node-local default policy the paper assumes).
+func (m *Memory) Alloc(n int) Region {
+	if n <= 0 {
+		panic(fmt.Sprintf("numa: Alloc(%d): size must be positive", n))
+	}
+	// First-fit from the free list to bound growth in long simulations.
+	for i, r := range m.free {
+		if r.Blocks >= n {
+			got := Region{Start: r.Start, Blocks: n}
+			if r.Blocks == n {
+				m.free = append(m.free[:i], m.free[i+1:]...)
+			} else {
+				m.free[i] = Region{Start: r.Start + BlockID(n), Blocks: r.Blocks - n}
+			}
+			m.reset(got)
+			return got
+		}
+	}
+	start := BlockID(len(m.blocks))
+	for i := 0; i < n; i++ {
+		m.blocks = append(m.blocks, blockInfo{home: NoNode})
+	}
+	return Region{Start: start, Blocks: n}
+}
+
+// HomeRegionOn eagerly homes every block of an allocated region on the
+// given node under the owner pid, modelling loader first-touch (the
+// database is loaded before the mechanism runs; each column lands on the
+// node its loader thread occupied). No demand-paging faults are charged.
+func (m *Memory) HomeRegionOn(r Region, node NodeID, pid int) {
+	for i := 0; i < r.Blocks; i++ {
+		b := &m.blocks[r.Block(i)]
+		if b.home != NoNode {
+			continue
+		}
+		b.home = node
+		b.mapped = 1 << uint(node)
+		b.owner = pid
+		m.homedBlocks[node]++
+		m.addResidency(pid, node, 1)
+	}
+}
+
+// AllocOn reserves a region of n blocks eagerly homed on the given node,
+// modelling an explicit numactl-style placement (used by the NUMA-aware
+// engine variant and by tests).
+func (m *Memory) AllocOn(n int, node NodeID, pid int) Region {
+	r := m.Alloc(n)
+	for i := 0; i < n; i++ {
+		b := &m.blocks[r.Block(i)]
+		b.home = node
+		b.mapped = 1 << uint(node)
+		b.owner = pid
+		m.homedBlocks[node]++
+		m.addResidency(pid, node, 1)
+	}
+	return r
+}
+
+// Free returns a region to the allocator and removes its residency
+// contribution. Freeing intermediates between queries keeps the adaptive
+// priority queue tracking the *live* address space.
+func (m *Memory) Free(r Region) {
+	for i := 0; i < r.Blocks; i++ {
+		b := &m.blocks[r.Block(i)]
+		if b.home != NoNode {
+			m.homedBlocks[b.home]--
+			m.addResidency(b.owner, b.home, -1)
+		}
+		*b = blockInfo{home: NoNode}
+	}
+	m.free = append(m.free, r)
+}
+
+func (m *Memory) reset(r Region) {
+	for i := 0; i < r.Blocks; i++ {
+		m.blocks[r.Block(i)] = blockInfo{home: NoNode}
+	}
+}
+
+// touchResult describes what the placement layer observed for one access.
+type touchResult struct {
+	home        NodeID
+	firstTouch  bool // block was homed by this access
+	remoteFault bool // first mapping from a non-home node
+}
+
+// touch implements the first-touch policy and the two minor-fault
+// situations of Section II-B.1: (1) the data first touch, homing the block
+// on the local node, and (2) the first remote access to data already
+// touched by another thread on a different node.
+func (m *Memory) touch(b BlockID, node NodeID, pid int) touchResult {
+	if int(b) >= len(m.blocks) {
+		panic(fmt.Sprintf("numa: touch of unallocated block %d", b))
+	}
+	info := &m.blocks[b]
+	bit := uint32(1) << uint(node)
+	if info.home == NoNode {
+		info.home = node
+		info.mapped = bit
+		info.owner = pid
+		m.homedBlocks[node]++
+		m.minorFaults[node] += uint64(m.topo.PagesPerBlock())
+		m.addResidency(pid, node, 1)
+		return touchResult{home: node, firstTouch: true}
+	}
+	if info.mapped&bit == 0 {
+		info.mapped |= bit
+		m.minorFaults[node] += uint64(m.topo.PagesPerBlock())
+		return touchResult{home: info.home, remoteFault: true}
+	}
+	return touchResult{home: info.home}
+}
+
+// Home returns the node owning the block, or NoNode if untouched.
+func (m *Memory) Home(b BlockID) NodeID {
+	if int(b) >= len(m.blocks) {
+		return NoNode
+	}
+	return m.blocks[b].home
+}
+
+func (m *Memory) addResidency(pid int, node NodeID, delta int) {
+	counts, ok := m.residency[pid]
+	if !ok {
+		counts = make([]int, m.topo.NodeCount)
+		m.residency[pid] = counts
+	}
+	counts[node] += delta
+}
+
+// Residency returns, for the given set of PIDs, the number of live blocks
+// homed on each node. This is the per-node page counter that feeds the
+// adaptive mode's priority queue.
+func (m *Memory) Residency(pids []int) []int {
+	out := make([]int, m.topo.NodeCount)
+	for _, pid := range pids {
+		if counts, ok := m.residency[pid]; ok {
+			for n, c := range counts {
+				out[n] += c
+			}
+		}
+	}
+	return out
+}
+
+// HomedBlocks returns the number of live blocks homed on each node,
+// regardless of owner.
+func (m *Memory) HomedBlocks() []int {
+	out := make([]int, len(m.homedBlocks))
+	copy(out, m.homedBlocks)
+	return out
+}
+
+// MinorFaults returns the cumulative minor page-fault count per node.
+func (m *Memory) MinorFaults() []uint64 {
+	out := make([]uint64, len(m.minorFaults))
+	copy(out, m.minorFaults)
+	return out
+}
+
+// TotalBlocks returns the number of blocks ever allocated (address-space
+// high-water mark).
+func (m *Memory) TotalBlocks() int { return len(m.blocks) }

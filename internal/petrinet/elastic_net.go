@@ -1,0 +1,245 @@
+package petrinet
+
+import "fmt"
+
+// elastic_net.go builds the concrete PrT net of Section III-B: places
+// P = {Stable, Idle, Overload, Provision, Checks}, transitions t0..t7,
+// and the rule-condition-action pipeline that decides core allocation.
+//
+// Tokens: Checks carries {u} — the current resource usage (CPU load % or a
+// scaled HT/IMC ratio); Provision carries {nalloc} — the number of cores
+// currently handed to the OS. The three performance-state places hold the
+// in-flight token while a decision path completes.
+
+// Decision is the action produced by one evaluation of the net.
+type Decision int
+
+const (
+	// DecisionNone: the database is Stable (or at an allocation bound);
+	// only monitoring is required.
+	DecisionNone Decision = iota
+	// DecisionAllocate: the Overload sub-net fired t1 -> t5; hand one more
+	// core to the OS.
+	DecisionAllocate
+	// DecisionRelease: the Idle sub-net fired t0 -> t4; take one core back
+	// from the OS.
+	DecisionRelease
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case DecisionAllocate:
+		return "allocate"
+	case DecisionRelease:
+		return "release"
+	default:
+		return "none"
+	}
+}
+
+// Evaluation records one pass through the net: the decision, the fired
+// path label in the paper's "t1-Overload-t5" style, and the state the
+// database was classified into.
+type Evaluation struct {
+	Decision Decision
+	// Label is the fired transition path, e.g. "t2-Stable-t3",
+	// "t1-Overload-t5", "t0-Idle-t7".
+	Label string
+	// State is the performance-state place the token passed through.
+	State string
+	// U and NAlloc are the token values the evaluation used.
+	U, NAlloc int
+}
+
+// ElasticNet is the paper's elastic multi-core allocation net.
+type ElasticNet struct {
+	net *Net
+
+	// Places (exported for matrix inspection and tests).
+	Checks, Provision, Idle, Stable, Overload *Place
+	// Transitions t0..t7 indexed by number.
+	T [8]*Transition
+
+	thMin, thMax int
+	nTotal       int
+}
+
+// NewElasticNet wires the net for a machine with nTotal cores and the
+// given thresholds (the paper's rules of thumb: thmin=10, thmax=70 for CPU
+// load). The initial marking is m0(Provision) = {nalloc: 1}: one core
+// initially allocated (Section III-B).
+func NewElasticNet(thMin, thMax, nTotal int) *ElasticNet {
+	if thMin >= thMax {
+		panic(fmt.Sprintf("petrinet: thMin (%d) must be below thMax (%d)", thMin, thMax))
+	}
+	if nTotal < 1 {
+		panic("petrinet: nTotal must be at least 1")
+	}
+	e := &ElasticNet{net: New(), thMin: thMin, thMax: thMax, nTotal: nTotal}
+	n := e.net
+
+	e.Checks = n.AddPlace("Checks")
+	e.Provision = n.AddPlace("Provision")
+	e.Idle = n.AddPlace("Idle")
+	e.Stable = n.AddPlace("Stable")
+	e.Overload = n.AddPlace("Overload")
+
+	carryBoth := func(b Binding) Token { return Token{"u": b["u"], "nalloc": b["nalloc"]} }
+	toChecks := func(b Binding) Token { return Token{"u": b["u"]} }
+
+	// Idle sub-net (Figure 10): low load releases a core, bounded below by
+	// one core (t7).
+	e.T[0] = n.AddTransition(&Transition{
+		Name:      "t0",
+		Guard:     func(b Binding) bool { return b["u"] <= thMin },
+		GuardDesc: fmt.Sprintf("u <= %d", thMin),
+		In:        []InArc{{Place: e.Checks, Vars: []string{"u"}}, {Place: e.Provision, Vars: []string{"nalloc"}}},
+		Out:       []OutArc{{Place: e.Idle, Vars: []string{"u", "nalloc"}, Expr: carryBoth}},
+	})
+	e.T[4] = n.AddTransition(&Transition{
+		Name:      "t4",
+		Guard:     func(b Binding) bool { return b["nalloc"] > 1 },
+		GuardDesc: "nalloc > 1",
+		In:        []InArc{{Place: e.Idle, Vars: []string{"u", "nalloc"}}},
+		Out: []OutArc{
+			{Place: e.Provision, Vars: []string{"nalloc"}, Expr: func(b Binding) Token { return Token{"nalloc": b["nalloc"] - 1} }},
+			{Place: e.Checks, Vars: []string{"u"}, Expr: toChecks},
+		},
+	})
+	e.T[7] = n.AddTransition(&Transition{
+		Name:      "t7",
+		Guard:     func(b Binding) bool { return b["nalloc"] == 1 },
+		GuardDesc: "nalloc == 1",
+		In:        []InArc{{Place: e.Idle, Vars: []string{"u", "nalloc"}}},
+		Out: []OutArc{
+			{Place: e.Provision, Vars: []string{"nalloc"}, Expr: func(b Binding) Token { return Token{"nalloc": b["nalloc"]} }},
+			{Place: e.Checks, Vars: []string{"u"}, Expr: toChecks},
+		},
+	})
+
+	// Overload sub-net (Figure 9): high load allocates a core, bounded
+	// above by the hardware (t6).
+	e.T[1] = n.AddTransition(&Transition{
+		Name:      "t1",
+		Guard:     func(b Binding) bool { return b["u"] >= thMax },
+		GuardDesc: fmt.Sprintf("u >= %d", thMax),
+		In:        []InArc{{Place: e.Checks, Vars: []string{"u"}}, {Place: e.Provision, Vars: []string{"nalloc"}}},
+		Out:       []OutArc{{Place: e.Overload, Vars: []string{"u", "nalloc"}, Expr: carryBoth}},
+	})
+	e.T[5] = n.AddTransition(&Transition{
+		Name:      "t5",
+		Guard:     func(b Binding) bool { return b["nalloc"] < nTotal },
+		GuardDesc: fmt.Sprintf("nalloc < %d", nTotal),
+		In:        []InArc{{Place: e.Overload, Vars: []string{"u", "nalloc"}}},
+		Out: []OutArc{
+			{Place: e.Provision, Vars: []string{"nalloc"}, Expr: func(b Binding) Token { return Token{"nalloc": b["nalloc"] + 1} }},
+			{Place: e.Checks, Vars: []string{"u"}, Expr: toChecks},
+		},
+	})
+	e.T[6] = n.AddTransition(&Transition{
+		Name:      "t6",
+		Guard:     func(b Binding) bool { return b["nalloc"] == nTotal },
+		GuardDesc: fmt.Sprintf("nalloc == %d", nTotal),
+		In:        []InArc{{Place: e.Overload, Vars: []string{"u", "nalloc"}}},
+		Out: []OutArc{
+			{Place: e.Provision, Vars: []string{"nalloc"}, Expr: func(b Binding) Token { return Token{"nalloc": b["nalloc"]} }},
+			{Place: e.Checks, Vars: []string{"u"}, Expr: toChecks},
+		},
+	})
+
+	// Stable sub-net (Figure 11): load within thresholds, monitoring only.
+	e.T[2] = n.AddTransition(&Transition{
+		Name:      "t2",
+		Guard:     func(b Binding) bool { return b["u"] > thMin && b["u"] < thMax },
+		GuardDesc: fmt.Sprintf("%d < u < %d", thMin, thMax),
+		In:        []InArc{{Place: e.Checks, Vars: []string{"u"}}},
+		Out:       []OutArc{{Place: e.Stable, Vars: []string{"u"}, Expr: toChecks}},
+	})
+	e.T[3] = n.AddTransition(&Transition{
+		Name:      "t3",
+		In:        []InArc{{Place: e.Stable, Vars: []string{"u"}}},
+		Out:       []OutArc{{Place: e.Checks, Vars: []string{"u"}, Expr: toChecks}},
+		GuardDesc: "true",
+	})
+
+	// Initial marking: one core allocated by default.
+	n.Put(e.Provision, Token{"nalloc": 1})
+	return e
+}
+
+// Net exposes the underlying PrT net (for matrices and inspection).
+func (e *ElasticNet) Net() *Net { return e.net }
+
+// Thresholds returns the configured (thmin, thmax).
+func (e *ElasticNet) Thresholds() (min, max int) { return e.thMin, e.thMax }
+
+// NAlloc returns the current number of allocated cores recorded in the
+// Provision place.
+func (e *ElasticNet) NAlloc() int {
+	toks := e.net.Tokens(e.Provision)
+	if len(toks) == 0 {
+		return 0
+	}
+	return toks[0]["nalloc"]
+}
+
+// SetNAlloc overrides the Provision marking (used when the allocator could
+// not honour a decision, keeping net state and reality in sync).
+func (e *ElasticNet) SetNAlloc(n int) {
+	e.net.Drain(e.Provision)
+	e.net.Put(e.Provision, Token{"nalloc": n})
+}
+
+// Evaluate runs one control period: it injects the current load reading u
+// into Checks and fires transitions until the token returns to Checks,
+// producing the allocation decision. This is the rule-condition-action
+// pipeline: rule = sub-net, condition = guard, action = decision.
+func (e *ElasticNet) Evaluate(u int) Evaluation {
+	// Inject the fresh reading, replacing any stale Checks token.
+	e.net.Drain(e.Checks)
+	e.net.Put(e.Checks, Token{"u": u})
+
+	ev := Evaluation{U: u, NAlloc: e.NAlloc(), Decision: DecisionNone}
+	var path []string
+	// A complete path is at most two firings (state transition + action).
+	for i := 0; i < 2; i++ {
+		t, _ := e.net.Step()
+		if t == nil {
+			break
+		}
+		path = append(path, t.Name)
+		switch t {
+		case e.T[0]:
+			ev.State = "Idle"
+		case e.T[1]:
+			ev.State = "Overload"
+		case e.T[2]:
+			ev.State = "Stable"
+		case e.T[4]:
+			ev.Decision = DecisionRelease
+		case e.T[5]:
+			ev.Decision = DecisionAllocate
+		}
+		// Stop once the token is back in Checks.
+		if e.net.TokenCount(e.Checks) > 0 {
+			break
+		}
+	}
+	ev.NAlloc = e.NAlloc()
+	ev.Label = pathLabel(path, ev.State)
+	return ev
+}
+
+// pathLabel renders "t0-Idle-t4" style labels matching the paper's
+// Figure 7 x-axis.
+func pathLabel(path []string, state string) string {
+	switch len(path) {
+	case 0:
+		return "quiescent"
+	case 1:
+		return path[0] + "-" + state
+	default:
+		return path[0] + "-" + state + "-" + path[1]
+	}
+}

@@ -1,0 +1,207 @@
+// Package petrinet implements the Predicate/Transition (PrT) net formalism
+// the paper builds its abstract model on (Section III): an oriented
+// bipartite graph of places and transitions where tokens carry values,
+// arcs bind token values to variables, and each transition guards its
+// firing with a first-order condition over those variables.
+//
+// The net structure is the paper's tuple {P, T, F, R, M}: places P,
+// transitions T, the flow relation F (input and output arcs), the
+// constraining mapping R (guards), and the marking M (token distribution).
+// Pre, Post and incidence matrices (Figures 8-11) are derivable from any
+// built net.
+package petrinet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Token is a value-carrying token: a small set of named integer fields
+// (e.g. {u: 40} in Checks or {nalloc: 3} in Provision).
+type Token map[string]int
+
+// Clone returns a deep copy of the token.
+func (t Token) Clone() Token {
+	out := make(Token, len(t))
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the token deterministically, e.g. "{nalloc:3 u:99}".
+func (t Token) String() string {
+	keys := make([]string, 0, len(t))
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s:%d", k, t[k])
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Binding is the variable assignment produced by consuming input tokens.
+type Binding map[string]int
+
+// Place is a node of the net holding tokens.
+type Place struct {
+	Name string
+	idx  int
+}
+
+// InArc consumes one token from Place when its transition fires, binding
+// every field of the token. Vars names the fields the arc inscription
+// mentions (for symbolic matrices; binding itself takes all fields).
+type InArc struct {
+	Place *Place
+	Vars  []string
+}
+
+// OutArc produces a token on Place when its transition fires. Expr builds
+// the token from the binding; Vars names the inscription for display.
+type OutArc struct {
+	Place *Place
+	Vars  []string
+	Expr  func(Binding) Token
+}
+
+// Transition is a guarded firing rule.
+type Transition struct {
+	Name string
+	// Guard is the constraining mapping R(t): a first-order condition over
+	// the binding. A nil guard is always true.
+	Guard func(Binding) bool
+	// GuardDesc is the human-readable form of the guard, e.g. "u >= 70".
+	GuardDesc string
+	In        []InArc
+	Out       []OutArc
+	idx       int
+}
+
+// Net is a Predicate/Transition net with its current marking.
+type Net struct {
+	places      []*Place
+	transitions []*Transition
+	marking     map[*Place][]Token
+}
+
+// New returns an empty net.
+func New() *Net {
+	return &Net{marking: make(map[*Place][]Token)}
+}
+
+// AddPlace creates a place with the given name.
+func (n *Net) AddPlace(name string) *Place {
+	p := &Place{Name: name, idx: len(n.places)}
+	n.places = append(n.places, p)
+	return p
+}
+
+// AddTransition registers a transition. Arcs must reference places of this
+// net.
+func (n *Net) AddTransition(t *Transition) *Transition {
+	t.idx = len(n.transitions)
+	n.transitions = append(n.transitions, t)
+	return t
+}
+
+// Places returns the places in creation order.
+func (n *Net) Places() []*Place { return n.places }
+
+// Transitions returns the transitions in creation order.
+func (n *Net) Transitions() []*Transition { return n.transitions }
+
+// Put adds a token to a place.
+func (n *Net) Put(p *Place, t Token) {
+	n.marking[p] = append(n.marking[p], t.Clone())
+}
+
+// Drain removes and returns all tokens from a place.
+func (n *Net) Drain(p *Place) []Token {
+	out := n.marking[p]
+	n.marking[p] = nil
+	return out
+}
+
+// Tokens returns the tokens currently marking a place (not copied).
+func (n *Net) Tokens(p *Place) []Token { return n.marking[p] }
+
+// TokenCount returns how many tokens mark a place. It is the paper's
+// function M(p) telling, e.g., how many cores a place represents.
+func (n *Net) TokenCount(p *Place) int { return len(n.marking[p]) }
+
+// bind consumes the head token of each input place of t, producing the
+// binding, or reports failure if any input place is empty. It does not
+// mutate the marking.
+func (n *Net) bind(t *Transition) (Binding, bool) {
+	b := make(Binding)
+	for _, arc := range t.In {
+		toks := n.marking[arc.Place]
+		if len(toks) == 0 {
+			return nil, false
+		}
+		for k, v := range toks[0] {
+			b[k] = v
+		}
+	}
+	return b, true
+}
+
+// Enabled reports whether transition t can fire under the current marking
+// and, if so, the binding it would fire with.
+func (n *Net) Enabled(t *Transition) (Binding, bool) {
+	b, ok := n.bind(t)
+	if !ok {
+		return nil, false
+	}
+	if t.Guard != nil && !t.Guard(b) {
+		return nil, false
+	}
+	return b, true
+}
+
+// Fire fires transition t: consumes one token from every input place,
+// produces tokens on the output places. It returns the binding used, or an
+// error if the transition is not enabled.
+func (n *Net) Fire(t *Transition) (Binding, error) {
+	b, ok := n.Enabled(t)
+	if !ok {
+		return nil, fmt.Errorf("petrinet: transition %s not enabled", t.Name)
+	}
+	for _, arc := range t.In {
+		n.marking[arc.Place] = n.marking[arc.Place][1:]
+	}
+	for _, arc := range t.Out {
+		n.marking[arc.Place] = append(n.marking[arc.Place], arc.Expr(b))
+	}
+	return b, nil
+}
+
+// Step fires the first enabled transition in registration order, returning
+// it and its binding, or (nil, nil) when the net is quiescent.
+func (n *Net) Step() (*Transition, Binding) {
+	for _, t := range n.transitions {
+		if b, ok := n.Enabled(t); ok {
+			if _, err := n.Fire(t); err == nil {
+				return t, b
+			}
+		}
+	}
+	return nil, nil
+}
+
+// MarkingString renders the full marking deterministically (diagnostics).
+func (n *Net) MarkingString() string {
+	var b strings.Builder
+	for _, p := range n.places {
+		if b.Len() > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%v", p.Name, n.marking[p])
+	}
+	return b.String()
+}

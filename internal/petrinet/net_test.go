@@ -1,0 +1,165 @@
+package petrinet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// buildSimpleNet returns a two-place net moving a counter token through a
+// transition that increments it.
+func buildSimpleNet() (*Net, *Place, *Place, *Transition) {
+	n := New()
+	a := n.AddPlace("A")
+	b := n.AddPlace("B")
+	t := n.AddTransition(&Transition{
+		Name: "inc",
+		In:   []InArc{{Place: a, Vars: []string{"x"}}},
+		Out: []OutArc{{Place: b, Vars: []string{"x"}, Expr: func(bd Binding) Token {
+			return Token{"x": bd["x"] + 1}
+		}}},
+	})
+	return n, a, b, t
+}
+
+func TestFireMovesAndTransformsToken(t *testing.T) {
+	n, a, b, tr := buildSimpleNet()
+	n.Put(a, Token{"x": 41})
+	bind, err := n.Fire(tr)
+	if err != nil {
+		t.Fatalf("Fire: %v", err)
+	}
+	if bind["x"] != 41 {
+		t.Errorf("binding x = %d, want 41", bind["x"])
+	}
+	if n.TokenCount(a) != 0 {
+		t.Error("input place still marked")
+	}
+	toks := n.Tokens(b)
+	if len(toks) != 1 || toks[0]["x"] != 42 {
+		t.Errorf("output tokens = %v, want [{x:42}]", toks)
+	}
+}
+
+func TestFireNotEnabledErrors(t *testing.T) {
+	n, _, _, tr := buildSimpleNet()
+	if _, err := n.Fire(tr); err == nil {
+		t.Error("Fire on empty input place did not error")
+	}
+	_ = n
+}
+
+func TestGuardBlocksFiring(t *testing.T) {
+	n := New()
+	a := n.AddPlace("A")
+	tr := n.AddTransition(&Transition{
+		Name:  "gated",
+		Guard: func(b Binding) bool { return b["x"] > 10 },
+		In:    []InArc{{Place: a, Vars: []string{"x"}}},
+	})
+	n.Put(a, Token{"x": 5})
+	if _, ok := n.Enabled(tr); ok {
+		t.Error("guard x>10 enabled with x=5")
+	}
+	n.Drain(a)
+	n.Put(a, Token{"x": 11})
+	if _, ok := n.Enabled(tr); !ok {
+		t.Error("guard x>10 not enabled with x=11")
+	}
+}
+
+func TestStepFiresFirstEnabled(t *testing.T) {
+	n := New()
+	a := n.AddPlace("A")
+	fired := ""
+	mk := func(name string, guard func(Binding) bool) *Transition {
+		return n.AddTransition(&Transition{
+			Name:  name,
+			Guard: guard,
+			In:    []InArc{{Place: a, Vars: []string{"x"}}},
+			Out: []OutArc{{Place: a, Vars: []string{"x"}, Expr: func(b Binding) Token {
+				fired = name
+				return Token{"x": b["x"]}
+			}}},
+		})
+	}
+	mk("never", func(Binding) bool { return false })
+	mk("yes", nil)
+	mk("also", nil)
+	n.Put(a, Token{"x": 1})
+	tr, _ := n.Step()
+	if tr == nil || tr.Name != "yes" || fired != "yes" {
+		t.Errorf("Step fired %v, want yes", tr)
+	}
+}
+
+func TestStepQuiescent(t *testing.T) {
+	n, _, _, _ := buildSimpleNet()
+	if tr, _ := n.Step(); tr != nil {
+		t.Errorf("empty net fired %s", tr.Name)
+	}
+}
+
+func TestTokenConservationUnderFiring(t *testing.T) {
+	// Property: in a net whose transitions have one input and one output
+	// arc, the total token count is invariant under any firing sequence.
+	f := func(seed uint8, steps uint8) bool {
+		n := New()
+		places := []*Place{n.AddPlace("p0"), n.AddPlace("p1"), n.AddPlace("p2")}
+		for i := range places {
+			next := places[(i+1)%len(places)]
+			from := places[i]
+			n.AddTransition(&Transition{
+				Name: "t",
+				In:   []InArc{{Place: from, Vars: []string{"x"}}},
+				Out:  []OutArc{{Place: next, Vars: []string{"x"}, Expr: func(b Binding) Token { return Token{"x": b["x"]} }}},
+			})
+		}
+		total := int(seed%5) + 1
+		for i := 0; i < total; i++ {
+			n.Put(places[i%3], Token{"x": i})
+		}
+		for i := 0; i < int(steps); i++ {
+			n.Step()
+		}
+		got := 0
+		for _, p := range places {
+			got += n.TokenCount(p)
+		}
+		return got == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{"u": 99, "nalloc": 3}
+	if got := tok.String(); got != "{nalloc:3 u:99}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPrePostIncidence(t *testing.T) {
+	n, a, b, _ := buildSimpleNet()
+	pre, post, inc := n.Pre(), n.Post(), n.Incidence()
+	// Pre: arc <A, inc>.
+	if pre.Cells[a.idx][0] != 1 || pre.Cells[b.idx][0] != 0 {
+		t.Errorf("Pre = %v", pre.Cells)
+	}
+	// Post: arc <inc, B>.
+	if post.Cells[b.idx][0] != 1 || post.Cells[a.idx][0] != 0 {
+		t.Errorf("Post = %v", post.Cells)
+	}
+	// Incidence = Post - Pre.
+	if inc.Cells[a.idx][0] != -1 || inc.Cells[b.idx][0] != 1 {
+		t.Errorf("Incidence = %v", inc.Cells)
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	n, _, _, _ := buildSimpleNet()
+	s := n.Incidence().String()
+	if s == "" {
+		t.Error("empty matrix rendering")
+	}
+}

@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"testing"
+
+	"elasticore/internal/numa"
+)
+
+// spinWork runs forever, consuming every cycle offered.
+type spinWork struct{}
+
+func (spinWork) Run(_ *ExecContext, budget uint64) (uint64, bool, bool) {
+	return budget, false, false
+}
+
+func TestNearNodeClustersSpawns(t *testing.T) {
+	s := newTestSched()
+	topo := s.Machine().Topology()
+	for i := 0; i < topo.CoresPerNode*2; i++ {
+		th := s.Spawn(1, "w", spinWork{}, NearNode(2))
+		if got := topo.NodeOf(th.Core()); got != 2 {
+			t.Errorf("hinted spawn landed on node %d, want 2", got)
+		}
+	}
+}
+
+func TestNearNodeIgnoredWhenDisallowed(t *testing.T) {
+	s := newTestSched()
+	g := s.NewCGroup("g")
+	g.AddPID(1)
+	g.SetCPUs(NewCPUSet(0, 1)) // node 0 only
+	th := s.Spawn(1, "w", spinWork{}, NearNode(3))
+	if c := th.Core(); c != 0 && c != 1 {
+		t.Errorf("spawn landed on core %d outside the cpuset", c)
+	}
+}
+
+func TestIdleStealSpreadsClusteredThreads(t *testing.T) {
+	// Fork-local placement piles threads on one node; within a few ticks
+	// idle cores must have stolen work (the Fig 13 (d) behaviour).
+	s := newTestSched()
+	topo := s.Machine().Topology()
+	var threads []*Thread
+	for i := 0; i < 12; i++ {
+		threads = append(threads, s.Spawn(1, "w", spinWork{}, NearNode(1)))
+	}
+	for i := 0; i < 6; i++ {
+		s.Tick()
+	}
+	if s.Stats().StolenTasks == 0 {
+		t.Fatal("no idle steals despite 12 threads clustered on one node")
+	}
+	nodes := map[numa.NodeID]bool{}
+	for _, th := range threads {
+		nodes[topo.NodeOf(th.Core())] = true
+	}
+	if len(nodes) < 2 {
+		t.Errorf("threads still on %d node(s) after balancing", len(nodes))
+	}
+}
+
+func TestIdleStealRespectsCPUSet(t *testing.T) {
+	s := newTestSched()
+	g := s.NewCGroup("g")
+	g.AddPID(1)
+	g.SetCPUs(NewCPUSet(4, 5)) // node 1 only
+	for i := 0; i < 8; i++ {
+		s.Spawn(1, "w", spinWork{})
+	}
+	for i := 0; i < 8; i++ {
+		s.Tick()
+	}
+	for id, q := range s.queues {
+		if (id == 4 || id == 5) || len(q) == 0 {
+			continue
+		}
+		for _, th := range q {
+			if th.PID == 1 {
+				t.Fatalf("restricted thread stolen to core %d", id)
+			}
+		}
+	}
+}
+
+func TestWakePrefersPreviousCore(t *testing.T) {
+	s := newTestSched()
+	blockEach := RunnerFunc(func(_ *ExecContext, budget uint64) (uint64, bool, bool) {
+		return budget / 4, true, false // work a little, then block
+	})
+	th := s.Spawn(1, "w", blockEach)
+	s.Tick()
+	if th.State() != Blocked {
+		t.Fatal("thread did not block")
+	}
+	prev := th.Core()
+	// Load up other cores so a placement decision would move it.
+	for i := 0; i < 10; i++ {
+		s.Spawn(2, "bg", spinWork{})
+	}
+	s.Wake(th)
+	if th.Core() != prev {
+		t.Errorf("wake moved thread from %d to %d; wake affinity broken", prev, th.Core())
+	}
+}
+
+func TestWakePreemptsToQueueHead(t *testing.T) {
+	s := newTestSched()
+	g := s.NewCGroup("g")
+	g.AddPID(1)
+	g.SetCPUs(NewCPUSet(0))
+	// Fill core 0 with spinners.
+	for i := 0; i < 3; i++ {
+		s.Spawn(1, "spin", spinWork{})
+	}
+	blocky := s.Spawn(1, "blocky", RunnerFunc(func(_ *ExecContext, budget uint64) (uint64, bool, bool) {
+		return 1, true, false
+	}))
+	// The queue rotates one full-quantum spinner per tick; blocky reaches
+	// the head within a few ticks and then blocks.
+	for i := 0; i < 8 && blocky.State() != Blocked; i++ {
+		s.Tick()
+	}
+	if blocky.State() != Blocked {
+		t.Fatal("blocky did not block")
+	}
+	s.Wake(blocky)
+	if s.queues[blocky.Core()][0] != blocky {
+		t.Error("woken thread not at queue head; coordinator threads would starve")
+	}
+}

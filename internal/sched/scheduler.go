@@ -1,0 +1,481 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"elasticore/internal/numa"
+)
+
+// Config tunes the scheduler model.
+type Config struct {
+	// Quantum is the scheduling time slice in cycles. Zero selects 1 ms at
+	// the machine's clock.
+	Quantum uint64
+	// BalancePeriod is how many ticks pass between load-balancing passes.
+	// Zero selects 4.
+	BalancePeriod int
+	// BalanceThreshold is the queue-length imbalance (busiest minus
+	// idlest) that triggers a steal. Zero selects 2.
+	BalanceThreshold int
+}
+
+// Stats are the scheduler's own cumulative counters, complementing the
+// machine's hardware counters.
+type Stats struct {
+	// Spawned counts threads ever created.
+	Spawned uint64
+	// StolenTasks counts threads moved by the load balancer (Fig 13 (d)).
+	StolenTasks uint64
+	// Migrations counts every reassignment of a thread to a different
+	// core, whatever the cause (balancing, cpuset shrink, wake-up move).
+	Migrations uint64
+	// CrossNodeMigrations counts the subset of migrations that changed
+	// NUMA node, losing all cache affinity.
+	CrossNodeMigrations uint64
+	// TicksRun counts scheduler quanta executed.
+	TicksRun uint64
+}
+
+// MigrationEvent describes one thread reassignment, feeding the lifespan /
+// migration plots (paper Figures 5 and 16).
+type MigrationEvent struct {
+	TID      TID
+	From, To numa.CoreID
+	Now      uint64 // cycles
+}
+
+// RunSlice describes one executed slice of a thread on a core, feeding the
+// tomograph-style traces (paper Figure 6).
+type RunSlice struct {
+	TID    TID
+	Core   numa.CoreID
+	Start  uint64 // cycles
+	Cycles uint64
+}
+
+// Scheduler is the OS CPU scheduler model.
+type Scheduler struct {
+	machine *numa.Machine
+	topo    *numa.Topology
+	cfg     Config
+
+	queues  [][]*Thread // per-core FIFO run queues
+	threads map[TID]*Thread
+	nextTID TID
+
+	groups   map[string]*CGroup
+	pidGroup map[int]*CGroup
+	rootSet  CPUSet
+
+	stats Stats
+	tick  int
+
+	// OnMigrate, if set, observes every thread reassignment.
+	OnMigrate func(MigrationEvent)
+	// OnRunSlice, if set, observes every executed slice.
+	OnRunSlice func(RunSlice)
+}
+
+// New creates a scheduler over the machine with the given configuration.
+func New(m *numa.Machine, cfg Config) *Scheduler {
+	topo := m.Topology()
+	if cfg.Quantum == 0 {
+		cfg.Quantum = topo.SecondsToCycles(1e-3)
+	}
+	if cfg.BalancePeriod == 0 {
+		cfg.BalancePeriod = 4
+	}
+	if cfg.BalanceThreshold == 0 {
+		cfg.BalanceThreshold = 2
+	}
+	return &Scheduler{
+		machine:  m,
+		topo:     topo,
+		cfg:      cfg,
+		queues:   make([][]*Thread, topo.TotalCores()),
+		threads:  make(map[TID]*Thread),
+		nextTID:  1,
+		groups:   make(map[string]*CGroup),
+		pidGroup: make(map[int]*CGroup),
+		rootSet:  FullSet(topo),
+	}
+}
+
+// Machine returns the underlying hardware model.
+func (s *Scheduler) Machine() *numa.Machine { return s.machine }
+
+// Stats returns a copy of the scheduler counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Quantum returns the time slice in cycles.
+func (s *Scheduler) Quantum() uint64 { return s.cfg.Quantum }
+
+// NewCGroup creates an empty control group whose cpuset is initially the
+// full machine.
+func (s *Scheduler) NewCGroup(name string) *CGroup {
+	if _, dup := s.groups[name]; dup {
+		panic(fmt.Sprintf("sched: duplicate cgroup %q", name))
+	}
+	g := &CGroup{name: name, pids: make(map[int]bool), cpus: s.rootSet, sched: s}
+	s.groups[name] = g
+	return g
+}
+
+// allowedSet computes where a thread may run: its cgroup cpuset intersected
+// with any hard pin. An empty intersection falls back to the pin (the
+// kernel refuses to starve a pinned thread).
+func (s *Scheduler) allowedSet(t *Thread) CPUSet {
+	set := s.rootSet
+	if g, ok := s.pidGroup[t.PID]; ok {
+		set = g.cpus
+	}
+	if !t.pinned.IsEmpty() {
+		if inter := set.Intersect(t.pinned); !inter.IsEmpty() {
+			return inter
+		}
+		return t.pinned
+	}
+	return set
+}
+
+// SpawnOption configures thread creation.
+type SpawnOption func(*Thread)
+
+// Pinned gives the thread a hard affinity mask
+// (pthread_setaffinity_np-style).
+func Pinned(set CPUSet) SpawnOption {
+	return func(t *Thread) { t.pinned = set }
+}
+
+// NearNode hints the initial placement toward the given node, modelling
+// fork-local placement: a child thread starts in its parent's scheduling
+// domain, and only the load balancer later spreads it (stealing). It is a
+// hint, not an affinity — ignored when the node has no allowed core.
+func NearNode(n numa.NodeID) SpawnOption {
+	return func(t *Thread) { t.spawnHint = n }
+}
+
+// Spawn creates a thread owned by pid running the given work and places it
+// following the kernel's spreading policy: the least-loaded allowed core,
+// preferring nodes with the least total load, so new threads land far
+// apart (Section II-A: "the OS scheduler attempts to leave them on remote
+// nodes balancing thus the CPU load").
+func (s *Scheduler) Spawn(pid int, name string, r Runner, opts ...SpawnOption) *Thread {
+	t := &Thread{
+		ID:        s.nextTID,
+		PID:       pid,
+		Name:      name,
+		runner:    r,
+		state:     Runnable,
+		spawned:   s.machine.Now(),
+		spawnHint: numa.NoNode,
+	}
+	s.nextTID++
+	for _, opt := range opts {
+		opt(t)
+	}
+	t.core = s.placementCore(t)
+	s.queues[t.core] = append(s.queues[t.core], t)
+	s.threads[t.ID] = t
+	s.stats.Spawned++
+	return t
+}
+
+// placementCore picks the spawn/wake core for a thread.
+func (s *Scheduler) placementCore(t *Thread) numa.CoreID {
+	allowed := s.allowedSet(t)
+	if t.spawnHint != numa.NoNode {
+		// Fork-local placement: least-loaded allowed core on the hinted
+		// node; spreading is the balancer's job, not placement's.
+		if cores := allowed.CoresOnNode(s.topo, t.spawnHint); len(cores) > 0 {
+			best, bestLen := cores[0], len(s.queues[cores[0]])
+			for _, c := range cores[1:] {
+				if l := len(s.queues[c]); l < bestLen {
+					best, bestLen = c, l
+				}
+			}
+			return best
+		}
+	}
+	// Node with the least queued threads among allowed cores first.
+	bestNode, bestNodeLoad := numa.NodeID(-1), 1<<30
+	for n := 0; n < s.topo.NodeCount; n++ {
+		cores := allowed.CoresOnNode(s.topo, numa.NodeID(n))
+		if len(cores) == 0 {
+			continue
+		}
+		load := 0
+		for _, c := range cores {
+			load += len(s.queues[c])
+		}
+		// Normalize by core count so a node with more allowed cores is
+		// not penalized for its capacity.
+		norm := load * 16 / len(cores)
+		if norm < bestNodeLoad {
+			bestNodeLoad, bestNode = norm, numa.NodeID(n)
+		}
+	}
+	best, bestLen := numa.CoreID(-1), 1<<30
+	for _, c := range allowed.CoresOnNode(s.topo, bestNode) {
+		if l := len(s.queues[c]); l < bestLen {
+			best, bestLen = c, l
+		}
+	}
+	return best
+}
+
+// Wake moves a Blocked thread back onto a run queue. The kernel prefers
+// the thread's previous core whenever it is still allowed (the
+// wake-affinity heuristic: wake-ups chase cache residency, and the
+// periodic balancer repairs the resulting imbalance by stealing).
+func (s *Scheduler) Wake(t *Thread) {
+	if t.state != Blocked {
+		return
+	}
+	allowed := s.allowedSet(t)
+	target := t.core
+	if !allowed.Contains(target) {
+		target = s.placementCore(t)
+	}
+	if target != t.core {
+		s.recordMigration(t, target)
+	}
+	t.state = Runnable
+	// Wakeup preemption: a thread that slept goes to the head of the
+	// queue (CFS credits sleepers with low vruntime), so short-running
+	// coordinator threads are not starved behind CPU-bound workers.
+	s.queues[target] = append([]*Thread{t}, s.queues[target]...)
+}
+
+// WakeAll wakes every Blocked thread owned by pid (a task queue became
+// non-empty).
+func (s *Scheduler) WakeAll(pid int) {
+	ids := make([]TID, 0)
+	for id, t := range s.threads {
+		if t.PID == pid && t.state == Blocked {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s.Wake(s.threads[id])
+	}
+}
+
+// recordMigration updates counters and fires the trace hook for a thread
+// moving to a different core.
+func (s *Scheduler) recordMigration(t *Thread, to numa.CoreID) {
+	from := t.core
+	s.stats.Migrations++
+	if s.topo.NodeOf(from) != s.topo.NodeOf(to) {
+		s.stats.CrossNodeMigrations++
+	}
+	if s.OnMigrate != nil {
+		s.OnMigrate(MigrationEvent{TID: t.ID, From: from, To: to, Now: s.machine.Now()})
+	}
+	t.core = to
+}
+
+// reconcileGroup re-places every queued thread of the group whose core left
+// the cpuset (the cgroup cpuset write path).
+func (s *Scheduler) reconcileGroup(g *CGroup) {
+	for core := range s.queues {
+		q := s.queues[core]
+		kept := q[:0]
+		var displaced []*Thread
+		for _, t := range q {
+			if g.pids[t.PID] && !s.allowedSet(t).Contains(numa.CoreID(core)) {
+				displaced = append(displaced, t)
+				continue
+			}
+			kept = append(kept, t)
+		}
+		s.queues[core] = kept
+		for _, t := range displaced {
+			target := s.placementCore(t)
+			s.recordMigration(t, target)
+			s.queues[target] = append(s.queues[target], t)
+		}
+	}
+}
+
+// Tick advances the simulation by one quantum: every core runs the head of
+// its queue (work-conserving within the quantum across its own queue), the
+// machine's virtual clock moves forward, and periodically the load balancer
+// evens out queue lengths by stealing threads.
+func (s *Scheduler) Tick() {
+	s.tick++
+	s.stats.TicksRun++
+	start := s.machine.Now()
+	// Advance the clock first: anything that completes inside this
+	// quantum is stamped at the quantum's end, never before its start.
+	s.machine.AdvanceTime(s.cfg.Quantum)
+	for core := 0; core < s.topo.TotalCores(); core++ {
+		s.runCore(numa.CoreID(core), start)
+	}
+	if s.tick%s.cfg.BalancePeriod == 0 {
+		s.balance()
+	}
+}
+
+// runCore executes up to one quantum of work on a core, rotating through
+// its queue if threads block or finish early.
+func (s *Scheduler) runCore(core numa.CoreID, start uint64) {
+	if len(s.queues[core]) == 0 {
+		// Idle balancing: an idling CPU immediately tries to pull work
+		// from the busiest queue (Linux idle_balance), trading cache
+		// affinity for utilization — the stolen tasks of Fig 13 (d).
+		s.idleSteal(core)
+	}
+	budget := s.cfg.Quantum
+	guard := len(s.queues[core]) + 1 // at most one attempt per queued thread
+	for budget > 0 && guard > 0 {
+		guard--
+		q := s.queues[core]
+		if len(q) == 0 {
+			break
+		}
+		t := q[0]
+		s.queues[core] = q[1:]
+		if t.state == Done {
+			continue
+		}
+		t.state = Running
+		ctx := &ExecContext{Machine: s.machine, Core: core, PID: t.PID, TID: t.ID}
+		used, blocked, done := t.runner.Run(ctx, budget)
+		if used > budget {
+			used = budget
+		}
+		if used > 0 {
+			s.machine.ChargeBusy(core, used)
+			if s.OnRunSlice != nil {
+				s.OnRunSlice(RunSlice{TID: t.ID, Core: core, Start: start + (s.cfg.Quantum - budget), Cycles: used})
+			}
+		}
+		budget -= used
+		switch {
+		case done:
+			t.state = Done
+			t.exited = s.machine.Now() + (s.cfg.Quantum - budget)
+			delete(s.threads, t.ID)
+		case blocked:
+			t.state = Blocked
+		default:
+			t.state = Runnable
+			s.queues[core] = append(s.queues[core], t)
+			if used == 0 {
+				// A runnable thread that made no progress would spin the
+				// core loop forever; treat the rest of the quantum as its
+				// slice.
+				budget = 0
+			}
+		}
+	}
+	if budget > 0 {
+		s.machine.ChargeIdle(core, budget)
+	}
+}
+
+// idleSteal pulls one thread allowed on the idle core from the busiest
+// queue with at least two runnable threads.
+func (s *Scheduler) idleSteal(core numa.CoreID) {
+	busiest, busiestLen := numa.CoreID(-1), 1
+	for c := range s.queues {
+		if l := len(s.queues[c]); l > busiestLen {
+			busiest, busiestLen = numa.CoreID(c), l
+		}
+	}
+	if busiest < 0 {
+		return
+	}
+	for i, t := range s.queues[busiest] {
+		if !s.allowedSet(t).Contains(core) {
+			continue
+		}
+		s.queues[busiest] = append(s.queues[busiest][:i], s.queues[busiest][i+1:]...)
+		s.stats.StolenTasks++
+		if s.topo.NodeOf(busiest) != s.topo.NodeOf(core) {
+			s.machine.DropCoreAffinity(core)
+		}
+		s.recordMigration(t, core)
+		s.queues[core] = append(s.queues[core], t)
+		return
+	}
+}
+
+// balance is the periodic load balancer: it repeatedly moves one thread
+// from the busiest queue to the idlest allowed queue while the imbalance
+// exceeds the threshold. Every move is a stolen task; moves across nodes
+// lose cache affinity (the machine drops the thread's private cache).
+func (s *Scheduler) balance() {
+	for moved := 0; moved < s.topo.TotalCores(); moved++ {
+		busiest, idlest := numa.CoreID(-1), numa.CoreID(-1)
+		busiestLen, idlestLen := -1, 1<<30
+		for core := range s.queues {
+			l := len(s.queues[core])
+			if l > busiestLen {
+				busiestLen, busiest = l, numa.CoreID(core)
+			}
+		}
+		if busiestLen < s.cfg.BalanceThreshold {
+			return
+		}
+		// Find a thread on the busiest queue and the best core it may move
+		// to.
+		var steal *Thread
+		stealIdx := -1
+		for i, t := range s.queues[busiest] {
+			allowed := s.allowedSet(t)
+			for core := range s.queues {
+				c := numa.CoreID(core)
+				if c == busiest || !allowed.Contains(c) {
+					continue
+				}
+				if l := len(s.queues[core]); l < idlestLen {
+					idlestLen, idlest = l, c
+					steal, stealIdx = t, i
+				}
+			}
+			if steal != nil {
+				break
+			}
+		}
+		if steal == nil || busiestLen-idlestLen < s.cfg.BalanceThreshold {
+			return
+		}
+		s.queues[busiest] = append(s.queues[busiest][:stealIdx], s.queues[busiest][stealIdx+1:]...)
+		s.stats.StolenTasks++
+		if s.topo.NodeOf(busiest) != s.topo.NodeOf(idlest) {
+			s.machine.DropCoreAffinity(idlest)
+		}
+		s.recordMigration(steal, idlest)
+		s.queues[idlest] = append(s.queues[idlest], steal)
+	}
+}
+
+// RunUntil ticks the scheduler until the predicate returns true or the
+// cycle limit is reached, returning whether the predicate was satisfied.
+func (s *Scheduler) RunUntil(pred func() bool, maxCycles uint64) bool {
+	deadline := s.machine.Now() + maxCycles
+	for !pred() {
+		if s.machine.Now() >= deadline {
+			return false
+		}
+		s.Tick()
+	}
+	return true
+}
+
+// QueueLengths returns the current run-queue length per core (diagnostics
+// and tests).
+func (s *Scheduler) QueueLengths() []int {
+	out := make([]int, len(s.queues))
+	for i, q := range s.queues {
+		out[i] = len(q)
+	}
+	return out
+}
+
+// LiveThreads returns the number of threads not yet Done.
+func (s *Scheduler) LiveThreads() int { return len(s.threads) }

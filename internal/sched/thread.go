@@ -1,0 +1,105 @@
+package sched
+
+import "elasticore/internal/numa"
+
+// TID identifies a kernel thread in the simulation.
+type TID int
+
+// State is a thread's scheduling state.
+type State int
+
+const (
+	// Runnable threads sit on a run queue waiting for a quantum.
+	Runnable State = iota
+	// Running threads hold a core during the current quantum.
+	Running
+	// Blocked threads wait for work (an empty task queue); they consume
+	// no CPU and are skipped by the balancer.
+	Blocked
+	// Done threads have finished and are removed at the next tick.
+	Done
+)
+
+// String implements fmt.Stringer for State.
+func (s State) String() string {
+	switch s {
+	case Runnable:
+		return "runnable"
+	case Running:
+		return "running"
+	case Blocked:
+		return "blocked"
+	case Done:
+		return "done"
+	}
+	return "unknown"
+}
+
+// ExecContext is what a Runner sees while executing on a core: the machine
+// to charge accesses to and the identity of the executing thread.
+type ExecContext struct {
+	Machine *numa.Machine
+	Core    numa.CoreID
+	PID     int
+	TID     TID
+}
+
+// Access charges one memory access on the executing core and returns its
+// cycle cost.
+func (ctx *ExecContext) Access(a numa.Access) uint64 {
+	if a.PID == 0 {
+		a.PID = ctx.PID
+	}
+	return ctx.Machine.Access(ctx.Core, a).Cycles
+}
+
+// Runner is the work a thread executes. Run consumes up to budget cycles
+// and reports the cycles actually used and the thread's next state:
+//
+//   - used > 0, done=false, blocked=false: still runnable (requeue)
+//   - blocked=true: no work available right now (e.g. empty task queue)
+//   - done=true: thread exits
+type Runner interface {
+	Run(ctx *ExecContext, budget uint64) (used uint64, blocked, done bool)
+}
+
+// RunnerFunc adapts a function to the Runner interface.
+type RunnerFunc func(ctx *ExecContext, budget uint64) (used uint64, blocked, done bool)
+
+// Run implements Runner.
+func (f RunnerFunc) Run(ctx *ExecContext, budget uint64) (uint64, bool, bool) {
+	return f(ctx, budget)
+}
+
+// Thread is one schedulable entity.
+type Thread struct {
+	ID   TID
+	PID  int    // process the thread belongs to (cgroup membership key)
+	Name string // diagnostic label, e.g. "worker3" or "client17"
+
+	runner Runner
+	state  State
+	core   numa.CoreID // current queue assignment
+	// pinned, when non-zero, is a hard affinity mask the balancer must
+	// respect (pthread_setaffinity_np / NUMA-aware DBMS pinning).
+	pinned CPUSet
+	// spawnHint biases initial placement toward a node (fork-local
+	// placement); NoNode means none.
+	spawnHint numa.NodeID
+
+	spawned uint64 // virtual time of creation, cycles
+	exited  uint64 // virtual time of exit, cycles (valid when state == Done)
+}
+
+// State returns the thread's scheduling state.
+func (t *Thread) State() State { return t.state }
+
+// Core returns the core whose queue currently holds the thread.
+func (t *Thread) Core() numa.CoreID { return t.core }
+
+// Pinned returns the thread's hard-affinity mask (zero = none).
+func (t *Thread) Pinned() CPUSet { return t.pinned }
+
+// Lifespan returns the creation and exit times in cycles; exit is only
+// meaningful once the thread is Done.
+func (t *Thread) Lifespan() (spawned, exited uint64) { return t.spawned, t.exited }

@@ -1,0 +1,230 @@
+package tpch
+
+import (
+	"math"
+	"testing"
+)
+
+// queries_ref_test.go validates more query plans against independent
+// straight-line reference implementations over the generated data.
+
+func TestQ4AgainstReference(t *testing.T) {
+	r := newQRig(t, 0.002)
+	seed := uint64(6)
+	q := r.exec(t, BuildQ4(seed))
+
+	rr := newRNG(seed ^ 4)
+	y := pYear(rr)
+	m := int64(1 + 3*rr.intn(4))
+	lo, hi := y*10000+m*100, y*10000+(m+3)*100
+
+	li := r.store.Table("lineitem")
+	orders := r.store.Table("orders")
+	lateOrders := map[int64]bool{}
+	for i := 0; i < li.Rows; i++ {
+		if li.Col("l_late").I[i] == 1 {
+			lateOrders[li.Col("l_orderkey").I[i]] = true
+		}
+	}
+	want := map[int64]float64{}
+	for i := 0; i < orders.Rows; i++ {
+		d := orders.Col("o_orderdate").I[i]
+		if d >= lo && d < hi && lateOrders[orders.Col("o_orderkey").I[i]] {
+			want[orders.Col("o_orderpriority").I[i]]++
+		}
+	}
+	gk := q.Var("gk").FlattenI64()
+	gs := q.Var("gs").FlattenF64()
+	if len(gk) != len(want) {
+		t.Fatalf("Q4 groups = %d, want %d", len(gk), len(want))
+	}
+	for i, k := range gk {
+		if gs[i] != want[k] {
+			t.Errorf("priority %d count = %g, want %g", k, gs[i], want[k])
+		}
+	}
+}
+
+func TestQ12AgainstReference(t *testing.T) {
+	r := newQRig(t, 0.002)
+	seed := uint64(2)
+	q := r.exec(t, BuildQ12(seed))
+
+	rr := newRNG(seed ^ 12)
+	y := pYear(rr)
+	m1 := int64(rr.intn(NumShipModes))
+	m2 := (m1 + 1) % NumShipModes
+
+	li := r.store.Table("lineitem")
+	want := map[int64]float64{}
+	for i := 0; i < li.Rows; i++ {
+		mode := li.Col("l_shipmode").I[i]
+		if mode != m1 && mode != m2 {
+			continue
+		}
+		rd := li.Col("l_receiptdate").I[i]
+		if rd < y*10000 || rd >= (y+1)*10000 {
+			continue
+		}
+		if li.Col("l_late").I[i] != 1 {
+			continue
+		}
+		want[mode]++
+	}
+	gk := q.Var("gk").FlattenI64()
+	gs := q.Var("gs").FlattenF64()
+	if len(gk) != len(want) {
+		t.Fatalf("Q12 groups = %d, want %d (%v)", len(gk), len(want), want)
+	}
+	for i, k := range gk {
+		if gs[i] != want[k] {
+			t.Errorf("mode %d count = %g, want %g", k, gs[i], want[k])
+		}
+	}
+}
+
+func TestQ17AgainstReference(t *testing.T) {
+	r := newQRig(t, 0.005)
+	seed := uint64(13)
+	q := r.exec(t, BuildQ17(seed))
+
+	rr := newRNG(seed ^ 17)
+	brand := int64(rr.intn(NumBrands))
+	container := int64(rr.intn(NumContainers))
+
+	part := r.store.Table("part")
+	pset := map[int64]bool{}
+	for i := 0; i < part.Rows; i++ {
+		if part.Col("p_brand").I[i] == brand && part.Col("p_container").I[i] == container {
+			pset[part.Col("p_partkey").I[i]] = true
+		}
+	}
+	li := r.store.Table("lineitem")
+	var want float64
+	for i := 0; i < li.Rows; i++ {
+		if pset[li.Col("l_partkey").I[i]] && li.Col("l_quantity").F[i] < 10 {
+			want += li.Col("l_extendedprice").F[i]
+		}
+	}
+	got := q.Scalar("result")
+	if math.Abs(got-want) > 1e-6*math.Abs(want)+1e-9 {
+		t.Errorf("Q17 = %g, want %g", got, want)
+	}
+}
+
+func TestQ19AgainstReference(t *testing.T) {
+	r := newQRig(t, 0.005)
+	seed := uint64(8)
+	q := r.exec(t, BuildQ19(seed))
+
+	rr := newRNG(seed ^ 19)
+	b1 := int64(rr.intn(NumBrands))
+	c1 := int64(rr.intn(NumContainers - 4))
+	qlo := float64(1 + rr.intn(10))
+	brands := map[int64]bool{b1: true, (b1 + 5) % NumBrands: true, (b1 + 10) % NumBrands: true}
+	containers := map[int64]bool{c1: true, c1 + 1: true, c1 + 2: true, c1 + 3: true}
+
+	part := r.store.Table("part")
+	pset := map[int64]bool{}
+	for i := 0; i < part.Rows; i++ {
+		if brands[part.Col("p_brand").I[i]] && containers[part.Col("p_container").I[i]] {
+			pset[part.Col("p_partkey").I[i]] = true
+		}
+	}
+	li := r.store.Table("lineitem")
+	var want float64
+	for i := 0; i < li.Rows; i++ {
+		mode := li.Col("l_shipmode").I[i]
+		if mode != 0 && mode != 1 {
+			continue
+		}
+		if li.Col("l_shipinstruct").I[i] != 0 {
+			continue
+		}
+		if !pset[li.Col("l_partkey").I[i]] {
+			continue
+		}
+		qty := li.Col("l_quantity").F[i]
+		if qty < qlo || qty > qlo+30 {
+			continue
+		}
+		want += li.Col("l_extendedprice").F[i] * (1 - li.Col("l_discount").F[i])
+	}
+	got := q.Scalar("result")
+	if math.Abs(got-want) > 1e-6*math.Abs(want)+1e-9 {
+		t.Errorf("Q19 = %g, want %g", got, want)
+	}
+}
+
+func TestQ22AgainstReference(t *testing.T) {
+	r := newQRig(t, 0.002)
+	seed := uint64(4)
+	q := r.exec(t, BuildQ22(seed))
+
+	rr := newRNG(seed ^ 22)
+	n1 := int64(rr.intn(NumNations - 7))
+	nations := map[int64]bool{}
+	for k := int64(0); k < 7; k++ {
+		nations[n1+k] = true
+	}
+	cust := r.store.Table("customer")
+	orders := r.store.Table("orders")
+	has := map[int64]bool{}
+	for _, ck := range orders.Col("o_custkey").I {
+		has[ck] = true
+	}
+	want := map[int64]float64{}
+	for i := 0; i < cust.Rows; i++ {
+		nk := cust.Col("c_nationkey").I[i]
+		if !nations[nk] || has[cust.Col("c_custkey").I[i]] {
+			continue
+		}
+		want[nk] += cust.Col("c_acctbal").F[i]
+	}
+	gk := q.Var("gk").FlattenI64()
+	gs := q.Var("gs").FlattenF64()
+	if len(gk) != len(want) {
+		t.Fatalf("Q22 groups = %d, want %d", len(gk), len(want))
+	}
+	for i, k := range gk {
+		if math.Abs(gs[i]-want[k]) > 1e-6*math.Abs(want[k])+1e-9 {
+			t.Errorf("nation %d balance = %g, want %g", k, gs[i], want[k])
+		}
+	}
+}
+
+func TestQ20AgainstReference(t *testing.T) {
+	r := newQRig(t, 0.005)
+	seed := uint64(15)
+	q := r.exec(t, BuildQ20(seed))
+
+	rr := newRNG(seed ^ 20)
+	nation := int64(rr.intn(NumNations))
+	typ := int64(rr.intn(NumTypes / 2))
+
+	part := r.store.Table("part")
+	pset := map[int64]bool{}
+	for i := 0; i < part.Rows; i++ {
+		tp := part.Col("p_type").I[i]
+		if tp >= typ && tp < typ+15 {
+			pset[part.Col("p_partkey").I[i]] = true
+		}
+	}
+	ps := r.store.Table("partsupp")
+	surplus := map[int64]bool{}
+	for i := 0; i < ps.Rows; i++ {
+		if pset[ps.Col("ps_partkey").I[i]] && ps.Col("ps_availqty").F[i] > 5000 {
+			surplus[ps.Col("ps_suppkey").I[i]] = true
+		}
+	}
+	sup := r.store.Table("supplier")
+	want := 0.0
+	for i := 0; i < sup.Rows; i++ {
+		if sup.Col("s_nationkey").I[i] == nation && surplus[sup.Col("s_suppkey").I[i]] {
+			want++
+		}
+	}
+	if got := q.Scalar("result"); got != want {
+		t.Errorf("Q20 = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,152 @@
+// Package trace records and renders thread-scheduling traces: the
+// lifespan/core-migration maps of the paper's Figures 5 and 16, and the
+// per-operator tomograph of Figure 6.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"elasticore/internal/numa"
+	"elasticore/internal/sched"
+)
+
+// MigrationTrace accumulates scheduling events for a set of threads.
+// Attach it to a scheduler before running the workload of interest.
+type MigrationTrace struct {
+	topo   *numa.Topology
+	events []sched.MigrationEvent
+	slices []sched.RunSlice
+}
+
+// NewMigrationTrace hooks a trace into the scheduler. Existing hooks are
+// replaced.
+func NewMigrationTrace(s *sched.Scheduler) *MigrationTrace {
+	t := &MigrationTrace{topo: s.Machine().Topology()}
+	s.OnMigrate = func(e sched.MigrationEvent) { t.events = append(t.events, e) }
+	s.OnRunSlice = func(r sched.RunSlice) { t.slices = append(t.slices, r) }
+	return t
+}
+
+// Migrations returns the raw migration events.
+func (t *MigrationTrace) Migrations() []sched.MigrationEvent { return t.events }
+
+// MigrationCount returns total and cross-node migration counts for the
+// recorded window.
+func (t *MigrationTrace) MigrationCount() (total, crossNode int) {
+	for _, e := range t.events {
+		total++
+		if t.topo.NodeOf(e.From) != t.topo.NodeOf(e.To) {
+			crossNode++
+		}
+	}
+	return total, crossNode
+}
+
+// CoresUsed returns the distinct cores each thread executed on.
+func (t *MigrationTrace) CoresUsed() map[sched.TID][]numa.CoreID {
+	seen := make(map[sched.TID]map[numa.CoreID]bool)
+	for _, s := range t.slices {
+		if seen[s.TID] == nil {
+			seen[s.TID] = make(map[numa.CoreID]bool)
+		}
+		seen[s.TID][s.Core] = true
+	}
+	out := make(map[sched.TID][]numa.CoreID, len(seen))
+	for tid, cores := range seen {
+		var cs []numa.CoreID
+		for c := range cores {
+			cs = append(cs, c)
+		}
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+		out[tid] = cs
+	}
+	return out
+}
+
+// NodesUsed returns the distinct NUMA nodes each thread executed on.
+func (t *MigrationTrace) NodesUsed() map[sched.TID]int {
+	out := make(map[sched.TID]int)
+	for tid, cores := range t.CoresUsed() {
+		nodes := make(map[numa.NodeID]bool)
+		for _, c := range cores {
+			nodes[t.topo.NodeOf(c)] = true
+		}
+		out[tid] = len(nodes)
+	}
+	return out
+}
+
+// Render draws an ASCII lifespan map in the spirit of Figures 5/16: one
+// row per time bucket, one column per thread, cells showing the core that
+// ran the thread in that bucket ('.' = idle). Threads are limited to the
+// first maxThreads by TID.
+func (t *MigrationTrace) Render(buckets, maxThreads int) string {
+	if len(t.slices) == 0 {
+		return "(no run slices recorded)\n"
+	}
+	var minT, maxT uint64
+	tids := map[sched.TID]bool{}
+	for i, s := range t.slices {
+		if i == 0 || s.Start < minT {
+			minT = s.Start
+		}
+		if end := s.Start + s.Cycles; end > maxT {
+			maxT = end
+		}
+		tids[s.TID] = true
+	}
+	ids := make([]sched.TID, 0, len(tids))
+	for id := range tids {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) > maxThreads {
+		ids = ids[:maxThreads]
+	}
+	col := make(map[sched.TID]int, len(ids))
+	for i, id := range ids {
+		col[id] = i
+	}
+	span := maxT - minT
+	if span == 0 {
+		span = 1
+	}
+	grid := make([][]int, buckets)
+	for i := range grid {
+		grid[i] = make([]int, len(ids))
+		for j := range grid[i] {
+			grid[i][j] = -1
+		}
+	}
+	for _, s := range t.slices {
+		c, ok := col[s.TID]
+		if !ok {
+			continue
+		}
+		b := int(uint64(buckets) * (s.Start - minT) / span)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		grid[b][c] = int(s.Core)
+	}
+	var b strings.Builder
+	b.WriteString("time ")
+	for _, id := range ids {
+		fmt.Fprintf(&b, " T%-3d", id)
+	}
+	b.WriteByte('\n')
+	for i, row := range grid {
+		fmt.Fprintf(&b, "%4d ", i)
+		for _, core := range row {
+			if core < 0 {
+				b.WriteString("   . ")
+			} else {
+				fmt.Fprintf(&b, " %3d ", core)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

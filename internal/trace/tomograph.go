@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"elasticore/internal/db"
+	"elasticore/internal/numa"
+)
+
+// Tomograph aggregates per-operator task executions like MonetDB's
+// tomograph facility (paper Figure 6): how many calls each operator made,
+// their total time, and which workers ran them.
+type Tomograph struct {
+	topo   *numa.Topology
+	events []db.TaskEvent
+}
+
+// NewTomograph hooks into the engine's task-completion stream.
+func NewTomograph(e *db.Engine, topo *numa.Topology) *Tomograph {
+	t := &Tomograph{topo: topo}
+	e.OnTaskDone = func(ev db.TaskEvent) { t.events = append(t.events, ev) }
+	return t
+}
+
+// OpStat summarizes one operator.
+type OpStat struct {
+	Op      string
+	Calls   int
+	Seconds float64
+	Workers int
+}
+
+// Stats returns the per-operator summary sorted by descending total time.
+func (t *Tomograph) Stats() []OpStat {
+	type agg struct {
+		calls   int
+		cycles  uint64
+		workers map[int]bool
+	}
+	byOp := map[string]*agg{}
+	for _, e := range t.events {
+		a := byOp[e.Op]
+		if a == nil {
+			a = &agg{workers: map[int]bool{}}
+			byOp[e.Op] = a
+		}
+		a.calls++
+		a.cycles += e.End - e.Start
+		a.workers[int(e.Worker)] = true
+	}
+	out := make([]OpStat, 0, len(byOp))
+	for op, a := range byOp {
+		out = append(out, OpStat{
+			Op:      op,
+			Calls:   a.calls,
+			Seconds: t.topo.CyclesToSeconds(a.cycles),
+			Workers: len(a.workers),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seconds != out[j].Seconds {
+			return out[i].Seconds > out[j].Seconds
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}
+
+// Events returns the raw task events.
+func (t *Tomograph) Events() []db.TaskEvent { return t.events }
+
+// Render prints the operator table in Figure 6's caption style
+// ("algebra.subselect — 32 calls: 1.435 s").
+func (t *Tomograph) Render() string {
+	var b strings.Builder
+	for _, s := range t.Stats() {
+		fmt.Fprintf(&b, "%-26s %4d calls: %8.3f ms on %2d workers\n",
+			s.Op, s.Calls, s.Seconds*1e3, s.Workers)
+	}
+	if b.Len() == 0 {
+		return "(no task events recorded)\n"
+	}
+	return b.String()
+}

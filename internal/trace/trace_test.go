@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"elasticore/internal/db"
+	"elasticore/internal/numa"
+	"elasticore/internal/sched"
+	"elasticore/internal/tpch"
+)
+
+func tracedRig(t *testing.T) (*sched.Scheduler, *db.Engine, *numa.Machine) {
+	t.Helper()
+	m := numa.NewMachine(numa.Opteron8387())
+	sc := sched.New(m, sched.Config{Quantum: m.Topology().SecondsToCycles(100e-6)})
+	store := db.NewStore(m)
+	if _, err := tpch.Load(store, tpch.Config{SF: 0.002}); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := db.NewEngine(store, db.Config{Scheduler: sc, PID: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, eng, m
+}
+
+func TestMigrationTraceRecordsSlices(t *testing.T) {
+	sc, eng, m := tracedRig(t)
+	tr := NewMigrationTrace(sc)
+	q := eng.Submit(tpch.BuildQ6(1))
+	if !sc.RunUntil(q.Done, m.Topology().SecondsToCycles(300)) {
+		t.Fatal("query did not finish")
+	}
+	if len(tr.slices) == 0 {
+		t.Fatal("no run slices recorded")
+	}
+	cores := tr.CoresUsed()
+	if len(cores) == 0 {
+		t.Fatal("no threads observed")
+	}
+	nodes := tr.NodesUsed()
+	for tid, n := range nodes {
+		if n < 1 {
+			t.Errorf("thread %d used %d nodes", tid, n)
+		}
+	}
+}
+
+func TestMigrationCountConsistent(t *testing.T) {
+	sc, eng, m := tracedRig(t)
+	tr := NewMigrationTrace(sc)
+	// Heavy concurrency provokes stealing and migration.
+	var qs []*db.Query
+	for i := 0; i < 16; i++ {
+		qs = append(qs, eng.Submit(tpch.BuildQ6(uint64(i))))
+	}
+	done := func() bool {
+		for _, q := range qs {
+			if !q.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	if !sc.RunUntil(done, m.Topology().SecondsToCycles(600)) {
+		t.Fatal("queries did not finish")
+	}
+	total, cross := tr.MigrationCount()
+	if cross > total {
+		t.Errorf("cross-node %d exceeds total %d", cross, total)
+	}
+	if total != len(tr.Migrations()) {
+		t.Errorf("count %d != events %d", total, len(tr.Migrations()))
+	}
+}
+
+func TestRenderProducesGrid(t *testing.T) {
+	sc, eng, m := tracedRig(t)
+	tr := NewMigrationTrace(sc)
+	q := eng.Submit(tpch.BuildQ6(1))
+	sc.RunUntil(q.Done, m.Topology().SecondsToCycles(300))
+	out := tr.Render(10, 8)
+	if !strings.Contains(out, "time") {
+		t.Errorf("render missing header: %q", out[:40])
+	}
+	if len(strings.Split(out, "\n")) < 11 {
+		t.Error("render has fewer rows than buckets")
+	}
+	empty := (&MigrationTrace{topo: m.Topology()}).Render(5, 5)
+	if !strings.Contains(empty, "no run slices") {
+		t.Error("empty trace should say so")
+	}
+}
+
+func TestTomographCollectsOperators(t *testing.T) {
+	sc, eng, m := tracedRig(t)
+	tg := NewTomograph(eng, m.Topology())
+	q := eng.Submit(tpch.BuildQ6(1))
+	if !sc.RunUntil(q.Done, m.Topology().SecondsToCycles(300)) {
+		t.Fatal("query did not finish")
+	}
+	stats := tg.Stats()
+	if len(stats) == 0 {
+		t.Fatal("no operator stats")
+	}
+	found := map[string]bool{}
+	for _, s := range stats {
+		found[s.Op] = true
+		if s.Calls <= 0 {
+			t.Errorf("%s has %d calls", s.Op, s.Calls)
+		}
+	}
+	// Q6's plan must surface its MAL operators (Figure 6).
+	for _, op := range []string{"algebra.thetasubselect", "algebra.subselect", "aggr.sum"} {
+		if !found[op] {
+			t.Errorf("operator %s missing from tomograph", op)
+		}
+	}
+	out := tg.Render()
+	if !strings.Contains(out, "algebra.thetasubselect") {
+		t.Error("render missing operator line")
+	}
+}
+
+func TestTomographParallelism(t *testing.T) {
+	// The thetasubselect fans out across workers — the parallel access to
+	// disjoint partitions the paper shows in Figure 6.
+	sc, eng, m := tracedRig(t)
+	tg := NewTomograph(eng, m.Topology())
+	q := eng.Submit(tpch.BuildQ6(1))
+	sc.RunUntil(q.Done, m.Topology().SecondsToCycles(300))
+	for _, s := range tg.Stats() {
+		if s.Op == "algebra.thetasubselect" && s.Calls < 2 {
+			t.Errorf("thetasubselect ran %d tasks, want parallel fan-out", s.Calls)
+		}
+	}
+}

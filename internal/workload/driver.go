@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"elasticore/internal/db"
+	"elasticore/internal/numa"
+	"elasticore/internal/sched"
+)
+
+// PlanFor supplies the k-th query of client c (both 0-based). Returning
+// nil ends the client's stream early.
+type PlanFor func(client, k int) *db.Plan
+
+// PhaseResult summarizes one driven phase.
+type PhaseResult struct {
+	// ElapsedSeconds is the virtual wall time of the phase.
+	ElapsedSeconds float64
+	// Completed counts finished queries.
+	Completed int
+	// Throughput is queries per virtual second.
+	Throughput float64
+	// MeanLatencySeconds averages per-query latency.
+	MeanLatencySeconds float64
+	// Window is the counter delta over the phase.
+	Window numa.Counters
+	// Sched is the scheduler stats delta over the phase.
+	Sched sched.Stats
+	// Samples are periodic sub-window snapshots (timeline plots); empty
+	// unless SampleEvery was set.
+	Samples []Sample
+}
+
+// Sample is one timeline point: the counter window since the previous
+// sample plus the instantaneous allocation.
+type Sample struct {
+	AtSeconds float64
+	Window    numa.Counters
+	Allocated int
+}
+
+// Driver runs concurrent client streams against a rig, submitting each
+// client's next query as soon as its previous one finishes — the paper's
+// execution protocol with 1..256 concurrent users.
+type Driver struct {
+	Rig *Rig
+	// QueriesPerClient is each client's stream length.
+	QueriesPerClient int
+	// SampleEvery, when positive, records timeline samples at this
+	// virtual-time interval in seconds.
+	SampleEvery float64
+	// MaxSeconds bounds the phase (default 600 virtual seconds).
+	MaxSeconds float64
+}
+
+// Run drives nClients streams to completion and returns the phase
+// summary.
+func (d *Driver) Run(nClients int, plan PlanFor) PhaseResult {
+	if d.QueriesPerClient == 0 {
+		d.QueriesPerClient = 1
+	}
+	if d.MaxSeconds == 0 {
+		d.MaxSeconds = 600
+	}
+	r := d.Rig
+	type clientState struct {
+		cur  *db.Query
+		next int
+	}
+	clients := make([]clientState, nClients)
+
+	startSnap := r.Machine.Snapshot()
+	startStats := r.Sched.Stats()
+	startTime := r.Machine.NowSeconds()
+	deadline := startTime + d.MaxSeconds
+
+	var res PhaseResult
+	var latencySum float64
+	lastSample := startTime
+	sampleSnap := startSnap
+
+	// Prime every client.
+	for c := range clients {
+		if p := plan(c, 0); p != nil {
+			clients[c].cur = r.Engine.Submit(p)
+			clients[c].next = 1
+		} else {
+			clients[c].next = d.QueriesPerClient // nothing to run
+		}
+	}
+
+	active := func() int {
+		n := 0
+		for c := range clients {
+			if clients[c].cur != nil || clients[c].next < d.QueriesPerClient {
+				n++
+			}
+		}
+		return n
+	}
+
+	for active() > 0 && r.Machine.NowSeconds() < deadline {
+		r.Tick()
+		for c := range clients {
+			cs := &clients[c]
+			if cs.cur != nil && cs.cur.Done() {
+				res.Completed++
+				latencySum += r.Machine.Topology().CyclesToSeconds(cs.cur.ElapsedCycles())
+				cs.cur = nil
+			}
+			if cs.cur == nil && cs.next < d.QueriesPerClient {
+				if p := plan(c, cs.next); p != nil {
+					cs.cur = r.Engine.Submit(p)
+				}
+				cs.next++
+			}
+		}
+		if d.SampleEvery > 0 && r.Machine.NowSeconds()-lastSample >= d.SampleEvery {
+			snap := r.Machine.Snapshot()
+			res.Samples = append(res.Samples, Sample{
+				AtSeconds: r.Machine.NowSeconds() - startTime,
+				Window:    snap.Sub(sampleSnap),
+				Allocated: r.AllocatedCores(),
+			})
+			sampleSnap = snap
+			lastSample = r.Machine.NowSeconds()
+		}
+	}
+
+	endSnap := r.Machine.Snapshot()
+	res.ElapsedSeconds = r.Machine.NowSeconds() - startTime
+	res.Window = endSnap.Sub(startSnap)
+	stats := r.Sched.Stats()
+	res.Sched = sched.Stats{
+		Spawned:             stats.Spawned - startStats.Spawned,
+		StolenTasks:         stats.StolenTasks - startStats.StolenTasks,
+		Migrations:          stats.Migrations - startStats.Migrations,
+		CrossNodeMigrations: stats.CrossNodeMigrations - startStats.CrossNodeMigrations,
+		TicksRun:            stats.TicksRun - startStats.TicksRun,
+	}
+	if res.ElapsedSeconds > 0 {
+		res.Throughput = float64(res.Completed) / res.ElapsedSeconds
+	}
+	if res.Completed > 0 {
+		res.MeanLatencySeconds = latencySum / float64(res.Completed)
+	}
+	r.Engine.Drain()
+	return res
+}
+
+// RunSameQuery drives nClients clients each executing the same query
+// plan-builder once per stream slot (the Fig 4/13 protocol: N concurrent
+// users running Q6).
+func (d *Driver) RunSameQuery(nClients int, build func(seed uint64) *db.Plan) PhaseResult {
+	return d.Run(nClients, func(c, k int) *db.Plan {
+		return build(uint64(c*1000 + k + 1))
+	})
+}
