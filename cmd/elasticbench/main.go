@@ -6,6 +6,7 @@
 //	elasticbench -fig 19 -sf 0.01 -clients 64
 //	elasticbench -fig 19 -engine sqlserver
 //	elasticbench -fig overhead
+//	elasticbench -fig consolidation -tenants 4
 //	elasticbench -fig all
 package main
 
@@ -20,15 +21,16 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 4,5,7,13,14,15,16,17,18,19,20,overhead,all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 4,5,7,13,14,15,16,17,18,19,20,overhead,consolidation,all")
 		sf      = flag.Float64("sf", 0.005, "TPC-H scale factor (paper: 1.0)")
 		clients = flag.Int("clients", 64, "concurrent clients (paper: 256)")
 		seed    = flag.Uint64("seed", 1, "data and parameter seed")
 		engine  = flag.String("engine", "monetdb", "engine flavour: monetdb | sqlserver")
+		tenants = flag.Int("tenants", 3, "tenant count for the consolidation experiment (2..4)")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{SF: *sf, Clients: *clients, Seed: *seed}
+	cfg := experiments.Config{SF: *sf, Clients: *clients, Seed: *seed, Tenants: *tenants}
 	if *engine == "sqlserver" {
 		cfg.Placement = db.PlacementNUMAAware
 	} else if *engine != "monetdb" {
@@ -60,6 +62,7 @@ func run(fig string, cfg experiments.Config) error {
 		{"19", func() (fmt.Stringer, error) { return experiments.RunFig19(cfg) }},
 		{"20", func() (fmt.Stringer, error) { return experiments.RunFig20(cfg) }},
 		{"overhead", func() (fmt.Stringer, error) { return experiments.MeasureOverhead(cfg, 1000) }},
+		{"consolidation", func() (fmt.Stringer, error) { return experiments.RunConsolidation(cfg) }},
 	}
 	ran := false
 	for _, a := range artifacts {

@@ -18,7 +18,9 @@
 //   - a TPC-H generator and all 22 queries (internal/tpch),
 //   - workload drivers, energy model, trace facilities and one
 //     experiment harness per paper figure (internal/workload,
-//     internal/metrics, internal/trace, internal/experiments).
+//     internal/metrics, internal/trace, internal/experiments),
+//   - multi-tenant consolidation: per-tenant elastic mechanisms under a
+//     machine-level, SLA-weighted core arbiter (internal/tenant).
 //
 // This file re-exports the handful of types a downstream user needs to
 // run elastic-allocation experiments without reaching into the internal
@@ -30,6 +32,7 @@ import (
 	"elasticore/internal/elastic"
 	"elasticore/internal/numa"
 	"elasticore/internal/sched"
+	"elasticore/internal/tenant"
 	"elasticore/internal/tpch"
 	"elasticore/internal/workload"
 )
@@ -81,6 +84,29 @@ type (
 	Driver = workload.Driver
 )
 
+// Multi-tenant consolidation types (the paper's Section VII cloud
+// setting): several tenant databases, each with its own elastic
+// mechanism, share one machine under a core arbiter.
+type (
+	// Tenant is one consolidated database: cgroup, mechanism, SLA.
+	Tenant = tenant.Tenant
+	// Arbiter divides the machine's cores among tenants every control
+	// period: SLA-weighted shares, starvation floors, no over-commit.
+	Arbiter = tenant.Arbiter
+	// SLA is a tenant's agreement: weight, core floor, traffic budget.
+	SLA = tenant.SLA
+	// MultiRig is a fully wired multi-tenant experiment environment.
+	MultiRig = workload.MultiRig
+	// TenantSpec configures one tenant of a MultiRig.
+	TenantSpec = workload.TenantSpec
+	// MultiRigOptions configures NewMultiRig.
+	MultiRigOptions = workload.MultiOptions
+	// TenantLoad describes one tenant's client streams for MultiRig.Run.
+	TenantLoad = workload.TenantLoad
+	// MultiPhaseResult is the outcome of one consolidated phase.
+	MultiPhaseResult = workload.MultiPhaseResult
+)
+
 // Modes re-exported for rig construction.
 const (
 	ModeOS       = workload.ModeOS
@@ -97,6 +123,14 @@ func Opteron8387() *Topology { return numa.Opteron8387() }
 // scheduler, a TPC-H-loaded store, a database engine inside a cgroup and
 // (unless ModeOS) the elastic mechanism steering that cgroup.
 func NewRig(opts RigOptions) (*Rig, error) { return workload.NewRig(opts) }
+
+// NewMultiRig builds a multi-tenant environment: one machine and OS
+// scheduler shared by N tenant databases — each with its own TPC-H
+// dataset, engine, cgroup and elastic mechanism — consolidated under the
+// core arbiter.
+func NewMultiRig(opts MultiRigOptions) (*MultiRig, error) {
+	return workload.NewMultiRig(opts)
+}
 
 // BuildQuery returns the plan of TPC-H query n (1..22) with seed-derived
 // parameters.

@@ -1,0 +1,3 @@
+module elasticore
+
+go 1.22

@@ -1,0 +1,93 @@
+package elastic
+
+import "testing"
+
+// lonc_test.go covers FindLONC (the paper's Equation 1) directly: the
+// degenerate machine, the no-satisfying-allocation fallback, and the
+// guarantee that the *smallest* satisfying allocation wins.
+
+func TestFindLONCDegenerateTotal(t *testing.T) {
+	probe := func(n int) (float64, float64) { return 50, float64(n) }
+	for _, nTotal := range []int{0, -1, -7} {
+		n, ok := FindLONC(probe, nTotal, 10, 70)
+		if ok || n != 0 {
+			t.Errorf("FindLONC(nTotal=%d) = (%d, %v), want (0, false)", nTotal, n, ok)
+		}
+	}
+}
+
+func TestFindLONCNoSatisfyingAllocationFallsBackToTotal(t *testing.T) {
+	// Load pinned at saturation: no candidate is inside (thmin, thmax),
+	// so the workload must run on the full machine.
+	probe := func(n int) (float64, float64) { return 100, float64(n) }
+	n, ok := FindLONC(probe, 8, 10, 70)
+	if ok || n != 8 {
+		t.Errorf("FindLONC = (%d, %v), want fallback (8, false)", n, ok)
+	}
+
+	// Smaller allocations read inside the band but never reach p(nTotal),
+	// and the full machine reads outside the band: the perf condition
+	// alone must force the fallback.
+	probe = func(n int) (float64, float64) {
+		if n == 12 {
+			return 100, 100
+		}
+		return 50, 1
+	}
+	n, ok = FindLONC(probe, 12, 10, 70)
+	if ok || n != 12 {
+		t.Errorf("FindLONC = (%d, %v), want (12, false) when only nTotal performs", n, ok)
+	}
+}
+
+func TestFindLONCSelectsSmallestSatisfyingN(t *testing.T) {
+	// Load spreads inversely with cores: u(4)=85 is above the band,
+	// u(5)=68 and everything after is inside it, performance is flat.
+	// Candidates 5..12 all satisfy Equation 1; the smallest must win.
+	probe := func(n int) (float64, float64) {
+		u := 340.0 / float64(n)
+		if u > 100 {
+			u = 100
+		}
+		return u, 10
+	}
+	n, ok := FindLONC(probe, 12, 10, 70)
+	if !ok || n != 5 {
+		t.Errorf("FindLONC = (%d, %v), want the smallest satisfying (5, true)", n, ok)
+	}
+}
+
+func TestFindLONCThresholdsAreExclusive(t *testing.T) {
+	// A reading exactly at a threshold does not satisfy thmin < u < thmax.
+	probe := func(n int) (float64, float64) {
+		switch n {
+		case 1:
+			return 70, 5 // == thmax: excluded
+		case 2:
+			return 10, 5 // == thmin: excluded
+		}
+		return 40, 5
+	}
+	n, ok := FindLONC(probe, 4, 10, 70)
+	if !ok || n != 3 {
+		t.Errorf("FindLONC = (%d, %v), want (3, true): boundary readings excluded", n, ok)
+	}
+}
+
+func TestFindLONCProbeCallBudget(t *testing.T) {
+	// The documented contract: one probe call per candidate plus one for
+	// nTotal, even when the search succeeds early... the early return
+	// stops at the first satisfying candidate.
+	calls := 0
+	probe := func(n int) (float64, float64) {
+		calls++
+		return 40, 5
+	}
+	n, ok := FindLONC(probe, 16, 10, 70)
+	if !ok || n != 1 {
+		t.Fatalf("FindLONC = (%d, %v), want (1, true)", n, ok)
+	}
+	if calls != 2 { // probe(16) for the reference + probe(1)
+		t.Errorf("probe called %d times, want 2 (reference + first hit)", calls)
+	}
+}

@@ -121,10 +121,28 @@ func (m *Mechanism) Maybe() {
 	m.Step()
 }
 
-// Step samples the counter window, evaluates the PrT net and applies the
-// resulting action to the cgroup cpuset — the complete
-// rule-condition-action pipeline of Section III.
-func (m *Mechanism) Step() {
+// Desire is the outcome of one control evaluation: what the net asked
+// for, the reading that produced it, and the counter window it judged. It
+// is the unit of demand a machine-level arbiter collects from each
+// tenant's mechanism.
+type Desire struct {
+	// N is the allocation size the net asks for (current ±1, floored at 1).
+	N int
+	// U is the strategy reading fed to the net.
+	U int
+	// Label is the fired transition path (e.g. "t1-Overload-t5").
+	Label string
+	// Decision is the net's verdict for this window.
+	Decision petrinet.Decision
+	// Window is the counter delta the reading was computed over.
+	Window numa.Counters
+}
+
+// evaluate runs the shared control-evaluation prologue: sample the
+// counter window, read the strategy and fire the PrT net. The net's
+// Provision marking is synchronized with the cgroup before evaluating (an
+// earlier decision may not have been honoured).
+func (m *Mechanism) evaluate() Desire {
 	machine := m.cfg.Scheduler.Machine()
 	snap := machine.Snapshot()
 	window := snap.Sub(m.last)
@@ -134,20 +152,37 @@ func (m *Mechanism) Step() {
 	current := m.cfg.CGroup.CPUs()
 	sample := Sample{Window: window, Allocated: current.Cores()}
 	u := m.cfg.Strategy.Reading(sample)
-
-	// Keep the net's Provision marking synchronized with reality before
-	// evaluating (an earlier decision may not have been honoured).
 	m.net.SetNAlloc(current.Count())
 	ev := m.net.Evaluate(u)
 	m.TokenFlows++
 
-	event := TransitionEvent{
-		Now:    machine.Now(),
-		Label:  ev.Label,
-		U:      u,
-		Action: ev.Decision,
-	}
+	desired := current.Count()
 	switch ev.Decision {
+	case petrinet.DecisionAllocate:
+		if desired < m.total {
+			desired++
+		}
+	case petrinet.DecisionRelease:
+		if desired > 1 {
+			desired--
+		}
+	}
+	return Desire{N: desired, U: u, Label: ev.Label, Decision: ev.Decision, Window: window}
+}
+
+// Step samples the counter window, evaluates the PrT net and applies the
+// resulting action to the cgroup cpuset — the complete
+// rule-condition-action pipeline of Section III.
+func (m *Mechanism) Step() {
+	d := m.evaluate()
+	current := m.cfg.CGroup.CPUs()
+	event := TransitionEvent{
+		Now:    m.cfg.Scheduler.Machine().Now(),
+		Label:  d.Label,
+		U:      d.U,
+		Action: d.Decision,
+	}
+	switch d.Decision {
 	case petrinet.DecisionAllocate:
 		if core, ok := m.cfg.Allocator.Next(current); ok {
 			current = current.Add(core)
@@ -165,3 +200,25 @@ func (m *Mechanism) Step() {
 	event.NAlloc = current.Count()
 	m.events = append(m.events, event)
 }
+
+// DesiredStep runs one control evaluation — sampling the counter window,
+// reading the strategy and firing the PrT net — but does NOT touch the
+// cgroup. It returns the allocation size the net asks for, leaving the
+// grant decision to a machine-level arbiter that weighs the desires of
+// several tenant mechanisms against each other (internal/tenant). No
+// TransitionEvent is recorded: the allocation applied is the arbiter's
+// call, and its AllocationEvent timeline is the record under
+// arbitration. The caller is responsible for re-synchronizing the net
+// marking with the allocation it actually applies, via Net().SetNAlloc.
+func (m *Mechanism) DesiredStep() Desire {
+	return m.evaluate()
+}
+
+// Due reports whether the control period has elapsed since the last
+// evaluation (Step or DesiredStep).
+func (m *Mechanism) Due() bool {
+	return m.cfg.Scheduler.Machine().Now() >= m.nextEval
+}
+
+// Strategy returns the mechanism's state-transition strategy.
+func (m *Mechanism) Strategy() Strategy { return m.cfg.Strategy }

@@ -208,6 +208,30 @@ func TestMechanismNetSyncAfterFailedAction(t *testing.T) {
 	}
 }
 
+func TestDesiredStepReportsWithoutTouchingCGroup(t *testing.T) {
+	s, m := newRig(t, nil)
+	for i := 0; i < 8; i++ {
+		s.Spawn(1, "w", busyWork{})
+	}
+	for i := 0; i < 10; i++ {
+		s.Tick()
+	}
+	before := m.Allocated()
+	d := m.DesiredStep()
+	if m.Allocated() != before {
+		t.Errorf("DesiredStep changed the cpuset: %v -> %v", before, m.Allocated())
+	}
+	if d.Decision != petrinet.DecisionAllocate || d.N != before.Count()+1 {
+		t.Errorf("saturated desire = (%v, %d), want (allocate, %d)", d.Decision, d.N, before.Count()+1)
+	}
+	if d.Window.Now == 0 {
+		t.Error("desire carries no counter window")
+	}
+	if m.Due() {
+		t.Error("mechanism still due right after an evaluation")
+	}
+}
+
 func TestNewValidatesConfig(t *testing.T) {
 	machine := numa.NewMachine(numa.Opteron8387())
 	s := sched.New(machine, sched.Config{})

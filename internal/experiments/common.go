@@ -35,6 +35,9 @@ type Config struct {
 	Seed uint64
 	// Placement selects the engine flavour (MonetDB-like by default).
 	Placement db.Placement
+	// Tenants is the tenant count of the consolidation experiment
+	// (2..4; the experiment defaults to 3 when zero).
+	Tenants int
 }
 
 func (c Config) withDefaults() Config {

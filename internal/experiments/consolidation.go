@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"elasticore/internal/db"
+	"elasticore/internal/tenant"
+	"elasticore/internal/workload"
+)
+
+// consolidation.go implements the paper's Section VII future-work setting
+// as an experiment: several tenant databases, each running the elastic
+// mechanism, consolidated onto one machine by the core arbiter
+// (internal/tenant). Every tenant is saturated so the aggregate demand
+// races past the machine, and the arbiter must divide cores by SLA weight
+// without over-committing or starving anyone. A second, equal-weight run
+// of the same workload provides the baseline against which the SLA effect
+// is measured.
+
+// ConsolidationRow is one tenant's outcome under contention.
+type ConsolidationRow struct {
+	Tenant   string
+	Weight   int
+	MinCores int
+	// Weighted-run measurements.
+	Throughput   float64
+	MeanCores    float64
+	MaxCores     int
+	MinCoresSeen int
+	// Equal-weight baseline measurements of the same tenant and load.
+	BaselineThroughput float64
+	BaselineMeanCores  float64
+}
+
+// ConsolidationResult is the full consolidation experiment.
+type ConsolidationResult struct {
+	Rows []ConsolidationRow
+	// MachineCores is the machine size.
+	MachineCores int
+	// PeakTotalCores is the largest simultaneous total allocation seen in
+	// either run (over-commit check: must stay <= MachineCores).
+	PeakTotalCores int
+	// PeakAggregateDemand is the largest per-round demand sum of the
+	// weighted run (contention check: must exceed MachineCores).
+	PeakAggregateDemand int
+	// ElapsedSeconds is the weighted run's virtual duration.
+	ElapsedSeconds float64
+}
+
+// Row returns the measurement for a tenant, or nil.
+func (r *ConsolidationResult) Row(name string) *ConsolidationRow {
+	for i := range r.Rows {
+		if r.Rows[i].Tenant == name {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// String renders the per-tenant table plus the machine-level checks.
+func (r *ConsolidationResult) String() string {
+	t := &table{header: []string{"tenant", "weight", "floor", "q/s", "mean-cores", "max", "min-seen", "base-q/s", "base-cores"}}
+	for _, row := range r.Rows {
+		t.add(row.Tenant, fmt.Sprint(row.Weight), fmt.Sprint(row.MinCores),
+			f3(row.Throughput), f2(row.MeanCores), fmt.Sprint(row.MaxCores),
+			fmt.Sprint(row.MinCoresSeen), f3(row.BaselineThroughput), f2(row.BaselineMeanCores))
+	}
+	return fmt.Sprintf("Consolidation: %d tenants on %d cores (peak demand %d, peak allocated %d)\n",
+		len(r.Rows), r.MachineCores, r.PeakAggregateDemand, r.PeakTotalCores) + t.String()
+}
+
+// consolidationSpecs builds n tenant specs in descending priority: the
+// first tenant is "gold" (weight 4, floor 2), the second "silver"
+// (weight 2), the rest "bronze" (weight 1). Weights are overridden to 1
+// for the equal-weight baseline.
+func consolidationSpecs(c Config, n int, equalWeights bool) []workload.TenantSpec {
+	specs := make([]workload.TenantSpec, n)
+	for i := range specs {
+		name, weight, floor := fmt.Sprintf("bronze%d", i), 1, 1
+		switch i {
+		case 0:
+			name, weight, floor = "gold", 4, 2
+		case 1:
+			name, weight = "silver", 2
+		}
+		if equalWeights {
+			weight = 1
+		}
+		specs[i] = workload.TenantSpec{
+			Name:      name,
+			SF:        c.SF,
+			Seed:      c.Seed + uint64(i),
+			Mode:      workload.ModeDense,
+			SLA:       tenant.SLA{Weight: weight, MinCores: floor},
+			Placement: c.Placement,
+		}
+	}
+	return specs
+}
+
+// consolidationSeconds is the fixed virtual duration of one consolidation
+// phase. The phase is time-bounded — every client resubmits for the whole
+// window — so per-tenant throughput reflects the cores each tenant was
+// granted, not the size of a finite work list.
+const consolidationSeconds = 0.25
+
+// runConsolidationOnce builds a multi-tenant rig from the specs and
+// saturates every tenant with a continuous theta-scan stream for the
+// fixed phase window.
+func runConsolidationOnce(c Config, specs []workload.TenantSpec) (*workload.MultiRig, *workload.MultiPhaseResult, error) {
+	rig, err := workload.NewMultiRig(workload.MultiOptions{Tenants: specs})
+	if err != nil {
+		return nil, nil, err
+	}
+	loads := make([]workload.TenantLoad, len(specs))
+	for i := range loads {
+		loads[i] = workload.TenantLoad{
+			Clients:          c.Clients,
+			QueriesPerClient: 1 << 20, // never drains; the window bounds the phase
+			Plan:             func(cl, k int) *db.Plan { return thetaPlan(0.45) },
+		}
+	}
+	res, err := rig.Run(loads, 0, consolidationSeconds)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rig, res, nil
+}
+
+// RunConsolidation executes the experiment: a weighted run and an
+// equal-weight baseline of the same tenants and load. Config.Tenants
+// selects the tenant count (2..4, default 3); Clients is the per-tenant
+// concurrency.
+func RunConsolidation(c Config) (*ConsolidationResult, error) {
+	c = c.withDefaults()
+	n := c.Tenants
+	if n == 0 {
+		n = 3
+	}
+	if n < 2 || n > 4 {
+		return nil, fmt.Errorf("consolidation: tenant count %d outside 2..4", n)
+	}
+
+	weightedRig, weighted, err := runConsolidationOnce(c, consolidationSpecs(c, n, false))
+	if err != nil {
+		return nil, err
+	}
+	_, baseline, err := runConsolidationOnce(c, consolidationSpecs(c, n, true))
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ConsolidationResult{
+		MachineCores:        weighted.MachineCores,
+		PeakAggregateDemand: weightedRig.Arbiter.PeakAggregateDemand(),
+		ElapsedSeconds:      weighted.ElapsedSeconds,
+	}
+	res.PeakTotalCores = weighted.PeakTotalCores
+	if baseline.PeakTotalCores > res.PeakTotalCores {
+		res.PeakTotalCores = baseline.PeakTotalCores
+	}
+	for i, tr := range weighted.Tenants {
+		spec := weightedRig.Tenants[i]
+		res.Rows = append(res.Rows, ConsolidationRow{
+			Tenant:             tr.Tenant,
+			Weight:             spec.SLA.Weight,
+			MinCores:           spec.SLA.MinCores,
+			Throughput:         tr.Throughput,
+			MeanCores:          tr.MeanCores,
+			MaxCores:           tr.MaxCores,
+			MinCoresSeen:       tr.MinCores,
+			BaselineThroughput: baseline.Tenants[i].Throughput,
+			BaselineMeanCores:  baseline.Tenants[i].MeanCores,
+		})
+	}
+	return res, nil
+}

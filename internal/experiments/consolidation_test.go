@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConsolidationAcceptance(t *testing.T) {
+	c := tiny()
+	c.Tenants = 3
+	res, err := RunConsolidation(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+
+	// Contention: the tenants' aggregate demand must exceed the machine,
+	// otherwise the arbitration below is not being exercised.
+	if res.PeakAggregateDemand <= res.MachineCores {
+		t.Fatalf("peak aggregate demand %d never exceeded the %d-core machine; no contention",
+			res.PeakAggregateDemand, res.MachineCores)
+	}
+	// Never over-commit: the sum of tenant cgroup cores stays within the
+	// machine at every tick of both runs.
+	if res.PeakTotalCores > res.MachineCores {
+		t.Errorf("over-commit: peak total allocation %d > %d machine cores",
+			res.PeakTotalCores, res.MachineCores)
+	}
+	// Starvation floors: every tenant keeps its SLA minimum throughout.
+	for _, row := range res.Rows {
+		if row.MinCoresSeen < row.MinCores {
+			t.Errorf("tenant %s dipped to %d cores, below its SLA floor %d",
+				row.Tenant, row.MinCoresSeen, row.MinCores)
+		}
+	}
+	// SLA weight effect: the gold tenant (weight 4) must receive
+	// measurably more cores and more throughput than the same tenant in
+	// the equal-weight baseline run.
+	gold := res.Row("gold")
+	if gold == nil {
+		t.Fatal("missing gold tenant")
+	}
+	if gold.MeanCores <= gold.BaselineMeanCores {
+		t.Errorf("gold mean cores %.2f not above equal-weight baseline %.2f",
+			gold.MeanCores, gold.BaselineMeanCores)
+	}
+	if gold.Throughput <= gold.BaselineThroughput {
+		t.Errorf("gold throughput %.3f q/s not above equal-weight baseline %.3f q/s",
+			gold.Throughput, gold.BaselineThroughput)
+	}
+	// And within the weighted run, gold outranks the weight-1 tenant.
+	bronze := res.Row("bronze2")
+	if bronze == nil {
+		t.Fatal("missing bronze tenant")
+	}
+	if gold.MeanCores <= bronze.MeanCores {
+		t.Errorf("gold mean cores %.2f not above bronze %.2f", gold.MeanCores, bronze.MeanCores)
+	}
+	if !strings.Contains(res.String(), "Consolidation") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestConsolidationTenantCountValidation(t *testing.T) {
+	c := tiny()
+	c.Tenants = 5
+	if _, err := RunConsolidation(c); err == nil {
+		t.Error("5 tenants accepted, want 2..4")
+	}
+	c.Tenants = 1
+	if _, err := RunConsolidation(c); err == nil {
+		t.Error("1 tenant accepted, want 2..4")
+	}
+}
+
+func TestConsolidationTwoTenants(t *testing.T) {
+	c := tiny()
+	c.Tenants = 2
+	c.Clients = 8
+	res, err := RunConsolidation(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if res.PeakTotalCores > res.MachineCores {
+		t.Errorf("over-commit: %d > %d", res.PeakTotalCores, res.MachineCores)
+	}
+}

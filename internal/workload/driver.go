@@ -37,9 +37,93 @@ type Sample struct {
 	Allocated int
 }
 
-// Driver runs concurrent client streams against a rig, submitting each
-// client's next query as soon as its previous one finishes — the paper's
-// execution protocol with 1..256 concurrent users.
+// stream tracks one client's in-flight query and stream position.
+type stream struct {
+	cur  *db.Query
+	next int
+}
+
+// streamSet drives a set of concurrent client streams against one
+// engine, submitting each client's next query as soon as the previous
+// one finishes — the paper's execution protocol. It is shared by the
+// single-tenant Driver and the multi-tenant MultiRig.Run.
+type streamSet struct {
+	engine  *db.Engine
+	topo    *numa.Topology
+	plan    PlanFor
+	length  int
+	clients []stream
+
+	// Completed counts finished queries; LatencySum accumulates their
+	// latencies in seconds.
+	Completed  int
+	LatencySum float64
+}
+
+// newStreamSet primes every client with its first query. A nil plan (or
+// a nil first query) leaves the client with nothing to run.
+func newStreamSet(engine *db.Engine, topo *numa.Topology, nClients, length int, plan PlanFor) *streamSet {
+	s := &streamSet{
+		engine:  engine,
+		topo:    topo,
+		plan:    plan,
+		length:  length,
+		clients: make([]stream, nClients),
+	}
+	for c := range s.clients {
+		if plan != nil {
+			if p := plan(c, 0); p != nil {
+				s.clients[c].cur = engine.Submit(p)
+				s.clients[c].next = 1
+				continue
+			}
+		}
+		s.clients[c].next = length // nothing to run
+	}
+	return s
+}
+
+// Active reports whether any stream still has queries in flight or left
+// to submit.
+func (s *streamSet) Active() bool {
+	for c := range s.clients {
+		if s.clients[c].cur != nil || s.clients[c].next < s.length {
+			return true
+		}
+	}
+	return false
+}
+
+// Pump collects finished queries and submits each idle client's next one.
+func (s *streamSet) Pump() {
+	for c := range s.clients {
+		cs := &s.clients[c]
+		if cs.cur != nil && cs.cur.Done() {
+			s.Completed++
+			s.LatencySum += s.topo.CyclesToSeconds(cs.cur.ElapsedCycles())
+			cs.cur = nil
+		}
+		if cs.cur == nil && cs.next < s.length {
+			if p := s.plan(c, cs.next); p != nil {
+				cs.cur = s.engine.Submit(p)
+			}
+			cs.next++
+		}
+	}
+}
+
+// schedDelta returns the scheduler counters accumulated since start.
+func schedDelta(start, end sched.Stats) sched.Stats {
+	return sched.Stats{
+		Spawned:             end.Spawned - start.Spawned,
+		StolenTasks:         end.StolenTasks - start.StolenTasks,
+		Migrations:          end.Migrations - start.Migrations,
+		CrossNodeMigrations: end.CrossNodeMigrations - start.CrossNodeMigrations,
+		TicksRun:            end.TicksRun - start.TicksRun,
+	}
+}
+
+// Driver runs concurrent client streams against a rig.
 type Driver struct {
 	Rig *Rig
 	// QueriesPerClient is each client's stream length.
@@ -61,11 +145,7 @@ func (d *Driver) Run(nClients int, plan PlanFor) PhaseResult {
 		d.MaxSeconds = 600
 	}
 	r := d.Rig
-	type clientState struct {
-		cur  *db.Query
-		next int
-	}
-	clients := make([]clientState, nClients)
+	ss := newStreamSet(r.Engine, r.Machine.Topology(), nClients, d.QueriesPerClient, plan)
 
 	startSnap := r.Machine.Snapshot()
 	startStats := r.Sched.Stats()
@@ -73,46 +153,12 @@ func (d *Driver) Run(nClients int, plan PlanFor) PhaseResult {
 	deadline := startTime + d.MaxSeconds
 
 	var res PhaseResult
-	var latencySum float64
 	lastSample := startTime
 	sampleSnap := startSnap
 
-	// Prime every client.
-	for c := range clients {
-		if p := plan(c, 0); p != nil {
-			clients[c].cur = r.Engine.Submit(p)
-			clients[c].next = 1
-		} else {
-			clients[c].next = d.QueriesPerClient // nothing to run
-		}
-	}
-
-	active := func() int {
-		n := 0
-		for c := range clients {
-			if clients[c].cur != nil || clients[c].next < d.QueriesPerClient {
-				n++
-			}
-		}
-		return n
-	}
-
-	for active() > 0 && r.Machine.NowSeconds() < deadline {
+	for ss.Active() && r.Machine.NowSeconds() < deadline {
 		r.Tick()
-		for c := range clients {
-			cs := &clients[c]
-			if cs.cur != nil && cs.cur.Done() {
-				res.Completed++
-				latencySum += r.Machine.Topology().CyclesToSeconds(cs.cur.ElapsedCycles())
-				cs.cur = nil
-			}
-			if cs.cur == nil && cs.next < d.QueriesPerClient {
-				if p := plan(c, cs.next); p != nil {
-					cs.cur = r.Engine.Submit(p)
-				}
-				cs.next++
-			}
-		}
+		ss.Pump()
 		if d.SampleEvery > 0 && r.Machine.NowSeconds()-lastSample >= d.SampleEvery {
 			snap := r.Machine.Snapshot()
 			res.Samples = append(res.Samples, Sample{
@@ -126,21 +172,15 @@ func (d *Driver) Run(nClients int, plan PlanFor) PhaseResult {
 	}
 
 	endSnap := r.Machine.Snapshot()
+	res.Completed = ss.Completed
 	res.ElapsedSeconds = r.Machine.NowSeconds() - startTime
 	res.Window = endSnap.Sub(startSnap)
-	stats := r.Sched.Stats()
-	res.Sched = sched.Stats{
-		Spawned:             stats.Spawned - startStats.Spawned,
-		StolenTasks:         stats.StolenTasks - startStats.StolenTasks,
-		Migrations:          stats.Migrations - startStats.Migrations,
-		CrossNodeMigrations: stats.CrossNodeMigrations - startStats.CrossNodeMigrations,
-		TicksRun:            stats.TicksRun - startStats.TicksRun,
-	}
+	res.Sched = schedDelta(startStats, r.Sched.Stats())
 	if res.ElapsedSeconds > 0 {
 		res.Throughput = float64(res.Completed) / res.ElapsedSeconds
 	}
 	if res.Completed > 0 {
-		res.MeanLatencySeconds = latencySum / float64(res.Completed)
+		res.MeanLatencySeconds = ss.LatencySum / float64(res.Completed)
 	}
 	r.Engine.Drain()
 	return res

@@ -1,0 +1,353 @@
+package workload
+
+import (
+	"fmt"
+
+	"elasticore/internal/db"
+	"elasticore/internal/elastic"
+	"elasticore/internal/numa"
+	"elasticore/internal/sched"
+	"elasticore/internal/tenant"
+	"elasticore/internal/tpch"
+)
+
+// TenantSpec configures one tenant of a MultiRig: an independent database
+// with its own TPC-H dataset, engine, cgroup, allocation mode and SLA.
+type TenantSpec struct {
+	// Name identifies the tenant (cgroup name, report rows).
+	Name string
+	// SF is the tenant's TPC-H scale factor (default 0.005).
+	SF float64
+	// Seed varies the tenant's dataset and workload (default: tenant
+	// index + 1).
+	Seed uint64
+	// Mode is the tenant's allocation mode; ModeOS is invalid here — a
+	// consolidated tenant always runs under its own mechanism
+	// (default ModeDense).
+	Mode Mode
+	// SLA is the tenant's agreement (defaults: weight 1, min 1 core).
+	SLA tenant.SLA
+	// Placement selects the tenant's engine flavour.
+	Placement db.Placement
+	// Strategy overrides the tenant's state-transition metric
+	// (default CPU load).
+	Strategy elastic.Strategy
+}
+
+// MultiOptions configures NewMultiRig.
+type MultiOptions struct {
+	// Tenants describes the consolidated databases (at least one).
+	Tenants []TenantSpec
+	// Quantum overrides the scheduler quantum in cycles.
+	Quantum uint64
+	// ControlPeriod overrides both the per-tenant mechanism period and
+	// the arbitration period, in cycles.
+	ControlPeriod uint64
+	// Topology overrides the machine shape; the default scales the
+	// Opteron testbed to the tenants' aggregate scale factor.
+	Topology *numa.Topology
+}
+
+// TenantRig is one consolidated tenant: the arbitrated Tenant plus its
+// private store, dataset and engine.
+type TenantRig struct {
+	*tenant.Tenant
+	Spec    TenantSpec
+	Store   *db.Store
+	Engine  *db.Engine
+	Dataset *tpch.Dataset
+	// PID is the tenant's simulated server process id.
+	PID int
+}
+
+// MultiRig consolidates several tenant databases onto one machine under a
+// core arbiter — the multi-tenant counterpart of Rig.
+type MultiRig struct {
+	Machine *numa.Machine
+	Sched   *sched.Scheduler
+	Arbiter *tenant.Arbiter
+	Tenants []*TenantRig
+	Opts    MultiOptions
+}
+
+// NewMultiRig builds the shared machine and scheduler, then one store,
+// dataset, engine, cgroup and arbitrated tenant per spec.
+func NewMultiRig(opts MultiOptions) (*MultiRig, error) {
+	if len(opts.Tenants) == 0 {
+		return nil, fmt.Errorf("workload: at least one tenant is required")
+	}
+	aggregateSF := 0.0
+	for i := range opts.Tenants {
+		if opts.Tenants[i].SF == 0 {
+			opts.Tenants[i].SF = 0.005
+		}
+		if opts.Tenants[i].Seed == 0 {
+			opts.Tenants[i].Seed = uint64(i + 1)
+		}
+		if opts.Tenants[i].Name == "" {
+			opts.Tenants[i].Name = fmt.Sprintf("tenant%d", i)
+		}
+		aggregateSF += opts.Tenants[i].SF
+	}
+	topoIn := opts.Topology
+	if topoIn == nil {
+		topoIn = ScaledTopology(aggregateSF)
+	}
+	machine := numa.NewMachine(topoIn)
+	topo := machine.Topology()
+	quantum := opts.Quantum
+	if quantum == 0 {
+		quantum = topo.SecondsToCycles(50e-6)
+	}
+	if opts.ControlPeriod == 0 {
+		opts.ControlPeriod = topo.SecondsToCycles(0.25e-3)
+	}
+	sc := sched.New(machine, sched.Config{Quantum: quantum})
+	arb, err := tenant.NewArbiter(tenant.ArbiterConfig{
+		Scheduler:     sc,
+		ControlPeriod: opts.ControlPeriod,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &MultiRig{Machine: machine, Sched: sc, Arbiter: arb, Opts: opts}
+
+	for i, spec := range opts.Tenants {
+		pid := DBMSPID + i
+		store := db.NewStore(machine)
+		store.SetLoadPID(pid)
+		ds, err := tpch.Load(store, tpch.Config{SF: spec.SF, Seed: spec.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("tenant %s: %w", spec.Name, err)
+		}
+		group := sc.NewCGroup(spec.Name)
+		group.AddPID(pid)
+		eng, err := db.NewEngine(store, db.Config{
+			Scheduler: sc,
+			PID:       pid,
+			Placement: spec.Placement,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("tenant %s: %w", spec.Name, err)
+		}
+		alloc, err := allocatorFor(spec.Mode, machine, group)
+		if err != nil {
+			return nil, fmt.Errorf("tenant %s: %w", spec.Name, err)
+		}
+		tn, err := tenant.New(tenant.Config{
+			Name:          spec.Name,
+			Scheduler:     sc,
+			CGroup:        group,
+			Allocator:     alloc,
+			Strategy:      spec.Strategy,
+			SLA:           spec.SLA,
+			ControlPeriod: opts.ControlPeriod,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := arb.Add(tn); err != nil {
+			return nil, err
+		}
+		m.Tenants = append(m.Tenants, &TenantRig{
+			Tenant:  tn,
+			Spec:    spec,
+			Store:   store,
+			Engine:  eng,
+			Dataset: ds,
+			PID:     pid,
+		})
+	}
+	return m, nil
+}
+
+// allocatorFor maps a rig Mode to a tenant's allocation mode. The adaptive
+// mode follows the tenant's own page residency, so each tenant is steered
+// toward the sockets holding *its* data.
+func allocatorFor(mode Mode, machine *numa.Machine, group *sched.CGroup) (elastic.Allocator, error) {
+	topo := machine.Topology()
+	switch mode {
+	case ModeDense:
+		return elastic.NewDense(topo), nil
+	case ModeSparse:
+		return elastic.NewSparse(topo), nil
+	case ModeAdaptive:
+		return elastic.NewAdaptive(topo, func() []int {
+			return machine.Residency(group.PIDs())
+		}), nil
+	default:
+		return nil, fmt.Errorf("workload: mode %v is not a tenant allocation mode", mode)
+	}
+}
+
+// Tick advances the rig by one scheduler quantum, running the arbitration
+// loop when due.
+func (m *MultiRig) Tick() {
+	m.Sched.Tick()
+	m.Arbiter.Maybe()
+}
+
+// NowSeconds returns the rig's virtual time.
+func (m *MultiRig) NowSeconds() float64 { return m.Machine.NowSeconds() }
+
+// TenantLoad describes one tenant's client streams for MultiRig.Run.
+type TenantLoad struct {
+	// Clients is the number of concurrent client streams.
+	Clients int
+	// QueriesPerClient is each stream's length (default 1).
+	QueriesPerClient int
+	// Plan supplies the k-th query of client c; nil ends the stream.
+	Plan PlanFor
+}
+
+// TenantPhaseResult is one tenant's outcome of a consolidated phase.
+type TenantPhaseResult struct {
+	// Tenant is the tenant name.
+	Tenant string
+	PhaseResult
+	// MinCores, MaxCores, MeanCores summarize the tenant's allocation
+	// over the phase (sampled every tick).
+	MinCores, MaxCores int
+	MeanCores          float64
+}
+
+// MultiPhaseResult is the outcome of one consolidated phase.
+type MultiPhaseResult struct {
+	// Tenants holds per-tenant results, in rig order.
+	Tenants []TenantPhaseResult
+	// ElapsedSeconds is the phase's virtual wall time.
+	ElapsedSeconds float64
+	// PeakTotalCores is the largest number of cores held by all tenants
+	// together at any tick — never above the machine size if the arbiter
+	// honours its invariant.
+	PeakTotalCores int
+	// MachineCores is the machine size, for over-commit checks.
+	MachineCores int
+}
+
+// Run drives every tenant's client streams concurrently over the shared
+// machine — each client submits its next query as soon as the previous one
+// finishes — and returns per-tenant summaries. sampleEvery > 0 records
+// per-tenant allocation timelines at that virtual-time interval;
+// maxSeconds bounds the phase (default 600 virtual seconds).
+func (m *MultiRig) Run(loads []TenantLoad, sampleEvery, maxSeconds float64) (*MultiPhaseResult, error) {
+	if len(loads) != len(m.Tenants) {
+		return nil, fmt.Errorf("workload: %d loads for %d tenants", len(loads), len(m.Tenants))
+	}
+	if maxSeconds == 0 {
+		maxSeconds = 600
+	}
+	type tenantState struct {
+		streams *streamSet
+		// allocation statistics, sampled every tick
+		minCores, maxCores int
+		coreTicks          uint64
+		samples            []Sample
+		sampleSnap         numa.Counters
+	}
+	states := make([]*tenantState, len(m.Tenants))
+	for i, tr := range m.Tenants {
+		ld := loads[i]
+		if ld.QueriesPerClient == 0 {
+			ld.QueriesPerClient = 1
+		}
+		n := tr.Allocated().Count()
+		states[i] = &tenantState{
+			streams:    newStreamSet(tr.Engine, m.Machine.Topology(), ld.Clients, ld.QueriesPerClient, ld.Plan),
+			minCores:   n,
+			maxCores:   n,
+			sampleSnap: m.Machine.Snapshot(),
+		}
+	}
+
+	startTime := m.Machine.NowSeconds()
+	startSnap := m.Machine.Snapshot()
+	startStats := m.Sched.Stats()
+	deadline := startTime + maxSeconds
+	lastSample := startTime
+	ticks := uint64(0)
+	peakTotal := m.Arbiter.AllocatedTotal()
+
+	active := func() bool {
+		for _, st := range states {
+			if st.streams.Active() {
+				return true
+			}
+		}
+		return false
+	}
+
+	for active() && m.Machine.NowSeconds() < deadline {
+		m.Tick()
+		ticks++
+		total := 0
+		for i, tr := range m.Tenants {
+			st := states[i]
+			st.streams.Pump()
+			n := tr.Allocated().Count()
+			if n < st.minCores {
+				st.minCores = n
+			}
+			if n > st.maxCores {
+				st.maxCores = n
+			}
+			st.coreTicks += uint64(n)
+			total += n
+		}
+		if total > peakTotal {
+			peakTotal = total
+		}
+		if sampleEvery > 0 && m.Machine.NowSeconds()-lastSample >= sampleEvery {
+			snap := m.Machine.Snapshot()
+			for i, tr := range m.Tenants {
+				st := states[i]
+				st.samples = append(st.samples, Sample{
+					AtSeconds: m.Machine.NowSeconds() - startTime,
+					Window:    snap.Sub(st.sampleSnap),
+					Allocated: tr.Allocated().Count(),
+				})
+				st.sampleSnap = snap
+			}
+			lastSample = m.Machine.NowSeconds()
+		}
+	}
+
+	endSnap := m.Machine.Snapshot()
+	res := &MultiPhaseResult{
+		ElapsedSeconds: m.Machine.NowSeconds() - startTime,
+		PeakTotalCores: peakTotal,
+		MachineCores:   m.Machine.Topology().TotalCores(),
+	}
+	// Hardware counters and scheduler stats are machine-wide; their
+	// deltas are shared by all tenants rather than attributed per tenant.
+	window := endSnap.Sub(startSnap)
+	stats := schedDelta(startStats, m.Sched.Stats())
+	for i, tr := range m.Tenants {
+		st := states[i]
+		pr := PhaseResult{
+			ElapsedSeconds: res.ElapsedSeconds,
+			Completed:      st.streams.Completed,
+			Window:         window,
+			Sched:          stats,
+			Samples:        st.samples,
+		}
+		if pr.ElapsedSeconds > 0 {
+			pr.Throughput = float64(pr.Completed) / pr.ElapsedSeconds
+		}
+		if pr.Completed > 0 {
+			pr.MeanLatencySeconds = st.streams.LatencySum / float64(pr.Completed)
+		}
+		tpr := TenantPhaseResult{
+			Tenant:      tr.Name,
+			PhaseResult: pr,
+			MinCores:    st.minCores,
+			MaxCores:    st.maxCores,
+		}
+		if ticks > 0 {
+			tpr.MeanCores = float64(st.coreTicks) / float64(ticks)
+		}
+		res.Tenants = append(res.Tenants, tpr)
+		tr.Engine.Drain()
+	}
+	return res, nil
+}

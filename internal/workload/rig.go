@@ -179,35 +179,7 @@ func NewRig(opts Options) (*Rig, error) {
 		case ModeSparse:
 			alloc = elastic.NewSparse(topo)
 		case ModeAdaptive:
-			// The priority queue tracks where the *active* address space
-			// lives: per-node touches of homed data since the previous
-			// allocator decision (the paper's per-PID page accounting,
-			// restricted to pages the running threads actually use).
-			var prev []uint64
-			alloc = elastic.NewAdaptive(topo, func() []int {
-				snap := machine.Snapshot()
-				out := make([]int, topo.NodeCount)
-				for i, n := range snap.Nodes {
-					cur := n.DataTouches
-					var delta uint64
-					if prev == nil {
-						delta = cur
-					} else {
-						delta = cur - prev[i]
-					}
-					out[i] = int(delta)
-					if prev == nil {
-						out[i] = int(cur)
-					}
-				}
-				if prev == nil {
-					prev = make([]uint64, topo.NodeCount)
-				}
-				for i, n := range snap.Nodes {
-					prev[i] = n.DataTouches
-				}
-				return out
-			})
+			alloc = elastic.NewAdaptive(topo, touchDeltaResidency(machine))
 		default:
 			return nil, fmt.Errorf("workload: unknown mode %v", opts.Mode)
 		}
@@ -224,6 +196,27 @@ func NewRig(opts Options) (*Rig, error) {
 		r.Mech = mech
 	}
 	return r, nil
+}
+
+// touchDeltaResidency returns the adaptive mode's residency source for a
+// single-tenant rig: per-node touches of homed data since the previous
+// allocator decision (the paper's per-PID page accounting, restricted to
+// pages the running threads actually use). The first call returns the
+// cumulative touches — the delta since an all-zero baseline.
+func touchDeltaResidency(machine *numa.Machine) elastic.ResidencyFunc {
+	var prev []uint64
+	return func() []int {
+		snap := machine.Snapshot()
+		if prev == nil {
+			prev = make([]uint64, len(snap.Nodes))
+		}
+		out := make([]int, len(snap.Nodes))
+		for i, n := range snap.Nodes {
+			out[i] = int(n.DataTouches - prev[i])
+			prev[i] = n.DataTouches
+		}
+		return out
+	}
 }
 
 // Tick advances the rig by one scheduler quantum, running the mechanism's
