@@ -10,6 +10,7 @@ package elasticore
 // One figure:      go test -bench=BenchmarkFig19 -benchtime=1x
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -20,6 +21,24 @@ import (
 	"elasticore/internal/tpch"
 	"elasticore/internal/workload"
 )
+
+// BenchmarkRunnerBatch exercises the experiment platform end to end: two
+// registered experiments resolved from the registry and executed
+// concurrently by the worker-pool Runner.
+func BenchmarkRunnerBatch(b *testing.B) {
+	r := &Runner{Parallel: 2, Config: ExperimentConfig{SF: 0.002, Clients: 8}}
+	for i := 0; i < b.N; i++ {
+		reports, err := r.RunNames(context.Background(), "fig5", "overhead")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rep := range reports {
+			if rep.Err != nil {
+				b.Fatalf("%s: %v", rep.Name, rep.Err)
+			}
+		}
+	}
+}
 
 // benchConfig is the common operating point: large enough for the shapes
 // to be stable, small enough for the full suite to finish in minutes.

@@ -1,83 +1,269 @@
-// Command elasticbench regenerates any table or figure of the paper's
-// evaluation and prints the same rows/series the paper reports.
+// Command elasticbench runs registered experiments: every table and figure
+// of the paper's evaluation plus the consolidation scenario, through the
+// experiments platform (registry, structured results, parallel runner).
 //
 // Usage:
 //
-//	elasticbench -fig 19 -sf 0.01 -clients 64
-//	elasticbench -fig 19 -engine sqlserver
-//	elasticbench -fig overhead
-//	elasticbench -fig consolidation -tenants 4
-//	elasticbench -fig all
+//	elasticbench list
+//	elasticbench run fig4 fig19 consolidation -format json -out results/ -parallel 4
+//	elasticbench run all -sf 0.01 -clients 128
+//	elasticbench run fig19 -engine sqlserver -v
+//
+// The flag form `elasticbench -fig 19` is kept as a deprecated alias for
+// `elasticbench run fig19`.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
 
 	"elasticore/internal/db"
 	"elasticore/internal/experiments"
 )
 
 func main() {
-	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 4,5,7,13,14,15,16,17,18,19,20,overhead,consolidation,all")
-		sf      = flag.Float64("sf", 0.005, "TPC-H scale factor (paper: 1.0)")
-		clients = flag.Int("clients", 64, "concurrent clients (paper: 256)")
-		seed    = flag.Uint64("seed", 1, "data and parameter seed")
-		engine  = flag.String("engine", "monetdb", "engine flavour: monetdb | sqlserver")
-		tenants = flag.Int("tenants", 3, "tenant count for the consolidation experiment (2..4)")
-	)
-	flag.Parse()
-
-	cfg := experiments.Config{SF: *sf, Clients: *clients, Seed: *seed, Tenants: *tenants}
-	if *engine == "sqlserver" {
-		cfg.Placement = db.PlacementNUMAAware
-	} else if *engine != "monetdb" {
-		fmt.Fprintf(os.Stderr, "elasticbench: unknown engine %q\n", *engine)
-		os.Exit(2)
+	args := os.Args[1:]
+	var err error
+	switch {
+	case len(args) > 0 && args[0] == "list":
+		err = cmdList(args[1:])
+	case len(args) > 0 && args[0] == "run":
+		err = cmdRun(args[1:])
+	case len(args) > 0 && (args[0] == "help" || args[0] == "-h" || args[0] == "--help"):
+		usage(os.Stdout)
+	default:
+		err = cmdLegacy(args)
 	}
-
-	if err := run(*fig, cfg); err != nil {
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "elasticbench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, cfg experiments.Config) error {
-	type artifact struct {
-		name string
-		exec func() (fmt.Stringer, error)
+func usage(w *os.File) {
+	fmt.Fprint(w, `elasticbench runs registered experiments.
+
+Commands:
+  list                     list experiments with descriptions and tags
+  run <name>... [flags]    run experiments ("all" expands the registry)
+
+Run flags:
+  -sf F        TPC-H scale factor (default 0.005; paper: 1.0)
+  -clients N   concurrent clients (default 64; paper: 256)
+  -seed N      data and parameter seed (default 1)
+  -engine S    engine flavour: monetdb | sqlserver
+  -tenants N   tenant count for consolidation (2..4, default 3)
+  -format S    output format: text | json | csv (default text)
+  -out DIR     write one <name>.<format> file per experiment into DIR
+  -parallel N  worker pool size (default 1)
+  -v           stream phase/progress events to stderr
+`)
+}
+
+// cmdList prints the registry: name, tags, summary.
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	tag := fs.String("tag", "", "only experiments carrying this tag")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	artifacts := []artifact{
-		{"4", func() (fmt.Stringer, error) { return experiments.RunFig4(cfg) }},
-		{"5", func() (fmt.Stringer, error) { return experiments.RunFig5(cfg) }},
-		{"7", func() (fmt.Stringer, error) { return experiments.RunFig7(cfg) }},
-		{"13", func() (fmt.Stringer, error) { return experiments.RunFig13(cfg) }},
-		{"14", func() (fmt.Stringer, error) { return experiments.RunFig14(cfg) }},
-		{"15", func() (fmt.Stringer, error) { return experiments.RunFig15(cfg) }},
-		{"16", func() (fmt.Stringer, error) { return experiments.RunFig16(cfg) }},
-		{"17", func() (fmt.Stringer, error) { return experiments.RunFig17(cfg) }},
-		{"18", func() (fmt.Stringer, error) { return experiments.RunFig18(cfg) }},
-		{"19", func() (fmt.Stringer, error) { return experiments.RunFig19(cfg) }},
-		{"20", func() (fmt.Stringer, error) { return experiments.RunFig20(cfg) }},
-		{"overhead", func() (fmt.Stringer, error) { return experiments.MeasureOverhead(cfg, 1000) }},
-		{"consolidation", func() (fmt.Stringer, error) { return experiments.RunConsolidation(cfg) }},
+	exps := experiments.All()
+	if *tag != "" {
+		exps = experiments.WithTag(*tag)
 	}
-	ran := false
-	for _, a := range artifacts {
-		if fig != "all" && fig != a.name {
-			continue
-		}
-		ran = true
-		res, err := a.exec()
-		if err != nil {
-			return fmt.Errorf("figure %s: %w", a.name, err)
-		}
-		fmt.Println(res)
+	for _, e := range exps {
+		d := e.Describe()
+		fmt.Printf("%-14s [%s]\n    %s\n    %s\n",
+			e.Name(), strings.Join(d.Tags, ", "), d.Title, d.Summary)
 	}
-	if !ran {
-		return fmt.Errorf("unknown figure %q", fig)
+	if len(exps) == 0 && *tag != "" {
+		return fmt.Errorf("no experiments tagged %q (tags: %s)",
+			*tag, strings.Join(experiments.Tags(), ", "))
 	}
 	return nil
+}
+
+// runFlags are the options shared by `run` and the deprecated flag form.
+type runFlags struct {
+	cfg      experiments.Config
+	format   string
+	out      string
+	parallel int
+	verbose  bool
+}
+
+func bindRunFlags(fs *flag.FlagSet) (*runFlags, *string) {
+	rf := &runFlags{}
+	fs.Float64Var(&rf.cfg.SF, "sf", 0.005, "TPC-H scale factor (paper: 1.0)")
+	fs.IntVar(&rf.cfg.Clients, "clients", 64, "concurrent clients (paper: 256)")
+	fs.Uint64Var(&rf.cfg.Seed, "seed", 1, "data and parameter seed")
+	fs.IntVar(&rf.cfg.Tenants, "tenants", 3, "tenant count for the consolidation experiment (2..4)")
+	engine := fs.String("engine", "monetdb", "engine flavour: monetdb | sqlserver")
+	fs.StringVar(&rf.format, "format", "text", "output format: text | json | csv")
+	fs.StringVar(&rf.out, "out", "", "directory for one <name>.<format> file per experiment")
+	fs.IntVar(&rf.parallel, "parallel", 1, "worker pool size")
+	fs.BoolVar(&rf.verbose, "v", false, "stream phase/progress events to stderr")
+	return rf, engine
+}
+
+func (rf *runFlags) applyEngine(engine string) error {
+	switch engine {
+	case "monetdb":
+	case "sqlserver":
+		rf.cfg.Placement = db.PlacementNUMAAware
+	default:
+		return fmt.Errorf("unknown engine %q (want monetdb or sqlserver)", engine)
+	}
+	return nil
+}
+
+// cmdRun parses `run <name>... [flags]` and executes the batch. Names and
+// flags may interleave (`run fig4 -sf 0.01 fig19 -format json`).
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	rf, engine := bindRunFlags(fs)
+	var names []string
+	for len(args) > 0 {
+		if args[0] == "--" {
+			// Explicit terminator: everything after is a name.
+			names = append(names, args[1:]...)
+			break
+		}
+		// A bare "-" is a non-flag to flag.Parse too; consuming it here
+		// keeps the loop advancing.
+		if args[0] == "-" || !strings.HasPrefix(args[0], "-") {
+			names = append(names, args[0])
+			args = args[1:]
+			continue
+		}
+		// flag.Parse consumes flags up to the next non-flag token; keep
+		// alternating so no trailing name is silently dropped.
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		rest := fs.Args()
+		if len(rest) == len(args) {
+			// Defensive: no progress means the token parses as neither
+			// flag nor name — treat it as a name so Resolve reports it.
+			names = append(names, rest[0])
+			rest = rest[1:]
+		}
+		args = rest
+	}
+	if err := rf.applyEngine(*engine); err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("run needs experiment names (try `elasticbench list` or `run all`)")
+	}
+	return execute(names, rf)
+}
+
+// cmdLegacy keeps the original flag interface alive: -fig N selects one
+// figure (or "all") and prints text to stdout.
+func cmdLegacy(args []string) error {
+	fs := flag.NewFlagSet("elasticbench", flag.ExitOnError)
+	fs.Usage = func() {
+		usage(os.Stderr)
+		fmt.Fprintln(os.Stderr, "\nDeprecated flag form:")
+		fs.PrintDefaults()
+	}
+	fig := fs.String("fig", "all", "deprecated alias: figure to run (4..20, overhead, consolidation, all)")
+	rf, engine := bindRunFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unknown command %q (try `elasticbench list` or `elasticbench run <name>`)", fs.Arg(0))
+	}
+	if err := rf.applyEngine(*engine); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "elasticbench: -fig is deprecated; use `elasticbench run %s`\n", legacyName(*fig))
+	return execute([]string{legacyName(*fig)}, rf)
+}
+
+// legacyName maps the old -fig values ("4", "19", "overhead") onto
+// registry names.
+func legacyName(fig string) string {
+	switch fig {
+	case "all", "overhead", "consolidation":
+		return fig
+	}
+	if !strings.HasPrefix(fig, "fig") && fig != "" && fig[0] >= '0' && fig[0] <= '9' {
+		return "fig" + fig
+	}
+	return fig
+}
+
+// execute resolves names (failing fast on typos), runs the batch and
+// renders every result.
+func execute(names []string, rf *runFlags) error {
+	exps, err := experiments.Resolve(names...)
+	if err != nil {
+		return err
+	}
+	if rf.format != "text" && rf.format != "json" && rf.format != "csv" {
+		return fmt.Errorf("unknown format %q (want text, json or csv)", rf.format)
+	}
+	if rf.out != "" {
+		if err := os.MkdirAll(rf.out, 0o755); err != nil {
+			return err
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	runner := &experiments.Runner{Parallel: rf.parallel, Config: rf.cfg}
+	if rf.verbose {
+		runner.Observe = func(name string) experiments.Observer {
+			return &experiments.WriterObserver{W: os.Stderr, Prefix: name}
+		}
+	}
+	reports := runner.Run(ctx, exps...)
+
+	failed := 0
+	for _, rep := range reports {
+		if rep.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "elasticbench: %s: %v\n", rep.Name, rep.Err)
+			continue
+		}
+		if err := emit(rep, rf); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "elasticbench: %s done in %s\n", rep.Name, rep.Elapsed.Round(1e6))
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d experiments failed", failed, len(reports))
+	}
+	return nil
+}
+
+// emit renders one report to stdout or into the -out directory.
+func emit(rep experiments.Report, rf *runFlags) error {
+	if rf.out == "" {
+		return rep.Result.Render(os.Stdout, rf.format)
+	}
+	ext := rf.format
+	if ext == "text" {
+		ext = "txt"
+	}
+	path := filepath.Join(rf.out, rep.Name+"."+ext)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.Result.Render(f, rf.format); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

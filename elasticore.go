@@ -30,6 +30,7 @@ package elasticore
 import (
 	"elasticore/internal/db"
 	"elasticore/internal/elastic"
+	"elasticore/internal/experiments"
 	"elasticore/internal/numa"
 	"elasticore/internal/sched"
 	"elasticore/internal/tenant"
@@ -106,6 +107,55 @@ type (
 	// MultiPhaseResult is the outcome of one consolidated phase.
 	MultiPhaseResult = workload.MultiPhaseResult
 )
+
+// Experiment platform types (internal/experiments): the registry of
+// named, tagged, runnable scenarios — the paper's 13 artifacts are the
+// first 13 registrations — with structured results and a parallel runner.
+type (
+	// Experiment is one runnable evaluation artifact:
+	// Name / Describe / Run(ctx, Config, Observer).
+	Experiment = experiments.Experiment
+	// ExperimentConfig scales an experiment (SF, clients, seed, ...).
+	ExperimentConfig = experiments.Config
+	// ExperimentDescription documents an experiment (title, summary, tags).
+	ExperimentDescription = experiments.Description
+	// ExperimentRunFunc is an experiment body for NewExperiment.
+	ExperimentRunFunc = experiments.RunFunc
+	// Registry is a named, ordered collection of experiments.
+	Registry = experiments.Registry
+	// Result is the structured outcome of a run: named tables of typed
+	// columns, scalar metrics, text artifacts and run metadata; it
+	// renders to text, JSON and CSV.
+	Result = experiments.Result
+	// Runner executes a set of experiments concurrently with a worker
+	// pool, honoring context cancellation and collecting per-experiment
+	// errors.
+	Runner = experiments.Runner
+	// Report is one experiment's outcome within a Runner batch.
+	Report = experiments.Report
+	// Observer receives phase and progress callbacks from a running
+	// experiment.
+	Observer = experiments.Observer
+)
+
+// Experiments lists the default registry in registration order.
+func Experiments() []Experiment { return experiments.All() }
+
+// LookupExperiment finds a registered experiment by name.
+func LookupExperiment(name string) (Experiment, bool) { return experiments.Lookup(name) }
+
+// ExperimentsWithTag filters the default registry by tag.
+func ExperimentsWithTag(tag string) []Experiment { return experiments.WithTag(tag) }
+
+// NewExperiment builds an Experiment from a name, a description and a run
+// function; RegisterExperiment adds it to the default registry.
+func NewExperiment(name string, desc ExperimentDescription, run ExperimentRunFunc) Experiment {
+	return experiments.New(name, desc, run)
+}
+
+// RegisterExperiment adds an experiment to the default registry (panics
+// on a duplicate name, mirroring init-time registration).
+func RegisterExperiment(e Experiment) { experiments.Register(e) }
 
 // Modes re-exported for rig construction.
 const (

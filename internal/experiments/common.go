@@ -1,8 +1,17 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (Sections II and V): one Run function per artifact, each
-// returning a typed result whose String method prints the same rows or
-// series the paper reports. The benchmarks in the repository root and the
-// cmd/elasticbench tool both delegate here.
+// Package experiments is the repository's experiment platform: a registry
+// of named, tagged, runnable scenarios behind one small interface.
+//
+// Every evaluation artifact of the paper (Sections II and V: figures 4-20,
+// the mechanism-overhead measurement, the multi-tenant consolidation) is
+// an Experiment — Name, Describe, Run(ctx, Config, Observer) — registered
+// in the package Registry (see register.go). A run produces a structured
+// Result: named tables of typed columns, scalar metrics, free-form text
+// artifacts and run metadata, rendering uniformly to text, JSON and CSV.
+// The Runner executes a batch of experiments concurrently with a worker
+// pool, honoring context cancellation and collecting per-experiment errors.
+// cmd/elasticbench (list/run), the root benchmarks and the typed RunFigN
+// compatibility wrappers all sit on this surface; a new scenario is one
+// run function plus one Register call (~30 lines), not a new bespoke API.
 //
 // Scaling note: the paper ran a 1 GB database (SF 1) with 256 clients and
 // a 50 ms-class control loop on real hardware. The simulation defaults to
@@ -24,25 +33,35 @@ import (
 
 // Config scales an experiment.
 type Config struct {
-	// SF is the TPC-H scale factor (default 0.005).
+	// SF is the TPC-H scale factor (default 0.005; negative rejected).
 	SF float64
 	// Clients is the concurrency for single-point experiments
-	// (default 64; the paper uses 256).
+	// (default 64; the paper uses 256; negative rejected).
 	Clients int
-	// Users is the concurrency sweep for Fig 4/13 (default 1,4,16,64).
+	// Users is the concurrency sweep for Fig 4/13 (default 1,4,16,64;
+	// every entry must be >= 1).
 	Users []int
 	// Seed varies data and parameters (default 1).
 	Seed uint64
 	// Placement selects the engine flavour (MonetDB-like by default).
 	Placement db.Placement
 	// Tenants is the tenant count of the consolidation experiment
-	// (2..4; the experiment defaults to 3 when zero).
+	// (2..4; zero defaults to 3; anything else is rejected).
 	Tenants int
 }
 
-func (c Config) withDefaults() Config {
+// withDefaults validates the config and fills zero values. All validation
+// is central here — experiment bodies receive a config that is already
+// known good.
+func (c Config) withDefaults() (Config, error) {
+	if c.SF < 0 {
+		return c, fmt.Errorf("experiments: negative scale factor %g", c.SF)
+	}
 	if c.SF == 0 {
 		c.SF = 0.005
+	}
+	if c.Clients < 0 {
+		return c, fmt.Errorf("experiments: client count %d below 1", c.Clients)
 	}
 	if c.Clients == 0 {
 		c.Clients = 64
@@ -50,10 +69,40 @@ func (c Config) withDefaults() Config {
 	if len(c.Users) == 0 {
 		c.Users = []int{1, 4, 16, 64}
 	}
+	for _, u := range c.Users {
+		if u < 1 {
+			return c, fmt.Errorf("experiments: user count %d below 1", u)
+		}
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
-	return c
+	if c.Tenants == 0 {
+		c.Tenants = 3
+	}
+	if c.Tenants < 2 || c.Tenants > 4 {
+		return c, fmt.Errorf("experiments: tenant count %d outside 2..4", c.Tenants)
+	}
+	return c, nil
+}
+
+// engineName labels the engine flavour for metadata and listings.
+func (c Config) engineName() string {
+	if c.Placement == db.PlacementNUMAAware {
+		return "sqlserver"
+	}
+	return "monetdb"
+}
+
+// modeByName is the inverse of workload.Mode.String, used when decoding
+// generic Result tables back into typed rows.
+func modeByName(name string) (workload.Mode, bool) {
+	for _, m := range workload.AllModes {
+		if m.String() == name {
+			return m, true
+		}
+	}
+	return 0, false
 }
 
 // newRig builds a workload rig with simulation timing and machine
@@ -88,7 +137,8 @@ func thetaPlan(selectivity float64) *db.Plan {
 	}}
 }
 
-// table renders aligned rows: header plus formatted cells.
+// table renders aligned rows: header plus formatted cells. It is the text
+// renderer behind Result.WriteText.
 type table struct {
 	header []string
 	rows   [][]string
@@ -114,7 +164,13 @@ func (t *table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			// Cells beyond the header are printed unpadded instead of
+			// indexing widths out of range.
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
 		}
 		b.WriteByte('\n')
 	}

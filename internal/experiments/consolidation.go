@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"elasticore/internal/db"
@@ -32,8 +33,9 @@ type ConsolidationRow struct {
 	BaselineMeanCores  float64
 }
 
-// ConsolidationResult is the full consolidation experiment.
+// ConsolidationResult is the typed view of the consolidation Result.
 type ConsolidationResult struct {
+	*Result
 	Rows []ConsolidationRow
 	// MachineCores is the machine size.
 	MachineCores int
@@ -55,18 +57,6 @@ func (r *ConsolidationResult) Row(name string) *ConsolidationRow {
 		}
 	}
 	return nil
-}
-
-// String renders the per-tenant table plus the machine-level checks.
-func (r *ConsolidationResult) String() string {
-	t := &table{header: []string{"tenant", "weight", "floor", "q/s", "mean-cores", "max", "min-seen", "base-q/s", "base-cores"}}
-	for _, row := range r.Rows {
-		t.add(row.Tenant, fmt.Sprint(row.Weight), fmt.Sprint(row.MinCores),
-			f3(row.Throughput), f2(row.MeanCores), fmt.Sprint(row.MaxCores),
-			fmt.Sprint(row.MinCoresSeen), f3(row.BaselineThroughput), f2(row.BaselineMeanCores))
-	}
-	return fmt.Sprintf("Consolidation: %d tenants on %d cores (peak demand %d, peak allocated %d)\n",
-		len(r.Rows), r.MachineCores, r.PeakAggregateDemand, r.PeakTotalCores) + t.String()
 }
 
 // consolidationSpecs builds n tenant specs in descending priority: the
@@ -127,51 +117,96 @@ func runConsolidationOnce(c Config, specs []workload.TenantSpec) (*workload.Mult
 	return rig, res, nil
 }
 
-// RunConsolidation executes the experiment: a weighted run and an
+// runConsolidation executes the experiment: a weighted run and an
 // equal-weight baseline of the same tenants and load. Config.Tenants
-// selects the tenant count (2..4, default 3); Clients is the per-tenant
-// concurrency.
-func RunConsolidation(c Config) (*ConsolidationResult, error) {
-	c = c.withDefaults()
+// selects the tenant count (validated centrally to 2..4, default 3);
+// Clients is the per-tenant concurrency.
+func runConsolidation(ctx context.Context, c Config, obs Observer) (*Result, error) {
 	n := c.Tenants
-	if n == 0 {
-		n = 3
-	}
-	if n < 2 || n > 4 {
-		return nil, fmt.Errorf("consolidation: tenant count %d outside 2..4", n)
-	}
 
-	weightedRig, weighted, err := runConsolidationOnce(c, consolidationSpecs(c, n, false))
+	var weightedRig *workload.MultiRig
+	var weighted, baseline *workload.MultiPhaseResult
+	err := phase(ctx, obs, fmt.Sprintf("weighted tenants=%d", n), func() (err error) {
+		weightedRig, weighted, err = runConsolidationOnce(c, consolidationSpecs(c, n, false))
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	_, baseline, err := runConsolidationOnce(c, consolidationSpecs(c, n, true))
+	obs.Progress(1, 2)
+	err = phase(ctx, obs, "equal-weight baseline", func() (err error) {
+		_, baseline, err = runConsolidationOnce(c, consolidationSpecs(c, n, true))
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
+	obs.Progress(2, 2)
 
-	res := &ConsolidationResult{
-		MachineCores:        weighted.MachineCores,
-		PeakAggregateDemand: weightedRig.Arbiter.PeakAggregateDemand(),
-		ElapsedSeconds:      weighted.ElapsedSeconds,
+	peakTotal := weighted.PeakTotalCores
+	if baseline.PeakTotalCores > peakTotal {
+		peakTotal = baseline.PeakTotalCores
 	}
-	res.PeakTotalCores = weighted.PeakTotalCores
-	if baseline.PeakTotalCores > res.PeakTotalCores {
-		res.PeakTotalCores = baseline.PeakTotalCores
-	}
+
+	res := &Result{}
+	tb := res.AddTable("tenants",
+		colS("tenant"), colI("weight"), colI("floor"), colF("q/s", 3),
+		colF("mean-cores", 2), colI("max"), colI("min-seen"),
+		colF("base-q/s", 3), colF("base-cores", 2))
 	for i, tr := range weighted.Tenants {
 		spec := weightedRig.Tenants[i]
-		res.Rows = append(res.Rows, ConsolidationRow{
-			Tenant:             tr.Tenant,
-			Weight:             spec.SLA.Weight,
-			MinCores:           spec.SLA.MinCores,
-			Throughput:         tr.Throughput,
-			MeanCores:          tr.MeanCores,
-			MaxCores:           tr.MaxCores,
-			MinCoresSeen:       tr.MinCores,
-			BaselineThroughput: baseline.Tenants[i].Throughput,
-			BaselineMeanCores:  baseline.Tenants[i].MeanCores,
+		tb.AddRow(tr.Tenant, spec.SLA.Weight, spec.SLA.MinCores,
+			tr.Throughput, tr.MeanCores, tr.MaxCores, tr.MinCores,
+			baseline.Tenants[i].Throughput, baseline.Tenants[i].MeanCores)
+	}
+	res.AddMetric("machine_cores", float64(weighted.MachineCores), "cores")
+	res.AddMetric("peak_total_cores", float64(peakTotal), "cores")
+	res.AddMetric("peak_aggregate_demand", float64(weightedRig.Arbiter.PeakAggregateDemand()), "cores")
+	res.AddMetric("elapsed_s", weighted.ElapsedSeconds, "s")
+	return res, nil
+}
+
+// consolidationResultFrom decodes the generic Result into the typed view.
+func consolidationResultFrom(res *Result) (*ConsolidationResult, error) {
+	tb := res.Table("tenants")
+	if tb == nil {
+		return nil, fmt.Errorf("experiments: consolidation result missing tenants table")
+	}
+	out := &ConsolidationResult{Result: res}
+	for i := range tb.Rows {
+		name, _ := tb.Str(i, 0)
+		weight, _ := tb.Int(i, 1)
+		floor, _ := tb.Int(i, 2)
+		tput, _ := tb.Float(i, 3)
+		mean, _ := tb.Float(i, 4)
+		max, _ := tb.Int(i, 5)
+		minSeen, _ := tb.Int(i, 6)
+		baseTput, _ := tb.Float(i, 7)
+		baseCores, _ := tb.Float(i, 8)
+		out.Rows = append(out.Rows, ConsolidationRow{
+			Tenant: name, Weight: int(weight), MinCores: int(floor),
+			Throughput: tput, MeanCores: mean, MaxCores: int(max),
+			MinCoresSeen:       int(minSeen),
+			BaselineThroughput: baseTput, BaselineMeanCores: baseCores,
 		})
 	}
-	return res, nil
+	machine, _ := res.Metric("machine_cores")
+	peakTotal, _ := res.Metric("peak_total_cores")
+	peakDemand, _ := res.Metric("peak_aggregate_demand")
+	elapsed, _ := res.Metric("elapsed_s")
+	out.MachineCores = int(machine)
+	out.PeakTotalCores = int(peakTotal)
+	out.PeakAggregateDemand = int(peakDemand)
+	out.ElapsedSeconds = elapsed
+	return out, nil
+}
+
+// RunConsolidation executes the experiment through the registry and
+// returns the typed view.
+func RunConsolidation(c Config) (*ConsolidationResult, error) {
+	res, err := run("consolidation", c)
+	if err != nil {
+		return nil, err
+	}
+	return consolidationResultFrom(res)
 }

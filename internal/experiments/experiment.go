@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"context"
+	"time"
+)
+
+// experiment.go defines the uniform interface every evaluation artifact
+// implements. The 13 paper artifacts are the first 13 registrations; a new
+// scenario only needs a run function and a Register call (see register.go).
+
+// Description documents a registered experiment for listings and tooling.
+type Description struct {
+	// Title is the result headline ("Figure 4: Q6 under increasing
+	// concurrency").
+	Title string
+	// Summary is a sentence on what the experiment measures.
+	Summary string
+	// Tags group experiments for selection: "microbench", "elastic",
+	// "tenancy", "energy", "trace", ...
+	Tags []string
+}
+
+// Experiment is one runnable evaluation artifact.
+type Experiment interface {
+	// Name is the stable registry key ("fig4", "overhead", ...).
+	Name() string
+	// Describe returns the static documentation.
+	Describe() Description
+	// Run executes the experiment. The Config is validated and defaulted
+	// centrally before the body runs; a nil Observer is replaced with
+	// NopObserver. Run honors ctx cancellation between phases.
+	Run(ctx context.Context, cfg Config, obs Observer) (*Result, error)
+}
+
+// RunFunc is an experiment body: it receives a validated Config and a
+// non-nil Observer and returns the structured result. The wrapper stamps
+// Name, Title and Meta afterwards, so bodies only fill tables, metrics and
+// artifacts.
+type RunFunc func(ctx context.Context, cfg Config, obs Observer) (*Result, error)
+
+// New builds an Experiment from a name, a description and a run function.
+func New(name string, desc Description, run RunFunc) Experiment {
+	return &funcExperiment{name: name, desc: desc, run: run}
+}
+
+type funcExperiment struct {
+	name string
+	desc Description
+	run  RunFunc
+}
+
+func (e *funcExperiment) Name() string          { return e.name }
+func (e *funcExperiment) Describe() Description { return e.desc }
+
+func (e *funcExperiment) Run(ctx context.Context, cfg Config, obs Observer) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := e.run(ctx, cfg, obs)
+	if err != nil {
+		return nil, err
+	}
+	res.Name = e.name
+	if res.Title == "" {
+		res.Title = e.desc.Title
+	}
+	if res.Metrics == nil {
+		res.Metrics = []Metric{} // render as [] in JSON, not null
+	}
+	if res.Tables == nil {
+		res.Tables = []*Table{}
+	}
+	res.Meta = cfg.meta()
+	res.Meta.WallTime = time.Since(start)
+	res.Meta.Version = buildVersion()
+	return res, nil
+}
+
+// meta derives the run metadata from an already-defaulted Config.
+func (c Config) meta() Meta {
+	return Meta{
+		SF:      c.SF,
+		Clients: c.Clients,
+		Users:   c.Users,
+		Seed:    c.Seed,
+		Tenants: c.Tenants,
+		Engine:  c.engineName(),
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"elasticore/internal/db"
@@ -23,8 +24,10 @@ type Fig4Row struct {
 	HTMBPerS   float64
 }
 
-// Fig4Result is the full sweep.
+// Fig4Result is the typed view of the fig4 Result: the embedded generic
+// Result renders; Rows and Row are decoded from its "sweep" table.
 type Fig4Result struct {
+	*Result
 	Rows []Fig4Row
 }
 
@@ -38,41 +41,72 @@ func (r *Fig4Result) Row(config string, users int) *Fig4Row {
 	return nil
 }
 
-// String renders the three panels as one table.
-func (r *Fig4Result) String() string {
-	t := &table{header: []string{"config", "users", "q/s", "faults/s", "HT MB/s"}}
-	for _, row := range r.Rows {
-		t.add(row.Config, fmt.Sprint(row.Users), f3(row.Throughput),
-			f2(row.FaultsPerS), f2(row.HTMBPerS))
-	}
-	return "Figure 4: Q6 under increasing concurrency\n" + t.String()
-}
+// runFig4 executes the sweep and encodes the generic result.
+func runFig4(ctx context.Context, c Config, obs Observer) (*Result, error) {
+	res := &Result{}
+	sweep := res.AddTable("sweep",
+		colS("config"), colI("users"), colF("q/s", 3), colF("faults/s", 2), colF("HT MB/s", 2))
+	for i, users := range c.Users {
+		users := users
+		err := phase(ctx, obs, fmt.Sprintf("users=%d", users), func() error {
+			// OS/MonetDB: Volcano engine, no mechanism.
+			r, err := newRig(c, workload.ModeOS, nil)
+			if err != nil {
+				return err
+			}
+			d := &workload.Driver{Rig: r, QueriesPerClient: 1}
+			p := q6Fixed()
+			ph := d.Run(users, func(cl, k int) *db.Plan { return tpch.BuildQ6With(p) })
+			row := fig4Row("OS/MonetDB", users, ph)
+			sweep.AddRow(row.Config, row.Users, row.Throughput, row.FaultsPerS, row.HTMBPerS)
 
-// RunFig4 executes the sweep.
-func RunFig4(c Config) (*Fig4Result, error) {
-	c = c.withDefaults()
-	res := &Fig4Result{}
-	for _, users := range c.Users {
-		// OS/MonetDB: Volcano engine, no mechanism.
-		r, err := newRig(c, workload.ModeOS, nil)
+			// The C kernel under its three affinity policies.
+			for _, aff := range []db.RawAffinity{db.RawOS, db.RawDense, db.RawSparse} {
+				row, err := runFig4Raw(c, users, aff)
+				if err != nil {
+					return err
+				}
+				sweep.AddRow(row.Config, row.Users, row.Throughput, row.FaultsPerS, row.HTMBPerS)
+			}
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		d := &workload.Driver{Rig: r, QueriesPerClient: 1}
-		p := q6Fixed()
-		phase := d.Run(users, func(cl, k int) *db.Plan { return tpch.BuildQ6With(p) })
-		res.Rows = append(res.Rows, fig4Row("OS/MonetDB", users, phase))
-
-		// The C kernel under its three affinity policies.
-		for _, aff := range []db.RawAffinity{db.RawOS, db.RawDense, db.RawSparse} {
-			row, err := runFig4Raw(c, users, aff)
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, row)
-		}
+		obs.Progress(i+1, len(c.Users))
 	}
 	return res, nil
+}
+
+// fig4ResultFrom decodes the generic Result into the typed accessor view.
+func fig4ResultFrom(res *Result) (*Fig4Result, error) {
+	sweep := res.Table("sweep")
+	if sweep == nil {
+		return nil, fmt.Errorf("experiments: fig4 result missing sweep table")
+	}
+	out := &Fig4Result{Result: res}
+	for i := range sweep.Rows {
+		cfg, _ := sweep.Str(i, 0)
+		users, _ := sweep.Int(i, 1)
+		tput, _ := sweep.Float(i, 2)
+		faults, _ := sweep.Float(i, 3)
+		ht, _ := sweep.Float(i, 4)
+		out.Rows = append(out.Rows, Fig4Row{
+			Config: cfg, Users: int(users), Throughput: tput,
+			FaultsPerS: faults, HTMBPerS: ht,
+		})
+	}
+	return out, nil
+}
+
+// RunFig4 executes the sweep through the registry and returns the typed
+// view (compatibility wrapper over the Experiment API).
+func RunFig4(c Config) (*Fig4Result, error) {
+	res, err := run("fig4", c)
+	if err != nil {
+		return nil, err
+	}
+	return fig4ResultFrom(res)
 }
 
 func fig4Row(config string, users int, phase workload.PhaseResult) Fig4Row {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"elasticore/internal/tpch"
@@ -12,8 +13,10 @@ import (
 // the threads spawned for a single-client Q6 under the plain OS scheduler,
 // and the tomograph of its worker-thread operator calls.
 
-// Fig5Result captures the single-client scheduling behaviour.
+// Fig5Result is the typed view of the fig5 Result: scalar counters come
+// from its metrics, the rendered maps from its artifacts.
 type Fig5Result struct {
+	*Result
 	// Migrations and CrossNode are total thread reassignments during the
 	// query and the subset that changed NUMA node.
 	Migrations, CrossNode int
@@ -31,47 +34,83 @@ type Fig5Result struct {
 	ParallelTheta int
 }
 
-// String renders both artifacts.
-func (r *Fig5Result) String() string {
-	return fmt.Sprintf(
-		"Figure 5: single-client Q6 thread scheduling under the OS\n"+
-			"threads=%d migrations=%d cross-node=%d multi-node-threads=%d\n%s\n"+
-			"Figure 6: tomograph of worker threads\n%s",
-		r.ThreadsObserved, r.Migrations, r.CrossNode, r.MultiNodeThreads,
-		r.LifespanMap, r.Tomograph)
-}
-
-// RunFig5 executes a single-client Q6 on the OS-scheduled engine and
+// runFig5 executes a single-client Q6 on the OS-scheduled engine and
 // collects the traces.
-func RunFig5(c Config) (*Fig5Result, error) {
-	c = c.withDefaults()
-	r, err := newRig(c, workload.ModeOS, nil)
+func runFig5(ctx context.Context, c Config, obs Observer) (*Result, error) {
+	res := &Result{}
+	err := phase(ctx, obs, "q6 single client", func() error {
+		r, err := newRig(c, workload.ModeOS, nil)
+		if err != nil {
+			return err
+		}
+		mt := trace.NewMigrationTrace(r.Sched)
+		tg := trace.NewTomograph(r.Engine, r.Machine.Topology())
+
+		q := r.Engine.Submit(tpch.BuildQ6With(q6Fixed()))
+		if !r.Sched.RunUntil(q.Done, r.Machine.Topology().SecondsToCycles(600)) {
+			return fmt.Errorf("experiments: fig5 query timed out")
+		}
+
+		migrations, crossNode := mt.MigrationCount()
+		nodes := mt.NodesUsed()
+		multiNode := 0
+		for _, n := range nodes {
+			if n > 1 {
+				multiNode++
+			}
+		}
+		parallelTheta := 0
+		for _, s := range tg.Stats() {
+			if s.Op == "algebra.thetasubselect" {
+				parallelTheta = s.Calls
+			}
+		}
+		res.AddMetric("migrations", float64(migrations), "")
+		res.AddMetric("cross_node", float64(crossNode), "")
+		res.AddMetric("threads_observed", float64(len(nodes)), "")
+		res.AddMetric("multi_node_threads", float64(multiNode), "")
+		res.AddMetric("parallel_theta", float64(parallelTheta), "tasks")
+		res.AddArtifact("lifespan_map", mt.Render(24, 16))
+		res.AddArtifact("tomograph", tg.Render())
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	mt := trace.NewMigrationTrace(r.Sched)
-	tg := trace.NewTomograph(r.Engine, r.Machine.Topology())
-
-	q := r.Engine.Submit(tpch.BuildQ6With(q6Fixed()))
-	if !r.Sched.RunUntil(q.Done, r.Machine.Topology().SecondsToCycles(600)) {
-		return nil, fmt.Errorf("experiments: fig5 query timed out")
-	}
-
-	res := &Fig5Result{}
-	res.Migrations, res.CrossNode = mt.MigrationCount()
-	nodes := mt.NodesUsed()
-	res.ThreadsObserved = len(nodes)
-	for _, n := range nodes {
-		if n > 1 {
-			res.MultiNodeThreads++
-		}
-	}
-	res.LifespanMap = mt.Render(24, 16)
-	res.Tomograph = tg.Render()
-	for _, s := range tg.Stats() {
-		if s.Op == "algebra.thetasubselect" {
-			res.ParallelTheta = s.Calls
-		}
-	}
+	obs.Progress(1, 1)
 	return res, nil
+}
+
+// fig5ResultFrom decodes the generic Result into the typed view.
+func fig5ResultFrom(res *Result) (*Fig5Result, error) {
+	out := &Fig5Result{Result: res}
+	for _, f := range []struct {
+		name string
+		dst  *int
+	}{
+		{"migrations", &out.Migrations},
+		{"cross_node", &out.CrossNode},
+		{"threads_observed", &out.ThreadsObserved},
+		{"multi_node_threads", &out.MultiNodeThreads},
+		{"parallel_theta", &out.ParallelTheta},
+	} {
+		v, ok := res.Metric(f.name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: fig5 result missing metric %s", f.name)
+		}
+		*f.dst = int(v)
+	}
+	out.LifespanMap = res.Artifact("lifespan_map")
+	out.Tomograph = res.Artifact("tomograph")
+	return out, nil
+}
+
+// RunFig5 executes the trace collection through the registry and returns
+// the typed view.
+func RunFig5(c Config) (*Fig5Result, error) {
+	res, err := run("fig5", c)
+	if err != nil {
+		return nil, err
+	}
+	return fig5ResultFrom(res)
 }

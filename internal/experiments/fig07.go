@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"elasticore/internal/petrinet"
@@ -20,8 +21,10 @@ type Fig7Point struct {
 	Cores     int
 }
 
-// Fig7Result is the transition timeline.
+// Fig7Result is the typed view of the fig7 Result: the transition timeline
+// decoded from its "transitions" table plus the summary metrics.
 type Fig7Result struct {
+	*Result
 	Points []Fig7Point
 	// PeakCores and FinalCores summarize the ramp-up/release behaviour.
 	PeakCores, FinalCores int
@@ -29,53 +32,87 @@ type Fig7Result struct {
 	Allocations, Releases int
 }
 
-// String renders the timeline like the Figure 7 x-axis.
-func (r *Fig7Result) String() string {
-	t := &table{header: []string{"t(s)", "transition", "cpu%", "cores"}}
-	for _, p := range r.Points {
-		t.add(f3(p.AtSeconds), p.Label, fmt.Sprint(p.CPULoad), fmt.Sprint(p.Cores))
-	}
-	return fmt.Sprintf("Figure 7: state transitions (peak=%d cores, final=%d, +%d/-%d)\n%s",
-		r.PeakCores, r.FinalCores, r.Allocations, r.Releases, t.String())
-}
+// runFig7 drives a burst of concurrent Q6 clients under the adaptive
+// mechanism and records the fired transitions.
+func runFig7(ctx context.Context, c Config, obs Observer) (*Result, error) {
+	res := &Result{}
+	tl := res.AddTable("transitions",
+		colF("t(s)", 3), colS("transition"), colI("cpu%"), colI("cores"))
+	var peak, final, allocations, releases int
+	err := phase(ctx, obs, fmt.Sprintf("q6 burst clients=%d", c.Clients), func() error {
+		r, err := newRig(c, workload.ModeAdaptive, nil)
+		if err != nil {
+			return err
+		}
+		d := &workload.Driver{Rig: r, QueriesPerClient: 2}
+		d.RunSameQuery(c.Clients, tpch.BuildQ6)
+		// Let the system idle so the release transitions fire too.
+		idleTicks := 50
+		for i := 0; i < idleTicks; i++ {
+			r.Tick()
+		}
 
-// RunFig7 drives a burst of concurrent Q6 clients under the adaptive
-// mechanism and returns the recorded transitions.
-func RunFig7(c Config) (*Fig7Result, error) {
-	c = c.withDefaults()
-	r, err := newRig(c, workload.ModeAdaptive, nil)
+		topo := r.Machine.Topology()
+		events := r.Mech.Events()
+		for _, e := range events {
+			tl.AddRow(topo.CyclesToSeconds(e.Now), e.Label, e.U, e.NAlloc)
+			if e.NAlloc > peak {
+				peak = e.NAlloc
+			}
+			switch e.Action {
+			case petrinet.DecisionAllocate:
+				allocations++
+			case petrinet.DecisionRelease:
+				releases++
+			}
+		}
+		if n := len(events); n > 0 {
+			final = events[n-1].NAlloc
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	d := &workload.Driver{Rig: r, QueriesPerClient: 2}
-	d.RunSameQuery(c.Clients, tpch.BuildQ6)
-	// Let the system idle so the release transitions fire too.
-	idleTicks := 50
-	for i := 0; i < idleTicks; i++ {
-		r.Tick()
-	}
-
-	res := &Fig7Result{}
-	topo := r.Machine.Topology()
-	for _, e := range r.Mech.Events() {
-		res.Points = append(res.Points, Fig7Point{
-			AtSeconds: topo.CyclesToSeconds(e.Now),
-			Label:     e.Label,
-			CPULoad:   e.U,
-			Cores:     e.NAlloc,
-		})
-		if e.NAlloc > res.PeakCores {
-			res.PeakCores = e.NAlloc
-		}
-		switch e.Action {
-		case petrinet.DecisionAllocate:
-			res.Allocations++
-		case petrinet.DecisionRelease:
-			res.Releases++
-		}
-	}
-	if n := len(res.Points); n > 0 {
-		res.FinalCores = res.Points[n-1].Cores
-	}
+	res.AddMetric("peak_cores", float64(peak), "cores")
+	res.AddMetric("final_cores", float64(final), "cores")
+	res.AddMetric("allocations", float64(allocations), "")
+	res.AddMetric("releases", float64(releases), "")
+	obs.Progress(1, 1)
 	return res, nil
+}
+
+// fig7ResultFrom decodes the generic Result into the typed view.
+func fig7ResultFrom(res *Result) (*Fig7Result, error) {
+	tl := res.Table("transitions")
+	if tl == nil {
+		return nil, fmt.Errorf("experiments: fig7 result missing transitions table")
+	}
+	out := &Fig7Result{Result: res}
+	for i := range tl.Rows {
+		at, _ := tl.Float(i, 0)
+		label, _ := tl.Str(i, 1)
+		load, _ := tl.Int(i, 2)
+		cores, _ := tl.Int(i, 3)
+		out.Points = append(out.Points, Fig7Point{
+			AtSeconds: at, Label: label, CPULoad: int(load), Cores: int(cores),
+		})
+	}
+	peak, _ := res.Metric("peak_cores")
+	final, _ := res.Metric("final_cores")
+	allocs, _ := res.Metric("allocations")
+	rels, _ := res.Metric("releases")
+	out.PeakCores, out.FinalCores = int(peak), int(final)
+	out.Allocations, out.Releases = int(allocs), int(rels)
+	return out, nil
+}
+
+// RunFig7 executes the burst through the registry and returns the typed
+// view.
+func RunFig7(c Config) (*Fig7Result, error) {
+	res, err := run("fig7", c)
+	if err != nil {
+		return nil, err
+	}
+	return fig7ResultFrom(res)
 }

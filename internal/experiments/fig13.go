@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"elasticore/internal/db"
@@ -22,8 +23,9 @@ type Fig13Row struct {
 	StolenTasks uint64
 }
 
-// Fig13Result is the full sweep.
+// Fig13Result is the typed view of the fig13 Result.
 type Fig13Result struct {
+	*Result
 	Rows []Fig13Row
 }
 
@@ -37,39 +39,67 @@ func (r *Fig13Result) Row(mode workload.Mode, users int) *Fig13Row {
 	return nil
 }
 
-// String renders the four panels as one table.
-func (r *Fig13Result) String() string {
-	t := &table{header: []string{"mode", "users", "q/s", "cpu%", "tasks", "stolen"}}
-	for _, row := range r.Rows {
-		t.add(row.Mode.String(), fmt.Sprint(row.Users), f3(row.Throughput),
-			f2(row.CPULoad), fmt.Sprint(row.Tasks), fmt.Sprint(row.StolenTasks))
-	}
-	return "Figure 13: thetasubselect under increasing concurrency\n" + t.String()
-}
-
-// RunFig13 executes the sweep.
-func RunFig13(c Config) (*Fig13Result, error) {
-	c = c.withDefaults()
-	res := &Fig13Result{}
-	for _, users := range c.Users {
-		for _, mode := range workload.AllModes {
-			r, err := newRig(c, mode, nil)
-			if err != nil {
-				return nil, err
+// runFig13 executes the sweep.
+func runFig13(ctx context.Context, c Config, obs Observer) (*Result, error) {
+	res := &Result{}
+	sweep := res.AddTable("sweep",
+		colS("mode"), colI("users"), colF("q/s", 3), colF("cpu%", 2), colI("tasks"), colI("stolen"))
+	for i, users := range c.Users {
+		users := users
+		err := phase(ctx, obs, fmt.Sprintf("users=%d", users), func() error {
+			for _, mode := range workload.AllModes {
+				r, err := newRig(c, mode, nil)
+				if err != nil {
+					return err
+				}
+				tasksBefore := r.Engine.TasksExecuted
+				d := &workload.Driver{Rig: r, QueriesPerClient: 1}
+				ph := d.Run(users, func(cl, k int) *db.Plan { return thetaPlan(0.45) })
+				sweep.AddRow(mode.String(), users, ph.Throughput, ph.Window.CPULoad(nil),
+					r.Engine.TasksExecuted-tasksBefore, ph.Sched.StolenTasks)
 			}
-			tasksBefore := r.Engine.TasksExecuted
-			d := &workload.Driver{Rig: r, QueriesPerClient: 1}
-			phase := d.Run(users, func(cl, k int) *db.Plan { return thetaPlan(0.45) })
-			row := Fig13Row{
-				Mode:        mode,
-				Users:       users,
-				Throughput:  phase.Throughput,
-				CPULoad:     phase.Window.CPULoad(nil),
-				Tasks:       r.Engine.TasksExecuted - tasksBefore,
-				StolenTasks: phase.Sched.StolenTasks,
-			}
-			res.Rows = append(res.Rows, row)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		obs.Progress(i+1, len(c.Users))
 	}
 	return res, nil
+}
+
+// fig13ResultFrom decodes the generic Result into the typed view.
+func fig13ResultFrom(res *Result) (*Fig13Result, error) {
+	sweep := res.Table("sweep")
+	if sweep == nil {
+		return nil, fmt.Errorf("experiments: fig13 result missing sweep table")
+	}
+	out := &Fig13Result{Result: res}
+	for i := range sweep.Rows {
+		name, _ := sweep.Str(i, 0)
+		mode, ok := modeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: fig13 unknown mode %q", name)
+		}
+		users, _ := sweep.Int(i, 1)
+		tput, _ := sweep.Float(i, 2)
+		load, _ := sweep.Float(i, 3)
+		tasks, _ := sweep.Int(i, 4)
+		stolen, _ := sweep.Int(i, 5)
+		out.Rows = append(out.Rows, Fig13Row{
+			Mode: mode, Users: int(users), Throughput: tput, CPULoad: load,
+			Tasks: uint64(tasks), StolenTasks: uint64(stolen),
+		})
+	}
+	return out, nil
+}
+
+// RunFig13 executes the sweep through the registry and returns the typed
+// view.
+func RunFig13(c Config) (*Fig13Result, error) {
+	res, err := run("fig13", c)
+	if err != nil {
+		return nil, err
+	}
+	return fig13ResultFrom(res)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"elasticore/internal/db"
@@ -21,8 +22,9 @@ type Fig14Row struct {
 	TotalL3Misses     uint64
 }
 
-// Fig14Result is the four-mode comparison.
+// Fig14Result is the typed view of the fig14 Result.
 type Fig14Result struct {
+	*Result
 	Clients int
 	Rows    []Fig14Row
 }
@@ -37,44 +39,107 @@ func (r *Fig14Result) Row(mode workload.Mode) *Fig14Row {
 	return nil
 }
 
-// String renders the three panels.
-func (r *Fig14Result) String() string {
-	t := &table{header: []string{"mode", "L3miss S0", "S1", "S2", "S3", "memTP GB/s S0", "S1", "S2", "S3", "HT GB/s"}}
-	for _, row := range r.Rows {
-		cells := []string{row.Mode.String()}
-		for _, m := range row.L3MissesPerSocket {
-			cells = append(cells, fmt.Sprint(m))
-		}
-		for _, tp := range row.MemTPPerSocket {
-			cells = append(cells, f3(tp))
-		}
-		cells = append(cells, f3(row.HTGBPerS))
-		t.add(cells...)
-	}
-	return fmt.Sprintf("Figure 14: memory access metrics with %d clients\n%s", r.Clients, t.String())
-}
-
-// RunFig14 executes the comparison.
-func RunFig14(c Config) (*Fig14Result, error) {
-	c = c.withDefaults()
-	res := &Fig14Result{Clients: c.Clients}
-	for _, mode := range workload.AllModes {
-		r, err := newRig(c, mode, nil)
+// runFig14 executes the comparison.
+func runFig14(ctx context.Context, c Config, obs Observer) (*Result, error) {
+	var rows []Fig14Row
+	for i, mode := range workload.AllModes {
+		mode := mode
+		err := phase(ctx, obs, "mode="+mode.String(), func() error {
+			r, err := newRig(c, mode, nil)
+			if err != nil {
+				return err
+			}
+			d := &workload.Driver{Rig: r, QueriesPerClient: 1}
+			ph := d.Run(c.Clients, func(cl, k int) *db.Plan { return thetaPlan(0.45) })
+			row := Fig14Row{Mode: mode}
+			for _, n := range ph.Window.Nodes {
+				row.L3MissesPerSocket = append(row.L3MissesPerSocket, n.L3Misses)
+				row.TotalL3Misses += n.L3Misses
+			}
+			row.MemTPPerSocket = perNodeIMCThroughput(r.Machine.Topology(), ph.Window)
+			if ph.ElapsedSeconds > 0 {
+				row.HTGBPerS = float64(ph.Window.TotalHTBytes()) / ph.ElapsedSeconds / 1e9
+			}
+			rows = append(rows, row)
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		d := &workload.Driver{Rig: r, QueriesPerClient: 1}
-		phase := d.Run(c.Clients, func(cl, k int) *db.Plan { return thetaPlan(0.45) })
-		row := Fig14Row{Mode: mode}
-		for _, n := range phase.Window.Nodes {
-			row.L3MissesPerSocket = append(row.L3MissesPerSocket, n.L3Misses)
-			row.TotalL3Misses += n.L3Misses
-		}
-		row.MemTPPerSocket = perNodeIMCThroughput(r.Machine.Topology(), phase.Window)
-		if phase.ElapsedSeconds > 0 {
-			row.HTGBPerS = float64(phase.Window.TotalHTBytes()) / phase.ElapsedSeconds / 1e9
-		}
-		res.Rows = append(res.Rows, row)
+		obs.Progress(i+1, len(workload.AllModes))
 	}
+
+	// The socket count is a property of the machine model, so the table
+	// schema is built from the measurements.
+	sockets := 0
+	if len(rows) > 0 {
+		sockets = len(rows[0].L3MissesPerSocket)
+	}
+	cols := []Column{colS("mode")}
+	for s := 0; s < sockets; s++ {
+		cols = append(cols, colI(fmt.Sprintf("L3miss S%d", s)))
+	}
+	for s := 0; s < sockets; s++ {
+		cols = append(cols, colF(fmt.Sprintf("memTP GB/s S%d", s), 3))
+	}
+	cols = append(cols, colF("HT GB/s", 3), colI("L3 total"))
+	res := &Result{}
+	tb := res.AddTable("sockets", cols...)
+	for _, row := range rows {
+		cells := []any{row.Mode.String()}
+		for _, m := range row.L3MissesPerSocket {
+			cells = append(cells, m)
+		}
+		for _, tp := range row.MemTPPerSocket {
+			cells = append(cells, tp)
+		}
+		cells = append(cells, row.HTGBPerS, row.TotalL3Misses)
+		tb.AddRow(cells...)
+	}
+	res.AddMetric("sockets", float64(sockets), "")
 	return res, nil
+}
+
+// fig14ResultFrom decodes the generic Result into the typed view.
+func fig14ResultFrom(res *Result) (*Fig14Result, error) {
+	tb := res.Table("sockets")
+	if tb == nil {
+		return nil, fmt.Errorf("experiments: fig14 result missing sockets table")
+	}
+	socketsF, _ := res.Metric("sockets")
+	sockets := int(socketsF)
+	out := &Fig14Result{Result: res, Clients: res.Meta.Clients}
+	for i := range tb.Rows {
+		name, _ := tb.Str(i, 0)
+		mode, ok := modeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: fig14 unknown mode %q", name)
+		}
+		row := Fig14Row{Mode: mode}
+		col := 1
+		for s := 0; s < sockets; s++ {
+			m, _ := tb.Int(i, col)
+			row.L3MissesPerSocket = append(row.L3MissesPerSocket, uint64(m))
+			row.TotalL3Misses += uint64(m)
+			col++
+		}
+		for s := 0; s < sockets; s++ {
+			tp, _ := tb.Float(i, col)
+			row.MemTPPerSocket = append(row.MemTPPerSocket, tp)
+			col++
+		}
+		row.HTGBPerS, _ = tb.Float(i, col)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// RunFig14 executes the comparison through the registry and returns the
+// typed view.
+func RunFig14(c Config) (*Fig14Result, error) {
+	res, err := run("fig14", c)
+	if err != nil {
+		return nil, err
+	}
+	return fig14ResultFrom(res)
 }

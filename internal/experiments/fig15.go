@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"elasticore/internal/db"
@@ -20,8 +21,9 @@ type Fig15Row struct {
 	L3Misses    uint64
 }
 
-// Fig15Result is the sweep.
+// Fig15Result is the typed view of the fig15 Result.
 type Fig15Result struct {
+	*Result
 	Clients int
 	Rows    []Fig15Row
 }
@@ -36,34 +38,59 @@ func (r *Fig15Result) Row(mode workload.Mode, sel float64) *Fig15Row {
 	return nil
 }
 
-// String renders the panel grid.
-func (r *Fig15Result) String() string {
-	t := &table{header: []string{"mode", "selectivity", "L3 misses"}}
-	for _, row := range r.Rows {
-		t.add(row.Mode.String(), fmt.Sprintf("%.0f%%", row.Selectivity*100), fmt.Sprint(row.L3Misses))
-	}
-	return fmt.Sprintf("Figure 15: L3 misses vs selectivity, %d clients\n%s", r.Clients, t.String())
-}
-
-// RunFig15 executes the sweep.
-func RunFig15(c Config) (*Fig15Result, error) {
-	c = c.withDefaults()
-	res := &Fig15Result{Clients: c.Clients}
-	for _, sel := range Fig15Selectivities {
-		for _, mode := range workload.AllModes {
-			r, err := newRig(c, mode, nil)
-			if err != nil {
-				return nil, err
+// runFig15 executes the sweep.
+func runFig15(ctx context.Context, c Config, obs Observer) (*Result, error) {
+	res := &Result{}
+	sweep := res.AddTable("sweep",
+		colS("mode"), colF("selectivity", 2), colI("L3 misses"))
+	for i, sel := range Fig15Selectivities {
+		sel := sel
+		err := phase(ctx, obs, fmt.Sprintf("selectivity=%.0f%%", sel*100), func() error {
+			for _, mode := range workload.AllModes {
+				r, err := newRig(c, mode, nil)
+				if err != nil {
+					return err
+				}
+				d := &workload.Driver{Rig: r, QueriesPerClient: 1}
+				ph := d.Run(c.Clients, func(cl, k int) *db.Plan { return thetaPlan(sel) })
+				sweep.AddRow(mode.String(), sel, ph.Window.TotalL3Misses())
 			}
-			sel := sel
-			d := &workload.Driver{Rig: r, QueriesPerClient: 1}
-			phase := d.Run(c.Clients, func(cl, k int) *db.Plan { return thetaPlan(sel) })
-			res.Rows = append(res.Rows, Fig15Row{
-				Mode:        mode,
-				Selectivity: sel,
-				L3Misses:    phase.Window.TotalL3Misses(),
-			})
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		obs.Progress(i+1, len(Fig15Selectivities))
 	}
 	return res, nil
+}
+
+// fig15ResultFrom decodes the generic Result into the typed view.
+func fig15ResultFrom(res *Result) (*Fig15Result, error) {
+	sweep := res.Table("sweep")
+	if sweep == nil {
+		return nil, fmt.Errorf("experiments: fig15 result missing sweep table")
+	}
+	out := &Fig15Result{Result: res, Clients: res.Meta.Clients}
+	for i := range sweep.Rows {
+		name, _ := sweep.Str(i, 0)
+		mode, ok := modeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: fig15 unknown mode %q", name)
+		}
+		sel, _ := sweep.Float(i, 1)
+		misses, _ := sweep.Int(i, 2)
+		out.Rows = append(out.Rows, Fig15Row{Mode: mode, Selectivity: sel, L3Misses: uint64(misses)})
+	}
+	return out, nil
+}
+
+// RunFig15 executes the sweep through the registry and returns the typed
+// view.
+func RunFig15(c Config) (*Fig15Result, error) {
+	res, err := run("fig15", c)
+	if err != nil {
+		return nil, err
+	}
+	return fig15ResultFrom(res)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"elasticore/internal/tpch"
@@ -22,8 +23,9 @@ type Fig16Row struct {
 	LifespanMap      string
 }
 
-// Fig16Result is the four-mode comparison.
+// Fig16Result is the typed view of the fig16 Result.
 type Fig16Result struct {
+	*Result
 	Rows []Fig16Row
 }
 
@@ -37,58 +39,92 @@ func (r *Fig16Result) Row(mode workload.Mode) *Fig16Row {
 	return nil
 }
 
-// String renders the comparison and the maps.
-func (r *Fig16Result) String() string {
-	t := &table{header: []string{"mode", "migrations", "cross-node", "multi-node threads", "nodes touched"}}
-	for _, row := range r.Rows {
-		t.add(row.Mode.String(), fmt.Sprint(row.Migrations), fmt.Sprint(row.CrossNode),
-			fmt.Sprint(row.MultiNodeThreads), fmt.Sprint(row.NodesTouched))
-	}
-	out := "Figure 16: single-client Q6 thread migration per mode\n" + t.String()
-	for _, row := range r.Rows {
-		out += fmt.Sprintf("\n[%s]\n%s", row.Mode, row.LifespanMap)
-	}
-	return out
-}
-
-// RunFig16 executes the comparison.
-func RunFig16(c Config) (*Fig16Result, error) {
-	c = c.withDefaults()
-	res := &Fig16Result{}
-	for _, mode := range workload.AllModes {
-		r, err := newRig(c, mode, nil)
+// runFig16 executes the comparison.
+func runFig16(ctx context.Context, c Config, obs Observer) (*Result, error) {
+	res := &Result{}
+	tb := res.AddTable("modes",
+		colS("mode"), colI("migrations"), colI("cross-node"),
+		colI("multi-node threads"), colI("nodes touched"))
+	for i, mode := range workload.AllModes {
+		mode := mode
+		err := phase(ctx, obs, "mode="+mode.String(), func() error {
+			r, err := newRig(c, mode, nil)
+			if err != nil {
+				return err
+			}
+			mt := trace.NewMigrationTrace(r.Sched)
+			q := r.Engine.Submit(tpch.BuildQ6With(q6Fixed()))
+			deadline := r.Machine.Topology().SecondsToCycles(600)
+			ok := r.Sched.RunUntil(func() bool {
+				if r.Mech != nil {
+					r.Mech.Maybe()
+				}
+				return q.Done()
+			}, deadline)
+			if !ok {
+				return fmt.Errorf("experiments: fig16 %v timed out", mode)
+			}
+			migrations, crossNode := mt.MigrationCount()
+			multiNode := 0
+			for _, n := range mt.NodesUsed() {
+				if n > 1 {
+					multiNode++
+				}
+			}
+			topo := r.Machine.Topology()
+			nodesSeen := map[int]bool{}
+			for _, cores := range mt.CoresUsed() {
+				for _, core := range cores {
+					nodesSeen[int(topo.NodeOf(core))] = true
+				}
+			}
+			tb.AddRow(mode.String(), migrations, crossNode, multiNode, len(nodesSeen))
+			res.AddArtifact("lifespan "+mode.String(), mt.Render(16, 16))
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		mt := trace.NewMigrationTrace(r.Sched)
-		q := r.Engine.Submit(tpch.BuildQ6With(q6Fixed()))
-		deadline := r.Machine.Topology().SecondsToCycles(600)
-		ok := r.Sched.RunUntil(func() bool {
-			if r.Mech != nil {
-				r.Mech.Maybe()
-			}
-			return q.Done()
-		}, deadline)
-		if !ok {
-			return nil, fmt.Errorf("experiments: fig16 %v timed out", mode)
-		}
-		row := Fig16Row{Mode: mode}
-		row.Migrations, row.CrossNode = mt.MigrationCount()
-		nodesSeen := map[int]bool{}
-		for _, n := range mt.NodesUsed() {
-			if n > 1 {
-				row.MultiNodeThreads++
-			}
-		}
-		topo := r.Machine.Topology()
-		for _, cores := range mt.CoresUsed() {
-			for _, core := range cores {
-				nodesSeen[int(topo.NodeOf(core))] = true
-			}
-		}
-		row.NodesTouched = len(nodesSeen)
-		row.LifespanMap = mt.Render(16, 16)
-		res.Rows = append(res.Rows, row)
+		obs.Progress(i+1, len(workload.AllModes))
 	}
 	return res, nil
+}
+
+// fig16ResultFrom decodes the generic Result into the typed view.
+func fig16ResultFrom(res *Result) (*Fig16Result, error) {
+	tb := res.Table("modes")
+	if tb == nil {
+		return nil, fmt.Errorf("experiments: fig16 result missing modes table")
+	}
+	out := &Fig16Result{Result: res}
+	for i := range tb.Rows {
+		name, _ := tb.Str(i, 0)
+		mode, ok := modeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: fig16 unknown mode %q", name)
+		}
+		migrations, _ := tb.Int(i, 1)
+		crossNode, _ := tb.Int(i, 2)
+		multiNode, _ := tb.Int(i, 3)
+		touched, _ := tb.Int(i, 4)
+		out.Rows = append(out.Rows, Fig16Row{
+			Mode:             mode,
+			Migrations:       int(migrations),
+			CrossNode:        int(crossNode),
+			MultiNodeThreads: int(multiNode),
+			NodesTouched:     int(touched),
+			LifespanMap:      res.Artifact("lifespan " + name),
+		})
+	}
+	return out, nil
+}
+
+// RunFig16 executes the comparison through the registry and returns the
+// typed view.
+func RunFig16(c Config) (*Fig16Result, error) {
+	res, err := run("fig16", c)
+	if err != nil {
+		return nil, err
+	}
+	return fig16ResultFrom(res)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"elasticore/internal/db"
@@ -23,8 +24,9 @@ type Fig17Row struct {
 	L3Misses     uint64
 }
 
-// Fig17Result is the strategy comparison.
+// Fig17Result is the typed view of the fig17 Result.
 type Fig17Result struct {
+	*Result
 	Rows []Fig17Row
 }
 
@@ -38,21 +40,12 @@ func (r *Fig17Result) Row(mode workload.Mode, strategy string) *Fig17Row {
 	return nil
 }
 
-// String renders the panels.
-func (r *Fig17Result) String() string {
-	t := &table{header: []string{"mode", "strategy", "resp (s)", "HT MB/s", "L3 misses"}}
-	for _, row := range r.Rows {
-		t.add(row.Mode.String(), row.Strategy, f3(row.ResponseSecs),
-			f2(row.HTMBPerS), fmt.Sprint(row.L3Misses))
-	}
-	return "Figure 17: CPU-load vs HT/IMC state-transition strategies, Q6, 1 client\n" + t.String()
-}
-
-// RunFig17 executes the comparison. The OS baseline appears once under
+// runFig17 executes the comparison. The OS baseline appears once under
 // strategy "-"; each mechanism mode appears under both strategies.
-func RunFig17(c Config) (*Fig17Result, error) {
-	c = c.withDefaults()
-	res := &Fig17Result{}
+func runFig17(ctx context.Context, c Config, obs Observer) (*Result, error) {
+	res := &Result{}
+	tb := res.AddTable("strategies",
+		colS("mode"), colS("strategy"), colF("resp (s)", 3), colF("HT MB/s", 2), colI("L3 misses"))
 	type combo struct {
 		mode     workload.Mode
 		strategy elastic.Strategy
@@ -65,24 +58,63 @@ func RunFig17(c Config) (*Fig17Result, error) {
 			combo{mode, elastic.HTIMCStrategy{}, "ht-imc"},
 		)
 	}
-	for _, cb := range combos {
-		r, err := newRig(c, cb.mode, cb.strategy)
+	for i, cb := range combos {
+		cb := cb
+		err := phase(ctx, obs, fmt.Sprintf("mode=%s strategy=%s", cb.mode, cb.name), func() error {
+			r, err := newRig(c, cb.mode, cb.strategy)
+			if err != nil {
+				return err
+			}
+			d := &workload.Driver{Rig: r, QueriesPerClient: 1}
+			p := q6Fixed()
+			ph := d.Run(1, func(cl, k int) *db.Plan { return tpch.BuildQ6With(p) })
+			htMBPerS := 0.0
+			if ph.ElapsedSeconds > 0 {
+				htMBPerS = mb(ph.Window.TotalHTBytes()) / ph.ElapsedSeconds
+			}
+			tb.AddRow(cb.mode.String(), cb.name, ph.MeanLatencySeconds, htMBPerS,
+				ph.Window.TotalL3Misses())
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		d := &workload.Driver{Rig: r, QueriesPerClient: 1}
-		p := q6Fixed()
-		phase := d.Run(1, func(cl, k int) *db.Plan { return tpch.BuildQ6With(p) })
-		row := Fig17Row{
-			Mode:         cb.mode,
-			Strategy:     cb.name,
-			ResponseSecs: phase.MeanLatencySeconds,
-			L3Misses:     phase.Window.TotalL3Misses(),
-		}
-		if phase.ElapsedSeconds > 0 {
-			row.HTMBPerS = mb(phase.Window.TotalHTBytes()) / phase.ElapsedSeconds
-		}
-		res.Rows = append(res.Rows, row)
+		obs.Progress(i+1, len(combos))
 	}
 	return res, nil
+}
+
+// fig17ResultFrom decodes the generic Result into the typed view.
+func fig17ResultFrom(res *Result) (*Fig17Result, error) {
+	tb := res.Table("strategies")
+	if tb == nil {
+		return nil, fmt.Errorf("experiments: fig17 result missing strategies table")
+	}
+	out := &Fig17Result{Result: res}
+	for i := range tb.Rows {
+		name, _ := tb.Str(i, 0)
+		mode, ok := modeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: fig17 unknown mode %q", name)
+		}
+		strategy, _ := tb.Str(i, 1)
+		resp, _ := tb.Float(i, 2)
+		ht, _ := tb.Float(i, 3)
+		misses, _ := tb.Int(i, 4)
+		out.Rows = append(out.Rows, Fig17Row{
+			Mode: mode, Strategy: strategy, ResponseSecs: resp,
+			HTMBPerS: ht, L3Misses: uint64(misses),
+		})
+	}
+	return out, nil
+}
+
+// RunFig17 executes the comparison through the registry and returns the
+// typed view.
+func RunFig17(c Config) (*Fig17Result, error) {
+	res, err := run("fig17", c)
+	if err != nil {
+		return nil, err
+	}
+	return fig17ResultFrom(res)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"elasticore/internal/db"
@@ -31,8 +32,9 @@ type Fig18Sample struct {
 	Allocated int
 }
 
-// Fig18Result is the four-configuration comparison.
+// Fig18Result is the typed view of the fig18 Result.
 type Fig18Result struct {
+	*Result
 	Clients int
 	Runs    []Fig18Run
 }
@@ -47,65 +49,123 @@ func (r *Fig18Result) Run(label string) *Fig18Run {
 	return nil
 }
 
-// String renders run summaries and timelines.
-func (r *Fig18Result) String() string {
-	t := &table{header: []string{"config", "total (s)", "mean memTP GB/s", "samples"}}
-	for _, run := range r.Runs {
-		t.add(run.Label, f3(run.TotalSeconds), f3(run.MeanMemTP), fmt.Sprint(len(run.Timeline)))
-	}
-	return fmt.Sprintf("Figure 18: stable phases workload, %d clients\n%s", r.Clients, t.String())
+// fig18Configs is the four-way {scheduler} x {engine flavour} grid.
+var fig18Configs = []struct {
+	label     string
+	mode      workload.Mode
+	placement db.Placement
+}{
+	{"OS/MonetDB", workload.ModeOS, db.PlacementOS},
+	{"Adaptive/MonetDB", workload.ModeAdaptive, db.PlacementOS},
+	{"OS/SQLServer", workload.ModeOS, db.PlacementNUMAAware},
+	{"Adaptive/SQLServer", workload.ModeAdaptive, db.PlacementNUMAAware},
 }
 
-// RunFig18 executes the four configurations.
-func RunFig18(c Config) (*Fig18Result, error) {
-	c = c.withDefaults()
-	res := &Fig18Result{Clients: c.Clients}
-	configs := []struct {
-		label     string
-		mode      workload.Mode
-		placement db.Placement
-	}{
-		{"OS/MonetDB", workload.ModeOS, db.PlacementOS},
-		{"Adaptive/MonetDB", workload.ModeAdaptive, db.PlacementOS},
-		{"OS/SQLServer", workload.ModeOS, db.PlacementNUMAAware},
-		{"Adaptive/SQLServer", workload.ModeAdaptive, db.PlacementNUMAAware},
-	}
-	for _, cfg := range configs {
-		cc := c
-		cc.Placement = cfg.placement
-		r, err := newRig(cc, cfg.mode, nil)
+// runFig18 executes the four configurations.
+func runFig18(ctx context.Context, c Config, obs Observer) (*Result, error) {
+	res := &Result{}
+	summary := res.AddTable("runs",
+		colS("config"), colF("total (s)", 3), colF("mean memTP GB/s", 3), colI("samples"))
+	var timeline *Table
+	for i, cfg := range fig18Configs {
+		cfg := cfg
+		err := phase(ctx, obs, cfg.label, func() error {
+			cc := c
+			cc.Placement = cfg.placement
+			r, err := newRig(cc, cfg.mode, nil)
+			if err != nil {
+				return err
+			}
+			topo := r.Machine.Topology()
+			if timeline == nil {
+				cols := []Column{colS("config"), colF("t(s)", 4), colI("allocated")}
+				for s := 0; s < topo.NodeCount; s++ {
+					cols = append(cols, colF(fmt.Sprintf("memTP GB/s S%d", s), 3))
+				}
+				timeline = res.AddTable("timeline", cols...)
+			}
+			sampleEvery := 0.002
+			phases := workload.StablePhases(r, c.Clients, sampleEvery)
+			var offset, totalSeconds, tpSum float64
+			var tpN, samples int
+			for _, ph := range phases {
+				for _, s := range ph.Samples {
+					perSocket := perNodeIMCThroughput(topo, s.Window)
+					var total float64
+					cells := []any{cfg.label, offset + s.AtSeconds, s.Allocated}
+					for _, v := range perSocket {
+						total += v
+						cells = append(cells, v)
+					}
+					tpSum += total
+					tpN++
+					samples++
+					timeline.AddRow(cells...)
+				}
+				offset += ph.ElapsedSeconds
+				totalSeconds += ph.ElapsedSeconds
+			}
+			meanTP := 0.0
+			if tpN > 0 {
+				meanTP = tpSum / float64(tpN)
+			}
+			summary.AddRow(cfg.label, totalSeconds, meanTP, samples)
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		topo := r.Machine.Topology()
-		sampleEvery := 0.002
-		phases := workload.StablePhases(r, c.Clients, sampleEvery)
-		run := Fig18Run{Label: cfg.label, Mode: cfg.mode, Placement: cfg.placement}
-		var offset float64
-		var tpSum float64
-		var tpN int
-		for _, ph := range phases {
-			for _, s := range ph.Samples {
-				perSocket := perNodeIMCThroughput(topo, s.Window)
-				var total float64
-				for _, v := range perSocket {
-					total += v
-				}
-				tpSum += total
-				tpN++
-				run.Timeline = append(run.Timeline, Fig18Sample{
-					AtSeconds: offset + s.AtSeconds,
-					PerSocket: perSocket,
-					Allocated: s.Allocated,
-				})
-			}
-			offset += ph.ElapsedSeconds
-			run.TotalSeconds += ph.ElapsedSeconds
-		}
-		if tpN > 0 {
-			run.MeanMemTP = tpSum / float64(tpN)
-		}
-		res.Runs = append(res.Runs, run)
+		obs.Progress(i+1, len(fig18Configs))
 	}
 	return res, nil
+}
+
+// fig18ResultFrom decodes the generic Result into the typed view.
+func fig18ResultFrom(res *Result) (*Fig18Result, error) {
+	summary := res.Table("runs")
+	if summary == nil {
+		return nil, fmt.Errorf("experiments: fig18 result missing runs table")
+	}
+	out := &Fig18Result{Result: res, Clients: res.Meta.Clients}
+	for i := range summary.Rows {
+		label, _ := summary.Str(i, 0)
+		total, _ := summary.Float(i, 1)
+		mean, _ := summary.Float(i, 2)
+		run := Fig18Run{Label: label, TotalSeconds: total, MeanMemTP: mean}
+		for _, cfg := range fig18Configs {
+			if cfg.label == label {
+				run.Mode, run.Placement = cfg.mode, cfg.placement
+			}
+		}
+		out.Runs = append(out.Runs, run)
+	}
+	if timeline := res.Table("timeline"); timeline != nil {
+		sockets := len(timeline.Columns) - 3
+		for i := range timeline.Rows {
+			label, _ := timeline.Str(i, 0)
+			run := out.Run(label)
+			if run == nil {
+				continue
+			}
+			at, _ := timeline.Float(i, 1)
+			alloc, _ := timeline.Int(i, 2)
+			sample := Fig18Sample{AtSeconds: at, Allocated: int(alloc)}
+			for s := 0; s < sockets; s++ {
+				v, _ := timeline.Float(i, 3+s)
+				sample.PerSocket = append(sample.PerSocket, v)
+			}
+			run.Timeline = append(run.Timeline, sample)
+		}
+	}
+	return out, nil
+}
+
+// RunFig18 executes the four configurations through the registry and
+// returns the typed view.
+func RunFig18(c Config) (*Fig18Result, error) {
+	res, err := run("fig18", c)
+	if err != nil {
+		return nil, err
+	}
+	return fig18ResultFrom(res)
 }

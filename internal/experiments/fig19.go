@@ -1,9 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"elasticore/internal/db"
 	"elasticore/internal/metrics"
 	"elasticore/internal/workload"
 )
@@ -23,8 +23,9 @@ type Fig19Query struct {
 	Speedup map[workload.Mode]float64
 }
 
-// Fig19Result is one engine flavour's full run.
+// Fig19Result is the typed view of the fig19 Result.
 type Fig19Result struct {
+	*Result
 	Engine  string
 	Clients int
 	Queries []Fig19Query
@@ -33,71 +34,118 @@ type Fig19Result struct {
 	MaxSpeedup, MeanSpeedup, MaxRatioImprovement, MeanRatioImprovement float64
 }
 
-// String renders the per-query split.
-func (r *Fig19Result) String() string {
-	t := &table{header: []string{"query", "OS lat(s)", "adaptive lat(s)", "speedup", "OS ratio", "adaptive ratio", "ratio x-smaller"}}
-	for _, q := range r.Queries {
-		osr, ar := q.Ratio[workload.ModeOS], q.Ratio[workload.ModeAdaptive]
-		imp := 0.0
-		if ar > 0 {
-			imp = osr / ar
-		}
-		t.add(fmt.Sprintf("Q%d", q.QueryNumber),
-			f3(q.LatencySecs[workload.ModeOS]), f3(q.LatencySecs[workload.ModeAdaptive]),
-			f2(q.Speedup[workload.ModeAdaptive]), f3(osr), f3(ar), f2(imp))
-	}
-	return fmt.Sprintf(
-		"Figure 19 (%s): mixed phases, %d clients — adaptive max speedup %.2fx (mean %.2fx), ratio up to %.2fx smaller (mean %.2fx)\n%s",
-		r.Engine, r.Clients, r.MaxSpeedup, r.MeanSpeedup, r.MaxRatioImprovement, r.MeanRatioImprovement, t.String())
-}
+// mechModes are the three mechanism modes compared against the OS.
+var mechModes = []workload.Mode{workload.ModeDense, workload.ModeSparse, workload.ModeAdaptive}
 
-// RunFig19 executes the per-query mixed workload for one engine flavour
+// runFig19 executes the per-query mixed workload for one engine flavour
 // across all four modes.
-func RunFig19(c Config) (*Fig19Result, error) {
-	c = c.withDefaults()
-	engine := "MonetDB"
-	if c.Placement == db.PlacementNUMAAware {
-		engine = "SQLServer"
-	}
-	res := &Fig19Result{Engine: engine, Clients: c.Clients}
-
+func runFig19(ctx context.Context, c Config, obs Observer) (*Result, error) {
 	perMode := make(map[workload.Mode][]workload.QueryPhase)
-	for _, mode := range workload.AllModes {
-		r, err := newRig(c, mode, nil)
+	for i, mode := range workload.AllModes {
+		mode := mode
+		err := phase(ctx, obs, "mode="+mode.String(), func() error {
+			r, err := newRig(c, mode, nil)
+			if err != nil {
+				return err
+			}
+			perMode[mode] = workload.MixedPhases(r, c.Clients)
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		perMode[mode] = workload.MixedPhases(r, c.Clients)
+		obs.Progress(i+1, len(workload.AllModes))
 	}
+
+	res := &Result{}
+	cols := []Column{colI("query")}
+	for _, mode := range workload.AllModes {
+		cols = append(cols, colF("lat(s) "+mode.String(), 3))
+	}
+	for _, mode := range workload.AllModes {
+		cols = append(cols, colF("ratio "+mode.String(), 3))
+	}
+	for _, mode := range mechModes {
+		cols = append(cols, colF("speedup "+mode.String(), 2))
+	}
+	tb := res.AddTable("queries", cols...)
 
 	n := len(perMode[workload.ModeOS])
 	var speedups, improvements []float64
 	for i := 0; i < n; i++ {
+		osLat := perMode[workload.ModeOS][i].MeanLatencySeconds
+		cells := []any{perMode[workload.ModeOS][i].QueryNumber}
+		for _, mode := range workload.AllModes {
+			cells = append(cells, perMode[mode][i].MeanLatencySeconds)
+		}
+		for _, mode := range workload.AllModes {
+			cells = append(cells, perMode[mode][i].HTIMCRatio())
+		}
+		var adaptiveSpeedup float64
+		for _, mode := range mechModes {
+			speedup := 0.0
+			if lat := perMode[mode][i].MeanLatencySeconds; lat > 0 {
+				speedup = osLat / lat
+			}
+			if mode == workload.ModeAdaptive {
+				adaptiveSpeedup = speedup
+			}
+			cells = append(cells, speedup)
+		}
+		tb.AddRow(cells...)
+		speedups = append(speedups, adaptiveSpeedup)
+		if ar := perMode[workload.ModeAdaptive][i].HTIMCRatio(); ar > 0 {
+			improvements = append(improvements, perMode[workload.ModeOS][i].HTIMCRatio()/ar)
+		}
+	}
+	res.AddMetric("max_speedup", metrics.Max(speedups), "x")
+	res.AddMetric("mean_speedup", metrics.Mean(speedups), "x")
+	res.AddMetric("max_ratio_improvement", metrics.Max(improvements), "x")
+	res.AddMetric("mean_ratio_improvement", metrics.Mean(improvements), "x")
+	return res, nil
+}
+
+// fig19ResultFrom decodes the generic Result into the typed view.
+func fig19ResultFrom(res *Result) (*Fig19Result, error) {
+	tb := res.Table("queries")
+	if tb == nil {
+		return nil, fmt.Errorf("experiments: fig19 result missing queries table")
+	}
+	out := &Fig19Result{Result: res, Clients: res.Meta.Clients, Engine: "MonetDB"}
+	if res.Meta.Engine == "sqlserver" {
+		out.Engine = "SQLServer"
+	}
+	nModes := len(workload.AllModes)
+	for i := range tb.Rows {
+		qn, _ := tb.Int(i, 0)
 		q := Fig19Query{
-			QueryNumber: perMode[workload.ModeOS][i].QueryNumber,
+			QueryNumber: int(qn),
 			LatencySecs: map[workload.Mode]float64{},
 			Ratio:       map[workload.Mode]float64{},
 			Speedup:     map[workload.Mode]float64{},
 		}
-		for mode, phases := range perMode {
-			q.LatencySecs[mode] = phases[i].MeanLatencySeconds
-			q.Ratio[mode] = phases[i].HTIMCRatio()
+		for j, mode := range workload.AllModes {
+			q.LatencySecs[mode], _ = tb.Float(i, 1+j)
+			q.Ratio[mode], _ = tb.Float(i, 1+nModes+j)
 		}
-		osLat := q.LatencySecs[workload.ModeOS]
-		for _, mode := range []workload.Mode{workload.ModeDense, workload.ModeSparse, workload.ModeAdaptive} {
-			if lat := q.LatencySecs[mode]; lat > 0 {
-				q.Speedup[mode] = osLat / lat
-			}
+		for j, mode := range mechModes {
+			q.Speedup[mode], _ = tb.Float(i, 1+2*nModes+j)
 		}
-		speedups = append(speedups, q.Speedup[workload.ModeAdaptive])
-		if ar := q.Ratio[workload.ModeAdaptive]; ar > 0 {
-			improvements = append(improvements, q.Ratio[workload.ModeOS]/ar)
-		}
-		res.Queries = append(res.Queries, q)
+		out.Queries = append(out.Queries, q)
 	}
-	res.MaxSpeedup = metrics.Max(speedups)
-	res.MeanSpeedup = metrics.Mean(speedups)
-	res.MaxRatioImprovement = metrics.Max(improvements)
-	res.MeanRatioImprovement = metrics.Mean(improvements)
-	return res, nil
+	out.MaxSpeedup, _ = res.Metric("max_speedup")
+	out.MeanSpeedup, _ = res.Metric("mean_speedup")
+	out.MaxRatioImprovement, _ = res.Metric("max_ratio_improvement")
+	out.MeanRatioImprovement, _ = res.Metric("mean_ratio_improvement")
+	return out, nil
+}
+
+// RunFig19 executes the mixed workload through the registry and returns
+// the typed view.
+func RunFig19(c Config) (*Fig19Result, error) {
+	res, err := run("fig19", c)
+	if err != nil {
+		return nil, err
+	}
+	return fig19ResultFrom(res)
 }

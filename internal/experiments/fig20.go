@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"elasticore/internal/metrics"
@@ -20,8 +22,9 @@ type Fig20Query struct {
 	TotalSavingsPct float64
 }
 
-// Fig20Result is the full benchmark.
+// Fig20Result is the typed view of the fig20 Result.
 type Fig20Result struct {
+	*Result
 	Clients int
 	Queries []Fig20Query
 	// Aggregates as the paper reports them: geometric-mean per-component
@@ -29,64 +32,93 @@ type Fig20Result struct {
 	GeoCPUSavingsPct, GeoHTSavingsPct, TotalSavingsPct float64
 }
 
-// String renders the per-query bars.
-func (r *Fig20Result) String() string {
-	t := &table{header: []string{"query", "OS cpu(J)", "OS ht(J)", "adp cpu(J)", "adp ht(J)", "cpu save%", "ht save%"}}
-	for _, q := range r.Queries {
-		t.add(fmt.Sprintf("Q%d", q.QueryNumber),
-			f3(q.OS.CPUJoules), f3(q.OS.HTJoules),
-			f3(q.Adaptive.CPUJoules), f3(q.Adaptive.HTJoules),
-			f2(q.CPUSavingsPct), f2(q.HTSavingsPct))
-	}
-	return fmt.Sprintf(
-		"Figure 20: energy estimates, %d clients — CPU geo-save %.2f%%, HT geo-save %.2f%%, total saving %.2f%%\n%s",
-		r.Clients, r.GeoCPUSavingsPct, r.GeoHTSavingsPct, r.TotalSavingsPct, t.String())
-}
-
-// RunFig20 executes the per-query energy comparison.
-func RunFig20(c Config) (*Fig20Result, error) {
-	c = c.withDefaults()
+// runFig20 executes the per-query energy comparison.
+func runFig20(ctx context.Context, c Config, obs Observer) (*Result, error) {
 	model := metrics.DefaultEnergyModel()
-	res := &Fig20Result{Clients: c.Clients}
-
-	run := func(mode workload.Mode) ([]workload.QueryPhase, error) {
-		r, err := newRig(c, mode, nil)
+	var osPhases, adPhases []workload.QueryPhase
+	for i, mode := range []workload.Mode{workload.ModeOS, workload.ModeAdaptive} {
+		mode := mode
+		err := phase(ctx, obs, "mode="+mode.String(), func() error {
+			r, err := newRig(c, mode, nil)
+			if err != nil {
+				return err
+			}
+			phases := workload.MixedPhases(r, c.Clients)
+			if mode == workload.ModeOS {
+				osPhases = phases
+			} else {
+				adPhases = phases
+			}
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		return workload.MixedPhases(r, c.Clients), nil
-	}
-	osPhases, err := run(workload.ModeOS)
-	if err != nil {
-		return nil, err
-	}
-	adPhases, err := run(workload.ModeAdaptive)
-	if err != nil {
-		return nil, err
+		obs.Progress(i+1, 2)
 	}
 
+	res := &Result{}
+	tb := res.AddTable("queries",
+		colI("query"), colF("OS cpu(J)", 3), colF("OS ht(J)", 3),
+		colF("adp cpu(J)", 3), colF("adp ht(J)", 3),
+		colF("cpu save%", 2), colF("ht save%", 2), colF("total save%", 2))
 	topo := mustTopo()
 	var cpuSav, htSav []float64
 	var osTotal, adTotal float64
 	for i := range osPhases {
-		q := Fig20Query{QueryNumber: osPhases[i].QueryNumber}
-		q.OS = model.Estimate(topo, osPhases[i].Window)
-		q.Adaptive = model.Estimate(topo, adPhases[i].Window)
-		q.CPUSavingsPct = metrics.Savings(q.OS.CPUJoules, q.Adaptive.CPUJoules)
-		q.HTSavingsPct = metrics.Savings(q.OS.HTJoules, q.Adaptive.HTJoules)
-		q.TotalSavingsPct = metrics.Savings(q.OS.Total(), q.Adaptive.Total())
-		osTotal += q.OS.Total()
-		adTotal += q.Adaptive.Total()
-		if q.CPUSavingsPct > 0 {
-			cpuSav = append(cpuSav, q.CPUSavingsPct)
+		osE := model.Estimate(topo, osPhases[i].Window)
+		adE := model.Estimate(topo, adPhases[i].Window)
+		cpuSave := metrics.Savings(osE.CPUJoules, adE.CPUJoules)
+		htSave := metrics.Savings(osE.HTJoules, adE.HTJoules)
+		totalSave := metrics.Savings(osE.Total(), adE.Total())
+		tb.AddRow(osPhases[i].QueryNumber, osE.CPUJoules, osE.HTJoules,
+			adE.CPUJoules, adE.HTJoules, cpuSave, htSave, totalSave)
+		osTotal += osE.Total()
+		adTotal += adE.Total()
+		if cpuSave > 0 {
+			cpuSav = append(cpuSav, cpuSave)
 		}
-		if q.HTSavingsPct > 0 {
-			htSav = append(htSav, q.HTSavingsPct)
+		if htSave > 0 {
+			htSav = append(htSav, htSave)
 		}
-		res.Queries = append(res.Queries, q)
 	}
-	res.GeoCPUSavingsPct = metrics.GeoMean(cpuSav)
-	res.GeoHTSavingsPct = metrics.GeoMean(htSav)
-	res.TotalSavingsPct = metrics.Savings(osTotal, adTotal)
+	res.AddMetric("geo_cpu_savings_pct", metrics.GeoMean(cpuSav), "%")
+	res.AddMetric("geo_ht_savings_pct", metrics.GeoMean(htSav), "%")
+	res.AddMetric("total_savings_pct", metrics.Savings(osTotal, adTotal), "%")
 	return res, nil
+}
+
+// fig20ResultFrom decodes the generic Result into the typed view.
+func fig20ResultFrom(res *Result) (*Fig20Result, error) {
+	tb := res.Table("queries")
+	if tb == nil {
+		return nil, fmt.Errorf("experiments: fig20 result missing queries table")
+	}
+	out := &Fig20Result{Result: res, Clients: res.Meta.Clients}
+	for i := range tb.Rows {
+		qn, _ := tb.Int(i, 0)
+		q := Fig20Query{QueryNumber: int(qn)}
+		q.OS.CPUJoules, _ = tb.Float(i, 1)
+		q.OS.HTJoules, _ = tb.Float(i, 2)
+		q.Adaptive.CPUJoules, _ = tb.Float(i, 3)
+		q.Adaptive.HTJoules, _ = tb.Float(i, 4)
+		q.CPUSavingsPct, _ = tb.Float(i, 5)
+		q.HTSavingsPct, _ = tb.Float(i, 6)
+		q.TotalSavingsPct, _ = tb.Float(i, 7)
+		out.Queries = append(out.Queries, q)
+	}
+	out.GeoCPUSavingsPct, _ = res.Metric("geo_cpu_savings_pct")
+	out.GeoHTSavingsPct, _ = res.Metric("geo_ht_savings_pct")
+	out.TotalSavingsPct, _ = res.Metric("total_savings_pct")
+	return out, nil
+}
+
+// RunFig20 executes the energy comparison through the registry and
+// returns the typed view.
+func RunFig20(c Config) (*Fig20Result, error) {
+	res, err := run("fig20", c)
+	if err != nil {
+		return nil, err
+	}
+	return fig20ResultFrom(res)
 }

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// golden_test.go locks the Result rendering formats across refactors: a
+// small fixed-seed fig4 and consolidation run must render byte-identical
+// text, JSON and CSV. Regenerate with `go test ./internal/experiments
+// -run TestGolden -update` after an intentional format change.
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenConfig is deliberately tiny so the golden runs stay fast, and
+// fully pinned so they stay deterministic.
+func goldenConfig() Config {
+	return Config{SF: 0.002, Clients: 8, Users: []int{1, 2}, Seed: 7, Tenants: 2}
+}
+
+// goldenRun executes a registered experiment and strips the
+// host-dependent metadata (wall time, build version).
+func goldenRun(t *testing.T, name string) *Result {
+	t.Helper()
+	e, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("%s not registered", name)
+	}
+	res, err := e.Run(context.Background(), goldenConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Meta.WallTime = 0
+	res.Meta.Version = "golden"
+	return res
+}
+
+func checkGolden(t *testing.T, res *Result, format string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.Render(&buf, format); err != nil {
+		t.Fatal(err)
+	}
+	ext := format
+	if ext == "text" {
+		ext = "txt"
+	}
+	path := filepath.Join("testdata", res.Name+"."+ext+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("%s %s rendering drifted from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
+			res.Name, format, path, buf.String(), want)
+	}
+}
+
+func TestGoldenFig4(t *testing.T) {
+	res := goldenRun(t, "fig4")
+	for _, format := range []string{"text", "json", "csv"} {
+		checkGolden(t, res, format)
+	}
+}
+
+func TestGoldenConsolidation(t *testing.T) {
+	res := goldenRun(t, "consolidation")
+	for _, format := range []string{"text", "json", "csv"} {
+		checkGolden(t, res, format)
+	}
+}
+
+// TestGoldenRunsAreDeterministic guards the premise of the golden files:
+// two runs at the same seed render identically.
+func TestGoldenRunsAreDeterministic(t *testing.T) {
+	a, b := goldenRun(t, "fig4"), goldenRun(t, "fig4")
+	var bufA, bufB bytes.Buffer
+	if err := a.WriteJSON(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Error("fig4 runs with identical seeds rendered differently")
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import "context"
+
+// register.go catalogues the paper's 13 evaluation artifacts — the first
+// 13 registrations of the experiment platform. A new scenario adds one
+// entry here (or calls Register from its own package init).
+
+func init() {
+	Register(New("fig4", Description{
+		Title:   "Figure 4: Q6 under increasing concurrency",
+		Summary: "Hand-coded C kernel under preset affinities vs the Volcano engine under the OS: throughput, minor faults/s, HT MB/s per user count.",
+		Tags:    []string{"microbench", "scheduling"},
+	}, runFig4))
+
+	Register(New("fig5", Description{
+		Title:   "Figure 5: single-client Q6 thread scheduling under the OS",
+		Summary: "Lifespan/core-migration map and operator tomograph of one Q6 under the plain OS scheduler (Figures 5 and 6).",
+		Tags:    []string{"microbench", "trace"},
+	}, runFig5))
+
+	Register(New("fig7", Description{
+		Title:   "Figure 7: PrT state transitions under a Q6 burst",
+		Summary: "Transitions fired by the elastic net with CPU usage and allocated cores at every control period.",
+		Tags:    []string{"elastic", "petrinet"},
+	}, runFig7))
+
+	Register(New("fig13", Description{
+		Title:   "Figure 13: thetasubselect under increasing concurrency",
+		Summary: "Throughput, CPU load, tasks and stolen tasks for OS/dense/sparse/adaptive across a user sweep.",
+		Tags:    []string{"microbench", "elastic"},
+	}, runFig13))
+
+	Register(New("fig14", Description{
+		Title:   "Figure 14: per-socket memory access metrics",
+		Summary: "L3 misses, memory throughput and HT traffic per socket at the highest thetasubselect concurrency, per mode.",
+		Tags:    []string{"microbench", "memory"},
+	}, runFig14))
+
+	Register(New("fig15", Description{
+		Title:   "Figure 15: L3 misses vs selectivity",
+		Summary: "L3 load misses of thetasubselect across selectivities 2..100% for the four modes.",
+		Tags:    []string{"microbench", "memory"},
+	}, runFig15))
+
+	Register(New("fig16", Description{
+		Title:   "Figure 16: single-client Q6 thread migration per mode",
+		Summary: "Lifespan/migration maps under all four configurations; dense and adaptive keep threads on one node.",
+		Tags:    []string{"elastic", "trace"},
+	}, runFig16))
+
+	Register(New("fig17", Description{
+		Title:   "Figure 17: CPU-load vs HT/IMC state-transition strategies, Q6, 1 client",
+		Summary: "Response time, HT traffic and L3 misses of the mechanism's two strategies against the OS baseline.",
+		Tags:    []string{"elastic", "strategy"},
+	}, runFig17))
+
+	Register(New("fig18", Description{
+		Title:   "Figure 18: stable phases workload",
+		Summary: "All 22 queries one at a time under {OS, adaptive} x {MonetDB-like, SQL-Server-like} with per-socket memory-throughput timelines.",
+		Tags:    []string{"elastic", "workload"},
+	}, runFig18))
+
+	Register(New("fig19", Description{
+		Title:   "Figure 19: mixed phases workload, per-query split",
+		Summary: "Per-query speedup of each mechanism mode over the OS and the per-query HT/IMC ratio, per engine flavour.",
+		Tags:    []string{"elastic", "workload"},
+	}, runFig19))
+
+	Register(New("fig20", Description{
+		Title:   "Figure 20: per-query CPU and HT energy estimates",
+		Summary: "The paper's energy model applied to the mixed workload: OS vs adaptive, with geometric-mean savings.",
+		Tags:    []string{"elastic", "energy"},
+	}, runFig20))
+
+	Register(New("overhead", Description{
+		Title:   "Mechanism overhead: one token flow through the 5x8 net",
+		Summary: "Host wall-clock cost of one control step (sample, evaluate, act) per allocation mode, 1000 steps averaged.",
+		Tags:    []string{"elastic", "microbench"},
+	}, func(ctx context.Context, c Config, obs Observer) (*Result, error) {
+		return runOverhead(ctx, c, obs, 1000)
+	}))
+
+	Register(New("consolidation", Description{
+		Title:   "Consolidation: SLA-weighted multi-tenant core arbitration",
+		Summary: "N saturated tenant databases on one machine: weighted apportionment vs an equal-weight baseline, with over-commit and starvation checks.",
+		Tags:    []string{"tenancy", "elastic"},
+	}, runConsolidation))
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryCataloguesThirteenArtifacts pins the platform's seed
+// content: all 13 paper artifacts, in registration order.
+func TestRegistryCataloguesThirteenArtifacts(t *testing.T) {
+	want := []string{
+		"fig4", "fig5", "fig7", "fig13", "fig14", "fig15", "fig16",
+		"fig17", "fig18", "fig19", "fig20", "overhead", "consolidation",
+	}
+	names := Names()
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d experiments %v, want %d", len(names), names, len(want))
+	}
+	for i, name := range want {
+		if names[i] != name {
+			t.Errorf("registry[%d] = %q, want %q", i, names[i], name)
+		}
+		e, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) missing", name)
+		}
+		d := e.Describe()
+		if d.Title == "" || d.Summary == "" || len(d.Tags) == 0 {
+			t.Errorf("%s has incomplete description: %+v", name, d)
+		}
+	}
+	// Tag selection finds the consolidation scenario.
+	tenancy := WithTag("tenancy")
+	if len(tenancy) != 1 || tenancy[0].Name() != "consolidation" {
+		t.Errorf("WithTag(tenancy) = %v", tenancy)
+	}
+}
+
+func TestResolveRejectsUnknownNamesUpFront(t *testing.T) {
+	if _, err := Resolve("fig4", "nope"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("Resolve with typo: err = %v, want mention of the unknown name", err)
+	}
+	exps, err := Resolve("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 13 {
+		t.Errorf("Resolve(all) = %d experiments, want 13", len(exps))
+	}
+}
+
+// TestRunnerExecutesConcurrently proves two experiments overlap in time:
+// each blocks until it has seen the other start, which only completes when
+// the worker pool truly runs them in parallel.
+func TestRunnerExecutesConcurrently(t *testing.T) {
+	a, b := make(chan struct{}), make(chan struct{})
+	mk := func(name string, mine, other chan struct{}) Experiment {
+		return New(name, Description{Title: name}, func(ctx context.Context, c Config, obs Observer) (*Result, error) {
+			close(mine)
+			select {
+			case <-other:
+				return &Result{}, nil
+			case <-time.After(10 * time.Second):
+				return nil, fmt.Errorf("%s never saw its peer start", name)
+			}
+		})
+	}
+	r := &Runner{Parallel: 2}
+	reports := r.Run(context.Background(), mk("left", a, b), mk("right", b, a))
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	for _, rep := range reports {
+		if rep.Err != nil {
+			t.Errorf("%s: %v", rep.Name, rep.Err)
+		}
+		if rep.Result == nil {
+			t.Errorf("%s: missing result", rep.Name)
+		}
+	}
+}
+
+// TestRunnerContextCancellation covers both halves of cancellation: a
+// running experiment observes ctx.Done, and a queued experiment is never
+// started.
+func TestRunnerContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	blocker := New("blocker", Description{}, func(ctx context.Context, c Config, obs Observer) (*Result, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	var mu sync.Mutex
+	ran := false
+	second := New("second", Description{}, func(ctx context.Context, c Config, obs Observer) (*Result, error) {
+		mu.Lock()
+		ran = true
+		mu.Unlock()
+		return &Result{}, nil
+	})
+	go func() {
+		<-started
+		cancel()
+	}()
+	r := &Runner{Parallel: 1}
+	reports := r.Run(ctx, blocker, second)
+	if reports[0].Err != context.Canceled {
+		t.Errorf("blocker err = %v, want context.Canceled", reports[0].Err)
+	}
+	if reports[1].Err != context.Canceled {
+		t.Errorf("second err = %v, want context.Canceled", reports[1].Err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran {
+		t.Error("second experiment body ran despite cancellation")
+	}
+}
+
+// TestRunnerCollectsPerExperimentErrors: one failure does not abort the
+// batch.
+func TestRunnerCollectsPerExperimentErrors(t *testing.T) {
+	boom := New("boom", Description{}, func(ctx context.Context, c Config, obs Observer) (*Result, error) {
+		return nil, fmt.Errorf("synthetic failure")
+	})
+	fine := New("fine", Description{}, func(ctx context.Context, c Config, obs Observer) (*Result, error) {
+		return &Result{}, nil
+	})
+	r := &Runner{Parallel: 2}
+	reports := r.Run(context.Background(), boom, fine)
+	if reports[0].Err == nil || !strings.Contains(reports[0].Err.Error(), "synthetic") {
+		t.Errorf("boom err = %v", reports[0].Err)
+	}
+	if reports[1].Err != nil || reports[1].Result == nil {
+		t.Errorf("fine report = %+v", reports[1])
+	}
+}
+
+// TestRegisteredExperimentHonorsCancelledContext: a real experiment run
+// through the registry returns promptly on a dead context.
+func TestRegisteredExperimentHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e, ok := Lookup("fig4")
+	if !ok {
+		t.Fatal("fig4 not registered")
+	}
+	if _, err := e.Run(ctx, tiny(), nil); err == nil {
+		t.Error("cancelled context accepted")
+	}
+}
+
+// TestRunnerObserverSeesPhases: the Observe factory receives per-experiment
+// observers and phases flow through them.
+func TestRunnerObserverSeesPhases(t *testing.T) {
+	type event struct{ exp, phase string }
+	var mu sync.Mutex
+	var events []event
+	r := &Runner{
+		Parallel: 2,
+		Config:   tiny(),
+		Observe: func(name string) Observer {
+			return observerFunc(func(phase string) {
+				mu.Lock()
+				events = append(events, event{name, phase})
+				mu.Unlock()
+			})
+		},
+	}
+	reports, err := r.RunNames(context.Background(), "fig5", "overhead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reports {
+		if rep.Err != nil {
+			t.Fatalf("%s: %v", rep.Name, rep.Err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	seen := map[string]bool{}
+	for _, e := range events {
+		seen[e.exp] = true
+	}
+	if !seen["fig5"] || !seen["overhead"] {
+		t.Errorf("observer events missing experiments: %v", events)
+	}
+}
+
+// observerFunc adapts a phase callback into an Observer.
+type observerFunc func(phase string)
+
+func (f observerFunc) PhaseStart(phase string) { f(phase) }
+func (f observerFunc) PhaseDone(phase string)  {}
+func (f observerFunc) Progress(int, int)       {}
