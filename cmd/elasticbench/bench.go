@@ -1,0 +1,274 @@
+package main
+
+// bench.go implements `elasticbench bench`: a fixed, pinned experiment
+// suite timed under the default fast simulator paths AND under the naive
+// paths of the seed implementation (walk-every-core tick loop, per-block
+// memory charging, uncached dataset generation). It reports wall time,
+// simulated-cycles/second and heap allocations per run, verifies the two
+// paths render bit-identical results, and writes a machine-readable
+// BENCH_<n>.json so later PRs have a perf trajectory to regress against.
+//
+//	elasticbench bench                         # full + quick tiers
+//	elasticbench bench -quick                  # quick tier only (CI)
+//	elasticbench bench -out BENCH_3.json
+//	elasticbench bench -quick -baseline BENCH_3.json -max-regress 2
+//	elasticbench bench -skip-naive             # fast paths only
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"elasticore/internal/experiments"
+	"elasticore/internal/numa"
+)
+
+// benchEntry is one pinned suite point.
+type benchEntry struct {
+	Name string
+	Tier string // "full" or "quick"
+	Cfg  experiments.Config
+}
+
+// benchSuite returns the fixed suite. The configs are pinned — changing
+// them invalidates baseline comparisons, so bump the BENCH file number
+// when they move.
+func benchSuite() []benchEntry {
+	return []benchEntry{
+		{"fig4", "quick", experiments.Config{SF: 0.002, Clients: 8, Users: []int{1, 4}, Seed: 1}},
+		{"fig19", "quick", experiments.Config{SF: 0.002, Clients: 8, Seed: 1}},
+		{"consolidation", "quick", experiments.Config{SF: 0.002, Clients: 8, Seed: 1, Tenants: 2}},
+		{"fig4", "full", experiments.Config{SF: 0.005, Clients: 32, Users: []int{1, 4, 16, 64}, Seed: 1}},
+		{"fig19", "full", experiments.Config{SF: 0.005, Clients: 32, Seed: 1}},
+		{"consolidation", "full", experiments.Config{SF: 0.005, Clients: 32, Seed: 1, Tenants: 3}},
+	}
+}
+
+// benchMeasurement is one timed run of one entry on one path.
+type benchMeasurement struct {
+	WallSeconds        float64 `json:"wall_seconds"`
+	SimCycles          uint64  `json:"sim_cycles"`
+	SimCyclesPerSecond float64 `json:"sim_cycles_per_second"`
+	Allocs             uint64  `json:"allocs"`
+}
+
+// benchRecord is one suite entry's result pair.
+type benchRecord struct {
+	Name            string            `json:"name"`
+	Tier            string            `json:"tier"`
+	Config          benchConfigJSON   `json:"config"`
+	Fast            benchMeasurement  `json:"fast"`
+	Naive           *benchMeasurement `json:"naive,omitempty"`
+	Speedup         float64           `json:"speedup,omitempty"`
+	IdenticalOutput *bool             `json:"identical_output,omitempty"`
+}
+
+// benchConfigJSON pins the entry's operating point in the report.
+type benchConfigJSON struct {
+	SF      float64 `json:"sf"`
+	Clients int     `json:"clients"`
+	Users   []int   `json:"users,omitempty"`
+	Seed    uint64  `json:"seed"`
+	Tenants int     `json:"tenants,omitempty"`
+}
+
+// benchReport is the BENCH_<n>.json document.
+type benchReport struct {
+	Schema  int           `json:"schema"`
+	Suite   string        `json:"suite"`
+	Entries []benchRecord `json:"entries"`
+	Totals  struct {
+		FastWallSeconds  float64 `json:"fast_wall_seconds"`
+		NaiveWallSeconds float64 `json:"naive_wall_seconds,omitempty"`
+		Speedup          float64 `json:"speedup,omitempty"`
+	} `json:"totals"`
+}
+
+// cmdBench parses and executes `bench`.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "run only the quick tier (CI smoke)")
+	out := fs.String("out", "", "write the JSON report to this file")
+	baseline := fs.String("baseline", "", "compare fast wall times against this earlier report")
+	maxRegress := fs.Float64("max-regress", 2.0, "fail when fast wall time exceeds baseline by this factor")
+	minWall := fs.Float64("min-wall", 0.05, "ignore baseline entries faster than this many seconds (noise floor)")
+	skipNaive := fs.Bool("skip-naive", false, "skip the naive-path runs (no speedup column)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("bench takes no positional arguments")
+	}
+
+	report := benchReport{Schema: 1, Suite: "elasticore-bench"}
+	for _, e := range benchSuite() {
+		if *quick && e.Tier != "quick" {
+			continue
+		}
+		rec, err := runBenchEntry(e, !*skipNaive)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", e.Name, e.Tier, err)
+		}
+		report.Entries = append(report.Entries, rec)
+		report.Totals.FastWallSeconds += rec.Fast.WallSeconds
+		if rec.Naive != nil {
+			report.Totals.NaiveWallSeconds += rec.Naive.WallSeconds
+		}
+		printBenchRecord(rec)
+	}
+	if report.Totals.NaiveWallSeconds > 0 && report.Totals.FastWallSeconds > 0 {
+		report.Totals.Speedup = report.Totals.NaiveWallSeconds / report.Totals.FastWallSeconds
+		fmt.Printf("total: fast %.2fs, naive %.2fs, speedup %.2fx\n",
+			report.Totals.FastWallSeconds, report.Totals.NaiveWallSeconds, report.Totals.Speedup)
+	} else {
+		fmt.Printf("total: fast %.2fs\n", report.Totals.FastWallSeconds)
+	}
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			return err
+		}
+	}
+	if *baseline != "" {
+		if err := checkBaseline(report, *baseline, *maxRegress, *minWall); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runBenchEntry times one suite entry on the fast path and, optionally,
+// the naive path, verifying the rendered outputs match bit for bit.
+func runBenchEntry(e benchEntry, withNaive bool) (benchRecord, error) {
+	rec := benchRecord{
+		Name: e.Name,
+		Tier: e.Tier,
+		Config: benchConfigJSON{
+			SF: e.Cfg.SF, Clients: e.Cfg.Clients, Users: e.Cfg.Users,
+			Seed: e.Cfg.Seed, Tenants: e.Cfg.Tenants,
+		},
+	}
+	fast, fastOut, err := measureRun(e.Name, e.Cfg, false)
+	if err != nil {
+		return rec, err
+	}
+	rec.Fast = fast
+	if !withNaive {
+		return rec, nil
+	}
+	naive, naiveOut, err := measureRun(e.Name, e.Cfg, true)
+	if err != nil {
+		return rec, err
+	}
+	rec.Naive = &naive
+	if fast.WallSeconds > 0 {
+		rec.Speedup = naive.WallSeconds / fast.WallSeconds
+	}
+	identical := bytes.Equal(fastOut, naiveOut)
+	rec.IdenticalOutput = &identical
+	if !identical {
+		return rec, fmt.Errorf("fast and naive paths rendered different results — equivalence broken")
+	}
+	return rec, nil
+}
+
+// measureRun executes one registered experiment and samples wall time,
+// the simulated-cycle counter and the allocation counter around it.
+func measureRun(name string, cfg experiments.Config, naive bool) (benchMeasurement, []byte, error) {
+	exp, ok := experiments.Lookup(name)
+	if !ok {
+		return benchMeasurement{}, nil, fmt.Errorf("experiment %q not registered", name)
+	}
+	cfg.Naive = naive
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
+	cyclesBefore := numa.SimulatedCycles()
+	start := time.Now()
+	res, err := exp.Run(context.Background(), cfg, nil)
+	if err != nil {
+		return benchMeasurement{}, nil, err
+	}
+	wall := time.Since(start).Seconds()
+	cycles := numa.SimulatedCycles() - cyclesBefore
+	runtime.ReadMemStats(&msAfter)
+
+	m := benchMeasurement{
+		WallSeconds: wall,
+		SimCycles:   cycles,
+		Allocs:      msAfter.Mallocs - msBefore.Mallocs,
+	}
+	if wall > 0 {
+		m.SimCyclesPerSecond = float64(cycles) / wall
+	}
+	// Normalized rendering for the fast-vs-naive equivalence check.
+	res.Meta.WallTime = 0
+	res.Meta.Version = "bench"
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		return benchMeasurement{}, nil, err
+	}
+	return m, buf.Bytes(), nil
+}
+
+func printBenchRecord(rec benchRecord) {
+	line := fmt.Sprintf("%-14s %-5s fast %7.3fs  %6.1f Mcyc/s  %9d allocs",
+		rec.Name, rec.Tier, rec.Fast.WallSeconds, rec.Fast.SimCyclesPerSecond/1e6, rec.Fast.Allocs)
+	if rec.Naive != nil {
+		line += fmt.Sprintf("  | naive %7.3fs  speedup %5.2fx", rec.Naive.WallSeconds, rec.Speedup)
+	}
+	fmt.Println(line)
+}
+
+// checkBaseline fails when any entry's fast wall time regressed beyond the
+// allowed factor against a previously written report. Entries are matched
+// by (name, tier); missing counterparts are skipped (the baseline may be a
+// full run while CI runs -quick), as are entries whose baseline wall time
+// sits below the noise floor — millisecond-scale runs are dominated by
+// host jitter, not by the code under test.
+func checkBaseline(cur benchReport, path string, maxRegress, minWall float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	byKey := make(map[string]benchRecord, len(base.Entries))
+	for _, rec := range base.Entries {
+		byKey[rec.Name+"/"+rec.Tier] = rec
+	}
+	var failed []string
+	for _, rec := range cur.Entries {
+		b, ok := byKey[rec.Name+"/"+rec.Tier]
+		if !ok || b.Fast.WallSeconds <= 0 {
+			continue
+		}
+		ratio := rec.Fast.WallSeconds / b.Fast.WallSeconds
+		note := ""
+		if b.Fast.WallSeconds < minWall {
+			note = "  (below noise floor, informational)"
+		}
+		fmt.Printf("baseline %-14s %-5s %7.3fs -> %7.3fs (%.2fx)%s\n",
+			rec.Name, rec.Tier, b.Fast.WallSeconds, rec.Fast.WallSeconds, ratio, note)
+		if ratio > maxRegress && b.Fast.WallSeconds >= minWall {
+			failed = append(failed, fmt.Sprintf("%s/%s regressed %.2fx (limit %.2fx)",
+				rec.Name, rec.Tier, ratio, maxRegress))
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("wall-time regression vs %s: %v", path, failed)
+	}
+	return nil
+}

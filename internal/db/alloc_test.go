@@ -1,0 +1,154 @@
+package db
+
+import (
+	"testing"
+
+	"elasticore/internal/numa"
+	"elasticore/internal/sched"
+)
+
+// alloc_test.go pins the zero-allocation execution hot path: steady-state
+// operator task steps must not touch the Go heap, and the query buffer
+// pool must actually recycle storage across queries.
+
+// TestChunkTaskStepSteadyStateZeroAlloc steps a scan task through a warm
+// machine and requires allocation-free progress: the bulk AccessRange
+// charge, the arena-backed caches and the placement layer all run without
+// heap traffic once warm.
+func TestChunkTaskStepSteadyStateZeroAlloc(t *testing.T) {
+	topo := numa.Opteron8387()
+	machine := numa.NewMachine(topo)
+	vals := make([]float64, 1<<22)
+	col := NewF64("col", vals)
+	col.ensureRegion(machine.Memory(), topo.BlockBytes)
+	ctx := &sched.ExecContext{Machine: machine, Core: 0, PID: 1, TID: 1}
+
+	matched := 0
+	task := newChunkTask("scan", machine, []*BAT{col}, 0, len(vals), cyclesScan)
+	task.process = func(a, b int) {
+		for i := a; i < b; i++ {
+			if vals[i] >= 0 {
+				matched++
+			}
+		}
+	}
+	// Warm the caches, the placement table and the machine's cost memo.
+	if _, done := task.Step(ctx, 1<<20); done {
+		t.Fatal("task finished during warm-up; grow the input")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, done := task.Step(ctx, 1<<14); done {
+			t.Fatal("task finished mid-measurement; grow the input")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state task step allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestBufferPoolRecyclesBackingArrays checks the get/own/release cycle
+// returns previously used storage instead of allocating anew.
+func TestBufferPoolRecyclesBackingArrays(t *testing.T) {
+	var p bufPool
+	a := p.getI64(100)
+	a = append(a, 1, 2, 3)
+	p.putI64(a)
+	b := p.getI64(64) // within the bucket's guaranteed minimum
+	if cap(b) != cap(a) || &a[:1][0] != &b[:1][0] {
+		t.Error("getI64 did not recycle the returned buffer")
+	}
+	if len(b) != 0 {
+		t.Errorf("recycled buffer has len %d, want 0", len(b))
+	}
+
+	f := p.getF64(64)
+	p.putF64(f)
+	g := p.getF64(10)
+	if cap(g) != cap(f) || &f[:1][0] != &g[:1][0] {
+		t.Error("getF64 did not recycle the returned buffer")
+	}
+
+	m := p.getMapIF()
+	m.Add(7, 1.5)
+	p.putMapIF(m)
+	m2 := p.getMapIF()
+	if m2 != m {
+		t.Error("getMapIF did not recycle the returned table")
+	}
+	if m2.Len() != 0 {
+		t.Errorf("recycled table has %d stale entries", m2.Len())
+	}
+	if _, ok := m2.Get(7); ok {
+		t.Error("recycled table still resolves a stale key")
+	}
+}
+
+// TestPoolClassKeepsCapacityPromise: a buffer too small for a request must
+// not be handed out even when its size class matches.
+func TestPoolClassKeepsCapacityPromise(t *testing.T) {
+	var p bufPool
+	p.putI64(make([]int64, 0, 520)) // class 10 holds caps 512..1023
+	got := p.getI64(900)            // same class, larger need
+	if cap(got) < 900 {
+		t.Fatalf("getI64(900) returned cap %d", cap(got))
+	}
+}
+
+// TestReleaseReclaimsQueryBuffers runs a real query twice on one engine
+// and verifies the second run draws its candidate lists from the pool
+// rather than allocating fresh ones, while Drain leaves results readable.
+func TestReleaseReclaimsQueryBuffers(t *testing.T) {
+	machine := numa.NewMachine(numa.Opteron8387())
+	sc := sched.New(machine, sched.Config{})
+	store := NewStore(machine)
+	vals := make([]float64, 8192)
+	for i := range vals {
+		vals[i] = float64(i % 50)
+	}
+	if _, err := store.CreateTable("t", map[string]*BAT{"v": NewF64("v", vals)}); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(store, Config{Scheduler: sc, PID: 7, ParseCycles: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &Plan{Name: "scan", Stages: []StageFn{
+		ThetaSelect("t", "v", "c", Pred{F: func(v float64) bool { return v < 25 }}),
+		Count("c", "n"),
+	}}
+	runOnce := func() *Query {
+		q := eng.Submit(plan)
+		if !sc.RunUntil(q.Done, machine.Topology().SecondsToCycles(10)) {
+			t.Fatal("query did not finish")
+		}
+		return q
+	}
+	q1 := runOnce()
+	want := q1.Scalar("n")
+	if want == 0 {
+		t.Fatal("query matched nothing; predicate broken")
+	}
+	if len(q1.owned.i64) == 0 {
+		t.Fatal("query registered no pooled buffers")
+	}
+	// Drain must NOT recycle: results of drained queries stay readable.
+	if drained := eng.Drain(); len(drained) != 1 || drained[0] != q1 {
+		t.Fatal("Drain did not return the finished query")
+	}
+	if got := float64(q1.Var("c").Rows()); got != want {
+		t.Fatalf("drained query result corrupted: %v rows, want %v", got, want)
+	}
+	q1.releaseTo(&eng.pool)
+	pooled := 0
+	for _, cl := range eng.pool.i64 {
+		pooled += len(cl)
+	}
+	if pooled == 0 {
+		t.Fatal("release returned no buffers to the pool")
+	}
+	q2 := runOnce()
+	if got := q2.Scalar("n"); got != want {
+		t.Fatalf("pooled rerun returned %v, want %v", got, want)
+	}
+	eng.Release(q2)
+}

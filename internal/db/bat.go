@@ -82,7 +82,8 @@ func (b *BAT) ensureRegion(mem *numa.Memory, blockBytes int) {
 
 // chargeRange issues the simulated memory accesses for rows [lo, hi) of
 // the BAT on the executing core, returning the cycle cost. write marks the
-// accesses as stores (materialization), triggering coherence traffic.
+// accesses as stores (materialization), triggering coherence traffic. The
+// whole contiguous run is charged through one bulk AccessRange call.
 func (b *BAT) chargeRange(ctx *sched.ExecContext, lo, hi int, write bool) uint64 {
 	if b.Len() == 0 || hi <= lo {
 		return 0
@@ -93,24 +94,22 @@ func (b *BAT) chargeRange(ctx *sched.ExecContext, lo, hi int, write bool) uint64
 	endByte := hi * valueBytes
 	firstBlock := startByte / topo.BlockBytes
 	lastBlock := (endByte - 1) / topo.BlockBytes
-	var cycles uint64
-	for blk := firstBlock; blk <= lastBlock; blk++ {
-		bs := blk * topo.BlockBytes
-		be := bs + topo.BlockBytes
-		if bs < startByte {
-			bs = startByte
-		}
-		if be > endByte {
-			be = endByte
-		}
-		cycles += ctx.Access(numa.Access{
-			Block: b.region.Block(blk),
-			Bytes: be - bs,
-			Write: write,
-			PID:   ctx.PID,
-		})
+	firstEnd := (firstBlock + 1) * topo.BlockBytes
+	if firstEnd > endByte {
+		firstEnd = endByte
 	}
-	return cycles
+	lastStart := lastBlock * topo.BlockBytes
+	if lastStart < startByte {
+		lastStart = startByte
+	}
+	return ctx.AccessRange(numa.RangeAccess{
+		Start:      b.region.Block(firstBlock),
+		Blocks:     lastBlock - firstBlock + 1,
+		FirstBytes: firstEnd - startByte,
+		LastBytes:  endByte - lastStart,
+		Write:      write,
+		PID:        ctx.PID,
+	})
 }
 
 // HomeOfRow returns the NUMA node owning the block that holds the given

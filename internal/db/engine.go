@@ -3,6 +3,7 @@ package db
 import (
 	"fmt"
 
+	"elasticore/internal/deque"
 	"elasticore/internal/numa"
 	"elasticore/internal/sched"
 )
@@ -59,6 +60,12 @@ type Config struct {
 	// load below saturation at high client counts. Zero selects 30 us;
 	// only charged when the front end is enabled.
 	AdvanceCycles int64
+	// Naive disables the engine's execution-path optimizations — buffer
+	// pooling and the open-addressing operator hash tables — restoring
+	// the seed implementation's allocation and hashing profile. Query
+	// results are identical; only host CPU time differs. Used by the
+	// equivalence bench.
+	Naive bool
 }
 
 // TaskEvent is emitted when a worker finishes a task (tomograph feed).
@@ -79,16 +86,22 @@ type Engine struct {
 	workers []*worker
 	// queue is the central dispatch FIFO (PlacementOS); nodeQueues are
 	// per-node FIFOs used first under PlacementNUMAAware.
-	queue      []*dispatched
-	nodeQueues [][]*dispatched
+	queue      deque.Deque[*dispatched]
+	nodeQueues []deque.Deque[*dispatched]
 
 	queries     []*Query
 	nextQueryID int
 
 	// serverJobs is the serial front-end queue drained by serverThread:
 	// query admissions (parse) and stage advances (dataflow claims).
-	serverJobs   []serverJob
+	serverJobs   deque.Deque[serverJob]
 	serverThread *sched.Thread
+
+	// pool recycles the steady-state churn of query execution — candidate
+	// lists, value buffers, aggregation partials and dispatch envelopes —
+	// so repeated queries stop allocating once warm. Buffers are handed to
+	// queries on demand and reclaimed when the finished query is drained.
+	pool bufPool
 
 	// TasksExecuted counts finished tasks (paper Fig 13 (c)).
 	TasksExecuted uint64
@@ -127,7 +140,7 @@ func NewEngine(store *Store, cfg Config) (*Engine, error) {
 		store:      store,
 		machine:    store.Machine(),
 		sched:      cfg.Scheduler,
-		nodeQueues: make([][]*dispatched, topo.NodeCount),
+		nodeQueues: make([]deque.Deque[*dispatched], topo.NodeCount),
 	}
 	if cfg.ParseCycles == 0 {
 		cfg.ParseCycles = int64(topo.SecondsToCycles(150e-6))
@@ -166,7 +179,8 @@ type serverJob struct {
 // band.
 type serverRunner struct {
 	eng       *Engine
-	cur       *serverJob
+	cur       serverJob
+	hasCur    bool
 	remaining uint64
 }
 
@@ -174,13 +188,13 @@ type serverRunner struct {
 func (s *serverRunner) Run(_ *sched.ExecContext, budget uint64) (uint64, bool, bool) {
 	var used uint64
 	for used < budget {
-		if s.cur == nil {
-			if len(s.eng.serverJobs) == 0 {
+		if !s.hasCur {
+			job, ok := s.eng.serverJobs.PopFront()
+			if !ok {
 				return used, used == 0, false
 			}
-			s.cur = &s.eng.serverJobs[0]
-			s.eng.serverJobs = s.eng.serverJobs[1:]
-			s.remaining = s.cur.cycles
+			s.cur, s.hasCur = job, true
+			s.remaining = job.cycles
 		}
 		slice := budget - used
 		if slice < s.remaining {
@@ -188,8 +202,8 @@ func (s *serverRunner) Run(_ *sched.ExecContext, budget uint64) (uint64, bool, b
 			return budget, false, false
 		}
 		used += s.remaining
-		job := *s.cur
-		s.cur = nil
+		job := s.cur
+		s.hasCur = false
 		if job.start {
 			s.eng.startQuery(job.query)
 		} else {
@@ -219,15 +233,15 @@ func (e *Engine) Submit(p *Plan) *Query {
 		Plan:        p,
 		eng:         e,
 		vars:        make(map[string]*PartSet),
-		sets:        make(map[string]map[int64]int64),
+		sets:        make(map[string]*i64Map),
 		scalars:     make(map[string]float64),
-		partials:    make(map[string][]map[int64]float64),
+		partials:    make(map[string][]*i64fMap),
 		startCycles: e.machine.Now(),
 	}
 	e.queries = append(e.queries, q)
 	if e.serverThread != nil {
 		// Serial front end: parse/optimize first, dataflow after.
-		e.serverJobs = append(e.serverJobs, serverJob{
+		e.serverJobs.PushBack(serverJob{
 			query: q, cycles: uint64(e.cfg.ParseCycles), start: true,
 		})
 		e.sched.Wake(e.serverThread)
@@ -264,7 +278,14 @@ func (e *Engine) advance(q *Query) {
 		}
 		q.pending = len(tasks)
 		for _, t := range tasks {
-			e.enqueue(&dispatched{task: t, query: q})
+			var d *dispatched
+			if e.cfg.Naive {
+				d = &dispatched{}
+			} else {
+				d = e.pool.getDispatched()
+			}
+			d.task, d.query = t, q
+			e.enqueue(d)
 		}
 		return
 	}
@@ -281,11 +302,11 @@ func (e *Engine) enqueue(d *dispatched) {
 	switch {
 	case e.cfg.Placement == PlacementOS:
 		// Per-query dataflow: the owning query's threads consume it.
-		d.query.taskQueue = append(d.query.taskQueue, d)
+		d.query.taskQueue.PushBack(d)
 	case d.task.PreferredNode() != numa.NoNode:
-		e.nodeQueues[d.task.PreferredNode()] = append(e.nodeQueues[d.task.PreferredNode()], d)
+		e.nodeQueues[d.task.PreferredNode()].PushBack(d)
 	default:
-		e.queue = append(e.queue, d)
+		e.queue.PushBack(d)
 	}
 	e.sched.WakeAll(e.cfg.PID)
 }
@@ -296,31 +317,24 @@ func (e *Engine) enqueue(d *dispatched) {
 // steal from other nodes (SQL Server's soft affinity).
 func (e *Engine) dispatch(w *worker) *dispatched {
 	if w.query != nil {
-		return popQueue(&w.query.taskQueue)
+		d, _ := w.query.taskQueue.PopFront()
+		return d
 	}
 	if e.cfg.Placement == PlacementNUMAAware && w.pinnedNode != numa.NoNode {
-		if d := popQueue(&e.nodeQueues[w.pinnedNode]); d != nil {
+		if d, ok := e.nodeQueues[w.pinnedNode].PopFront(); ok {
 			return d
 		}
-		if d := popQueue(&e.queue); d != nil {
+		if d, ok := e.queue.PopFront(); ok {
 			return d
 		}
 		for n := range e.nodeQueues {
-			if d := popQueue(&e.nodeQueues[n]); d != nil {
+			if d, ok := e.nodeQueues[n].PopFront(); ok {
 				return d
 			}
 		}
 		return nil
 	}
-	return popQueue(&e.queue)
-}
-
-func popQueue(q *[]*dispatched) *dispatched {
-	if len(*q) == 0 {
-		return nil
-	}
-	d := (*q)[0]
-	*q = (*q)[1:]
+	d, _ := e.queue.PopFront()
 	return d
 }
 
@@ -336,29 +350,33 @@ func (e *Engine) taskFinished(w *worker, d *dispatched) {
 			End:    e.machine.Now(),
 		})
 	}
-	d.query.pending--
-	if d.query.pending == 0 {
+	q := d.query
+	if !e.cfg.Naive {
+		e.pool.putDispatched(d)
+	}
+	q.pending--
+	if q.pending == 0 {
 		if e.serverThread != nil {
 			// The next stage's fan-out goes through the serial dataflow
 			// claim.
-			e.serverJobs = append(e.serverJobs, serverJob{
-				query: d.query, cycles: uint64(e.cfg.AdvanceCycles),
+			e.serverJobs.PushBack(serverJob{
+				query: q, cycles: uint64(e.cfg.AdvanceCycles),
 			})
 			e.sched.Wake(e.serverThread)
 			return
 		}
-		e.advance(d.query)
+		e.advance(q)
 	}
 }
 
 // PendingTasks returns the number of queued (undispatched) tasks.
 func (e *Engine) PendingTasks() int {
-	n := len(e.queue)
-	for _, q := range e.nodeQueues {
-		n += len(q)
+	n := e.queue.Len()
+	for i := range e.nodeQueues {
+		n += e.nodeQueues[i].Len()
 	}
 	for _, q := range e.queries {
-		n += len(q.taskQueue)
+		n += q.taskQueue.Len()
 	}
 	return n
 }
@@ -374,8 +392,29 @@ func (e *Engine) ActiveQueries() int {
 	return n
 }
 
+// Release drops one finished query from the engine's tracking list and
+// reclaims its pooled buffers. Workload drivers call it as soon as a
+// client observes completion, which is what lets a steady stream of
+// queries run out of recycled storage. The query's intermediates must not
+// be read afterwards; callers that read results after the fact use Drain
+// instead, which never recycles.
+func (e *Engine) Release(q *Query) {
+	if q == nil || !q.done {
+		return
+	}
+	for i := range e.queries {
+		if e.queries[i] == q {
+			e.queries = append(e.queries[:i], e.queries[i+1:]...)
+			break
+		}
+	}
+	q.releaseTo(&e.pool)
+}
+
 // Drain removes finished queries from the engine's tracking list and
-// returns them (workload bookkeeping between phases).
+// returns them (workload bookkeeping between phases). Unlike Release, it
+// does NOT recycle their buffers, so the returned queries' results remain
+// readable indefinitely.
 func (e *Engine) Drain() []*Query {
 	var done, live []*Query
 	for _, q := range e.queries {

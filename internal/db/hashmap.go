@@ -1,0 +1,242 @@
+package db
+
+import "elasticore/internal/hashmix"
+
+// hashmap.go provides the open-addressing hash tables behind the
+// operator hot path: hash-join build/probe sides (i64Map) and grouped-
+// aggregation partials (i64fMap). They replace Go maps on the per-tuple
+// path for three reasons: linear probing over flat arrays is materially
+// faster for int64 keys, Reset keeps capacity so the query pool can
+// recycle them allocation-free, and slot iteration is deterministic —
+// though no operator depends on iteration order for its results (merged
+// group keys are sorted, probe results follow candidate order).
+
+// hash64 spreads int64 keys over the tables.
+func hash64(x uint64) uint64 { return hashmix.Mix64(x) }
+
+const minMapSlots = 16
+
+// i64Map is an int64→int64 linear-probe table (hash-join payloads). When
+// std is set the table delegates to a plain Go map instead — the naive
+// mode's seed-faithful fallback; results are identical either way.
+type i64Map struct {
+	ctrl []uint8 // 0 empty, 1 occupied; len is a power of two
+	keys []int64
+	vals []int64
+	n    int
+	std  map[int64]int64
+}
+
+// Len returns the number of stored keys.
+func (m *i64Map) Len() int {
+	if m.std != nil {
+		return len(m.std)
+	}
+	return m.n
+}
+
+// Reset empties the table, keeping its capacity for reuse.
+func (m *i64Map) Reset() {
+	if m.std != nil {
+		clear(m.std)
+		return
+	}
+	clear(m.ctrl)
+	m.n = 0
+}
+
+// Put stores v under k, overwriting any previous value.
+func (m *i64Map) Put(k, v int64) {
+	if m.std != nil {
+		m.std[k] = v
+		return
+	}
+	if 4*(m.n+1) > 3*len(m.ctrl) {
+		m.grow()
+	}
+	mask := uint64(len(m.ctrl) - 1)
+	i := hash64(uint64(k)) & mask
+	for m.ctrl[i] == 1 {
+		if m.keys[i] == k {
+			m.vals[i] = v
+			return
+		}
+		i = (i + 1) & mask
+	}
+	m.ctrl[i] = 1
+	m.keys[i] = k
+	m.vals[i] = v
+	m.n++
+}
+
+// Get returns the value stored under k.
+func (m *i64Map) Get(k int64) (int64, bool) {
+	if m.std != nil {
+		v, ok := m.std[k]
+		return v, ok
+	}
+	if m.n == 0 {
+		return 0, false
+	}
+	mask := uint64(len(m.ctrl) - 1)
+	i := hash64(uint64(k)) & mask
+	for m.ctrl[i] == 1 {
+		if m.keys[i] == k {
+			return m.vals[i], true
+		}
+		i = (i + 1) & mask
+	}
+	return 0, false
+}
+
+// Range calls f for every entry, in slot order (map order under std). No
+// caller's results depend on the order.
+func (m *i64Map) Range(f func(k, v int64)) {
+	if m.std != nil {
+		for k, v := range m.std {
+			f(k, v)
+		}
+		return
+	}
+	for i, c := range m.ctrl {
+		if c == 1 {
+			f(m.keys[i], m.vals[i])
+		}
+	}
+}
+
+func (m *i64Map) grow() {
+	size := 2 * len(m.ctrl)
+	if size < minMapSlots {
+		size = minMapSlots
+	}
+	oc, ok, ov := m.ctrl, m.keys, m.vals
+	m.ctrl = make([]uint8, size)
+	m.keys = make([]int64, size)
+	m.vals = make([]int64, size)
+	mask := uint64(size - 1)
+	for i, c := range oc {
+		if c != 1 {
+			continue
+		}
+		j := hash64(uint64(ok[i])) & mask
+		for m.ctrl[j] == 1 {
+			j = (j + 1) & mask
+		}
+		m.ctrl[j] = 1
+		m.keys[j] = ok[i]
+		m.vals[j] = ov[i]
+	}
+}
+
+// i64fMap is an int64→float64 linear-probe table (aggregation partials),
+// with the same std fallback as i64Map.
+type i64fMap struct {
+	ctrl []uint8
+	keys []int64
+	vals []float64
+	n    int
+	std  map[int64]float64
+}
+
+// Len returns the number of stored keys.
+func (m *i64fMap) Len() int {
+	if m.std != nil {
+		return len(m.std)
+	}
+	return m.n
+}
+
+// Reset empties the table, keeping its capacity for reuse.
+func (m *i64fMap) Reset() {
+	if m.std != nil {
+		clear(m.std)
+		return
+	}
+	clear(m.ctrl)
+	m.n = 0
+}
+
+// Add accumulates delta into the sum stored under k.
+func (m *i64fMap) Add(k int64, delta float64) {
+	if m.std != nil {
+		m.std[k] += delta
+		return
+	}
+	if 4*(m.n+1) > 3*len(m.ctrl) {
+		m.grow()
+	}
+	mask := uint64(len(m.ctrl) - 1)
+	i := hash64(uint64(k)) & mask
+	for m.ctrl[i] == 1 {
+		if m.keys[i] == k {
+			m.vals[i] += delta
+			return
+		}
+		i = (i + 1) & mask
+	}
+	m.ctrl[i] = 1
+	m.keys[i] = k
+	m.vals[i] = delta
+	m.n++
+}
+
+// Get returns the sum stored under k.
+func (m *i64fMap) Get(k int64) (float64, bool) {
+	if m.std != nil {
+		v, ok := m.std[k]
+		return v, ok
+	}
+	if m.n == 0 {
+		return 0, false
+	}
+	mask := uint64(len(m.ctrl) - 1)
+	i := hash64(uint64(k)) & mask
+	for m.ctrl[i] == 1 {
+		if m.keys[i] == k {
+			return m.vals[i], true
+		}
+		i = (i + 1) & mask
+	}
+	return 0, false
+}
+
+// Range calls f for every entry, in slot order (map order under std). No
+// caller's results depend on the order.
+func (m *i64fMap) Range(f func(k int64, v float64)) {
+	if m.std != nil {
+		for k, v := range m.std {
+			f(k, v)
+		}
+		return
+	}
+	for i, c := range m.ctrl {
+		if c == 1 {
+			f(m.keys[i], m.vals[i])
+		}
+	}
+}
+
+func (m *i64fMap) grow() {
+	size := 2 * len(m.ctrl)
+	if size < minMapSlots {
+		size = minMapSlots
+	}
+	oc, ok, ov := m.ctrl, m.keys, m.vals
+	m.ctrl = make([]uint8, size)
+	m.keys = make([]int64, size)
+	m.vals = make([]float64, size)
+	mask := uint64(size - 1)
+	for i, c := range oc {
+		if c != 1 {
+			continue
+		}
+		j := hash64(uint64(ok[i])) & mask
+		for m.ctrl[j] == 1 {
+			j = (j + 1) & mask
+		}
+		m.ctrl[j] = 1
+		m.keys[j] = ok[i]
+		m.vals[j] = ov[i]
+	}
+}

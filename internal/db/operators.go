@@ -2,6 +2,7 @@ package db
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"elasticore/internal/numa"
@@ -28,35 +29,358 @@ const (
 	cyclesSort   = 40
 )
 
-// Pred is a typed predicate over column values.
+// predForm identifies a predicate shape the scan loops can inline,
+// avoiding an indirect call per row. predGeneric falls back to the
+// closures.
+type predForm int
+
+const (
+	predGeneric predForm = iota
+	predAll              // matches every row (ScanAll)
+	predIRange           // iLo <= v < iHi
+	predIEq              // v == iLo
+	predIIn              // v in iList
+	predFRange           // fLo <= v <= fHi
+	predFLess            // v < fHi
+	predNaive            // force the seed's eval-per-row path (naive mode)
+)
+
+// Pred is a typed predicate over column values. Closure-built predicates
+// work on any matching column; the constructors below additionally record
+// the comparison form so selection loops can inline it.
 type Pred struct {
 	I func(int64) bool
 	F func(float64) bool
+
+	form     predForm
+	iLo, iHi int64
+	iList    []int64
+	fLo, fHi float64
 }
 
 // PredIRange matches lo <= v < hi on integer columns.
 func PredIRange(lo, hi int64) Pred {
-	return Pred{I: func(v int64) bool { return v >= lo && v < hi }}
+	return Pred{
+		I:    func(v int64) bool { return v >= lo && v < hi },
+		form: predIRange, iLo: lo, iHi: hi,
+	}
 }
 
 // PredFRange matches lo <= v <= hi on float columns.
 func PredFRange(lo, hi float64) Pred {
-	return Pred{F: func(v float64) bool { return v >= lo && v <= hi }}
+	return Pred{
+		F:    func(v float64) bool { return v >= lo && v <= hi },
+		form: predFRange, fLo: lo, fHi: hi,
+	}
+}
+
+// PredFLess matches v < hi on float columns.
+func PredFLess(hi float64) Pred {
+	return Pred{
+		F:    func(v float64) bool { return v < hi },
+		form: predFLess, fHi: hi,
+	}
 }
 
 // PredIEq matches v == x.
 func PredIEq(x int64) Pred {
-	return Pred{I: func(v int64) bool { return v == x }}
+	return Pred{
+		I:    func(v int64) bool { return v == x },
+		form: predIEq, iLo: x,
+	}
 }
 
 // PredIIn matches v in the given list (the paper's Q19/Q22 "IN" predicates
-// over a series of constant values shared in a list).
+// over a series of constant values shared in a list). IN lists are a
+// handful of constants, so a linear scan over a flat slice beats hashing.
 func PredIIn(list ...int64) Pred {
-	set := make(map[int64]bool, len(list))
-	for _, v := range list {
-		set[v] = true
+	set := append([]int64(nil), list...)
+	return Pred{
+		I: func(v int64) bool {
+			for _, x := range set {
+				if x == v {
+					return true
+				}
+			}
+			return false
+		},
+		form: predIIn, iList: set,
 	}
-	return Pred{I: func(v int64) bool { return set[v] }}
+}
+
+// predFor strips the predicate's inlinable form under the engine's naive
+// mode, so scans fall back to the seed's closure-per-row evaluation.
+func predFor(q *Query, p Pred) Pred {
+	if q.eng.cfg.Naive {
+		p.form = predNaive
+	}
+	return p
+}
+
+// b2i converts a comparison result to 0/1; the compiler lowers it to a
+// branch-free SETcc, which is what makes the selection loops below immune
+// to branch misprediction at mid selectivities.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// growFor makes room to blind-write n more elements into ids, returning
+// the slice and the write window.
+func growFor(ids []int64, n int) ([]int64, []int64) {
+	ids = slices.Grow(ids, n)
+	return ids, ids[len(ids) : len(ids)+n]
+}
+
+// selectScanLoop builds the per-chunk filter loop scanning base rows
+// [a, b) of c and appending matching row OIDs to *out. Constructor-built
+// predicates get their comparison inlined into the loop; closure
+// predicates pay one indirect call per row; the mismatch case falls back
+// to eval for its diagnostics.
+func selectScanLoop(c *BAT, p Pred, out *[]int64) func(a, b int) {
+	switch {
+	case p.form == predAll:
+		return func(a, b int) {
+			ids := *out
+			for row := a; row < b; row++ {
+				ids = append(ids, int64(row))
+			}
+			*out = ids
+		}
+	case p.form == predIRange && c.Kind == KindI64:
+		lo, hi, vals := p.iLo, p.iHi, c.I
+		return func(a, b int) {
+			ids, buf := growFor(*out, b-a)
+			k := 0
+			for row := a; row < b; row++ {
+				buf[k] = int64(row)
+				v := vals[row]
+				k += b2i(v >= lo && v < hi)
+			}
+			*out = ids[:len(ids)+k]
+		}
+	case p.form == predIEq && c.Kind == KindI64:
+		x, vals := p.iLo, c.I
+		return func(a, b int) {
+			ids, buf := growFor(*out, b-a)
+			k := 0
+			for row := a; row < b; row++ {
+				buf[k] = int64(row)
+				k += b2i(vals[row] == x)
+			}
+			*out = ids[:len(ids)+k]
+		}
+	case p.form == predIIn && c.Kind == KindI64:
+		list, vals := p.iList, c.I
+		return func(a, b int) {
+			ids := *out
+			for row := a; row < b; row++ {
+				v := vals[row]
+				for _, x := range list {
+					if x == v {
+						ids = append(ids, int64(row))
+						break
+					}
+				}
+			}
+			*out = ids
+		}
+	case p.form == predFRange && c.Kind == KindF64:
+		lo, hi, vals := p.fLo, p.fHi, c.F
+		return func(a, b int) {
+			ids, buf := growFor(*out, b-a)
+			k := 0
+			for row := a; row < b; row++ {
+				buf[k] = int64(row)
+				v := vals[row]
+				k += b2i(v >= lo && v <= hi)
+			}
+			*out = ids[:len(ids)+k]
+		}
+	case p.form == predFLess && c.Kind == KindF64:
+		hi, vals := p.fHi, c.F
+		return func(a, b int) {
+			ids, buf := growFor(*out, b-a)
+			k := 0
+			for row := a; row < b; row++ {
+				buf[k] = int64(row)
+				k += b2i(vals[row] < hi)
+			}
+			*out = ids[:len(ids)+k]
+		}
+	case p.form != predNaive && c.Kind == KindI64 && p.I != nil:
+		fi, vals := p.I, c.I
+		return func(a, b int) {
+			ids := *out
+			for row := a; row < b; row++ {
+				if fi(vals[row]) {
+					ids = append(ids, int64(row))
+				}
+			}
+			*out = ids
+		}
+	case p.form != predNaive && c.Kind == KindF64 && p.F != nil:
+		ff, vals := p.F, c.F
+		return func(a, b int) {
+			ids := *out
+			for row := a; row < b; row++ {
+				if ff(vals[row]) {
+					ids = append(ids, int64(row))
+				}
+			}
+			*out = ids
+		}
+	default:
+		return func(a, b int) {
+			ids := *out
+			for row := a; row < b; row++ {
+				if p.eval(c, row) {
+					ids = append(ids, int64(row))
+				}
+			}
+			*out = ids
+		}
+	}
+}
+
+// gatherScanLoop is selectScanLoop's sibling for candidate refinement: it
+// scans positions [a, b) of the candidate list cand, testing the base
+// column c at each candidate row and appending surviving candidates to
+// *out.
+func gatherScanLoop(c *BAT, p Pred, cand *BAT, out *[]int64) func(a, b int) {
+	switch {
+	case p.form == predAll:
+		return func(a, b int) {
+			ids, cids := *out, cand.I
+			for k := a; k < b && k < len(cids); k++ {
+				ids = append(ids, cids[k])
+			}
+			*out = ids
+		}
+	case p.form == predIRange && c.Kind == KindI64:
+		lo, hi, vals := p.iLo, p.iHi, c.I
+		return func(a, b int) {
+			cids := cand.I
+			if b > len(cids) {
+				b = len(cids)
+			}
+			if b <= a {
+				return
+			}
+			ids, buf := growFor(*out, b-a)
+			k := 0
+			for _, cid := range cids[a:b] {
+				buf[k] = cid
+				v := vals[cid]
+				k += b2i(v >= lo && v < hi)
+			}
+			*out = ids[:len(ids)+k]
+		}
+	case p.form == predIEq && c.Kind == KindI64:
+		x, vals := p.iLo, c.I
+		return func(a, b int) {
+			cids := cand.I
+			if b > len(cids) {
+				b = len(cids)
+			}
+			if b <= a {
+				return
+			}
+			ids, buf := growFor(*out, b-a)
+			k := 0
+			for _, cid := range cids[a:b] {
+				buf[k] = cid
+				k += b2i(vals[cid] == x)
+			}
+			*out = ids[:len(ids)+k]
+		}
+	case p.form == predIIn && c.Kind == KindI64:
+		list, vals := p.iList, c.I
+		return func(a, b int) {
+			ids, cids := *out, cand.I
+			for k := a; k < b && k < len(cids); k++ {
+				v := vals[cids[k]]
+				for _, x := range list {
+					if x == v {
+						ids = append(ids, cids[k])
+						break
+					}
+				}
+			}
+			*out = ids
+		}
+	case p.form == predFRange && c.Kind == KindF64:
+		lo, hi, vals := p.fLo, p.fHi, c.F
+		return func(a, b int) {
+			cids := cand.I
+			if b > len(cids) {
+				b = len(cids)
+			}
+			if b <= a {
+				return
+			}
+			ids, buf := growFor(*out, b-a)
+			k := 0
+			for _, cid := range cids[a:b] {
+				buf[k] = cid
+				v := vals[cid]
+				k += b2i(v >= lo && v <= hi)
+			}
+			*out = ids[:len(ids)+k]
+		}
+	case p.form == predFLess && c.Kind == KindF64:
+		hi, vals := p.fHi, c.F
+		return func(a, b int) {
+			cids := cand.I
+			if b > len(cids) {
+				b = len(cids)
+			}
+			if b <= a {
+				return
+			}
+			ids, buf := growFor(*out, b-a)
+			k := 0
+			for _, cid := range cids[a:b] {
+				buf[k] = cid
+				k += b2i(vals[cid] < hi)
+			}
+			*out = ids[:len(ids)+k]
+		}
+	case p.form != predNaive && c.Kind == KindI64 && p.I != nil:
+		fi, vals := p.I, c.I
+		return func(a, b int) {
+			ids, cids := *out, cand.I
+			for k := a; k < b && k < len(cids); k++ {
+				if fi(vals[cids[k]]) {
+					ids = append(ids, cids[k])
+				}
+			}
+			*out = ids
+		}
+	case p.form != predNaive && c.Kind == KindF64 && p.F != nil:
+		ff, vals := p.F, c.F
+		return func(a, b int) {
+			ids, cids := *out, cand.I
+			for k := a; k < b && k < len(cids); k++ {
+				if ff(vals[cids[k]]) {
+					ids = append(ids, cids[k])
+				}
+			}
+			*out = ids
+		}
+	default:
+		return func(a, b int) {
+			ids, cids := *out, cand.I
+			for k := a; k < b && k < len(cids); k++ {
+				if p.eval(c, int(cids[k])) {
+					ids = append(ids, cids[k])
+				}
+			}
+			*out = ids
+		}
+	}
 }
 
 func (p Pred) eval(b *BAT, row int) bool {
@@ -86,15 +410,10 @@ func ThetaSelect(table, col, out string, p Pred) StageFn {
 		for i, r := range ranges {
 			i, r := i, r
 			t := newChunkTask("algebra.thetasubselect", q.Machine(), []*BAT{c}, r[0], r[1], cyclesScan)
-			ids := make([]int64, 0, (r[1]-r[0])/2)
-			t.process = func(a, b int) {
-				for row := a; row < b; row++ {
-					if p.eval(c, row) {
-						ids = append(ids, int64(row))
-					}
-				}
-			}
+			ids := q.scratchI64((r[1] - r[0]) / 2)
+			t.process = selectScanLoop(c, predFor(q, p), &ids)
 			t.finish = func(*sched.ExecContext) []*BAT {
+				q.ownI64(ids)
 				frag := NewI64(out, ids)
 				ps.Parts[i] = frag
 				return []*BAT{frag}
@@ -142,15 +461,10 @@ func SubSelect(in, table, col, out string, p Pred) StageFn {
 			}
 			t := newChunkTask("algebra.subselect", q.Machine(), []*BAT{cand}, 0, cand.Len(), cyclesGather)
 			t.extraCharge = gatherCharge(cand, c)
-			ids := make([]int64, 0, cand.Len()/2)
-			t.process = func(a, b int) {
-				for k := a; k < b && k < len(cand.I); k++ {
-					if p.eval(c, int(cand.I[k])) {
-						ids = append(ids, cand.I[k])
-					}
-				}
-			}
+			ids := q.scratchI64(cand.Len() / 2)
+			t.process = gatherScanLoop(c, predFor(q, p), cand, &ids)
 			t.finish = func(*sched.ExecContext) []*BAT {
+				q.ownI64(ids)
 				frag := NewI64(out, ids)
 				ps.Parts[i] = frag
 				return []*BAT{frag}
@@ -180,6 +494,11 @@ func Projection(in, table, col, out string) StageFn {
 			t := newChunkTask("algebra.projection", q.Machine(), []*BAT{cand}, 0, cand.Len(), cyclesGather)
 			t.extraCharge = gatherCharge(cand, c)
 			outB := emptyLike(c, out)
+			if c.Kind == KindI64 {
+				outB.I = q.scratchI64(cand.Len())
+			} else {
+				outB.F = q.scratchF64(cand.Len())
+			}
 			t.process = func(a, b int) {
 				for k := a; k < b && k < len(cand.I); k++ {
 					row := int(cand.I[k])
@@ -191,6 +510,8 @@ func Projection(in, table, col, out string) StageFn {
 				}
 			}
 			t.finish = func(*sched.ExecContext) []*BAT {
+				q.ownI64(outB.I)
+				q.ownF64(outB.F)
 				ps.Parts[i] = outB
 				return []*BAT{outB}
 			}
@@ -226,13 +547,14 @@ func MapF2(a, b, out string, f func(x, y float64) float64) StageFn {
 				continue
 			}
 			t := newChunkTask("batcalc.*", q.Machine(), []*BAT{fa, fb}, 0, fa.Len(), cyclesMap)
-			res := make([]float64, 0, fa.Len())
+			res := q.scratchF64(fa.Len())
 			t.process = func(lo, hi int) {
 				for k := lo; k < hi && k < len(fa.F); k++ {
 					res = append(res, f(fa.F[k], fb.F[k]))
 				}
 			}
 			t.finish = func(*sched.ExecContext) []*BAT {
+				q.ownF64(res)
 				frag := NewF64(out, res)
 				ps.Parts[i] = frag
 				return []*BAT{frag}
@@ -320,7 +642,7 @@ func BuildMap(keysVar, valsVar, setName string) StageFn {
 		}
 		t := &funcTask{op: "hash.build", pref: numa.NoNode}
 		t.work = func(ctx *sched.ExecContext) uint64 {
-			m := make(map[int64]int64, keys.Rows())
+			m := q.scratchMapII()
 			var cost uint64
 			for pi, frag := range keys.Parts {
 				if frag == nil || frag.Len() == 0 {
@@ -337,7 +659,7 @@ func BuildMap(keysVar, valsVar, setName string) StageFn {
 							payload = int64(vf.F[k])
 						}
 					}
-					m[key] = payload
+					m.Put(key, payload)
 				}
 				cost += uint64(frag.Len()) * cyclesBuild
 			}
@@ -390,12 +712,15 @@ func probe(inCand, table, col, setName, outCand, outVals string, anti bool) Stag
 			}
 			t := newChunkTask("join.probe", q.Machine(), []*BAT{cand}, 0, cand.Len(), cyclesProbe)
 			t.extraCharge = gatherCharge(cand, c)
-			ids := make([]int64, 0, cand.Len()/2)
+			ids := q.scratchI64(cand.Len() / 2)
 			var payloads []int64
+			if vps != nil {
+				payloads = q.scratchI64(cand.Len() / 2)
+			}
 			t.process = func(a, b int) {
 				for k := a; k < b && k < len(cand.I); k++ {
 					row := int(cand.I[k])
-					payload, hit := set[c.I[row]]
+					payload, hit := set.Get(c.I[row])
 					if hit == anti {
 						continue
 					}
@@ -406,10 +731,12 @@ func probe(inCand, table, col, setName, outCand, outVals string, anti bool) Stag
 				}
 			}
 			t.finish = func(*sched.ExecContext) []*BAT {
+				q.ownI64(ids)
 				frag := NewI64(outCand, ids)
 				ps.Parts[i] = frag
 				outs := []*BAT{frag}
 				if vps != nil {
+					q.ownI64(payloads)
 					vf := NewI64(outVals, payloads)
 					vps.Parts[i] = vf
 					outs = append(outs, vf)
@@ -426,8 +753,9 @@ func probe(inCand, table, col, setName, outCand, outVals string, anti bool) Stag
 // (the sql.tid pattern: a candidate list covering the table).
 func ScanAll(table, col, out string) StageFn {
 	always := Pred{
-		I: func(int64) bool { return true },
-		F: func(float64) bool { return true },
+		I:    func(int64) bool { return true },
+		F:    func(float64) bool { return true },
+		form: predAll,
 	}
 	return ThetaSelect(table, col, out, always)
 }
@@ -448,7 +776,7 @@ func GroupSum(keysVar, valsVar, partialsName string) StageFn {
 			panic(fmt.Sprintf("db: GroupSum misaligned %s/%s", keysVar, valsVar))
 		}
 		countMode := valsVar == ""
-		partials := make([]map[int64]float64, len(keys.Parts))
+		partials := make([]*i64fMap, len(keys.Parts))
 		q.setPartials(partialsName, partials)
 		var tasks []Task
 		for i := range keys.Parts {
@@ -462,7 +790,7 @@ func GroupSum(keysVar, valsVar, partialsName string) StageFn {
 				inputs = append(inputs, vf)
 			}
 			t := newChunkTask("group.sum", q.Machine(), inputs, 0, kf.Len(), cyclesGroup)
-			m := make(map[int64]float64)
+			m := q.scratchMapIF()
 			t.process = func(a, b int) {
 				for k := a; k < b && k < len(kf.I); k++ {
 					v := 1.0
@@ -473,7 +801,7 @@ func GroupSum(keysVar, valsVar, partialsName string) StageFn {
 							v = float64(vf.I[k])
 						}
 					}
-					m[kf.I[k]] += v
+					m.Add(kf.I[k], v)
 				}
 			}
 			t.finish = func(*sched.ExecContext) []*BAT {
@@ -494,23 +822,27 @@ func GroupMerge(partialsName, outKeys, outSums string) StageFn {
 		partials := q.partialsOf(partialsName)
 		merge := &funcTask{op: "mat.pack", pref: numa.NoNode}
 		merge.work = func(ctx *sched.ExecContext) uint64 {
-			total := make(map[int64]float64)
+			total := q.scratchMapIF()
 			n := 0
 			for _, m := range partials {
-				for k, v := range m {
-					total[k] += v
-					n++
+				if m == nil {
+					continue
 				}
+				m.Range(func(k int64, v float64) {
+					total.Add(k, v)
+					n++
+				})
 			}
-			ks := make([]int64, 0, len(total))
-			for k := range total {
-				ks = append(ks, k)
-			}
-			sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
-			sums := make([]float64, len(ks))
+			ks := q.scratchI64(total.Len())
+			total.Range(func(k int64, _ float64) { ks = append(ks, k) })
+			slices.Sort(ks)
+			sums := q.scratchF64(len(ks))[:len(ks)]
 			for i, k := range ks {
-				sums[i] = total[k]
+				v, _ := total.Get(k)
+				sums[i] = v
 			}
+			q.ownI64(ks)
+			q.ownF64(sums)
 			kb, sb := NewI64(outKeys, ks), NewF64(outSums, sums)
 			q.SetVar(outKeys, &PartSet{Parts: []*BAT{kb}})
 			q.SetVar(outSums, &PartSet{Parts: []*BAT{sb}})
@@ -531,14 +863,16 @@ func GroupFilter(outKeys, outSums string, keep func(sum float64) bool) StageFn {
 		t.work = func(ctx *sched.ExecContext) uint64 {
 			keys := q.Var(outKeys).FlattenI64()
 			sums := q.Var(outSums).FlattenF64()
-			var ks []int64
-			var ss []float64
+			ks := q.scratchI64(len(keys))
+			ss := q.scratchF64(len(sums))
 			for i, s := range sums {
 				if keep(s) {
 					ks = append(ks, keys[i])
 					ss = append(ss, s)
 				}
 			}
+			q.ownI64(ks)
+			q.ownF64(ss)
 			q.SetVar(outKeys, &PartSet{Parts: []*BAT{NewI64(outKeys, ks)}})
 			q.SetVar(outSums, &PartSet{Parts: []*BAT{NewF64(outSums, ss)}})
 			return uint64(len(keys)) * cyclesMap
@@ -563,12 +897,14 @@ func TopN(outKeys, outSums string, n int) StageFn {
 			if n > len(idx) {
 				n = len(idx)
 			}
-			ks := make([]int64, n)
-			ss := make([]float64, n)
+			ks := q.scratchI64(n)[:n]
+			ss := q.scratchF64(n)[:n]
 			for i := 0; i < n; i++ {
 				ks[i] = keys[idx[i]]
 				ss[i] = sums[idx[i]]
 			}
+			q.ownI64(ks)
+			q.ownF64(ss)
 			q.SetVar(outKeys, &PartSet{Parts: []*BAT{NewI64(outKeys, ks)}})
 			q.SetVar(outSums, &PartSet{Parts: []*BAT{NewF64(outSums, ss)}})
 			return uint64(len(keys)) * cyclesSort

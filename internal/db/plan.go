@@ -3,6 +3,7 @@ package db
 import (
 	"fmt"
 
+	"elasticore/internal/deque"
 	"elasticore/internal/numa"
 )
 
@@ -60,14 +61,18 @@ type Query struct {
 
 	eng      *Engine
 	vars     map[string]*PartSet
-	sets     map[string]map[int64]int64 // hash-join build sides
+	sets     map[string]*i64Map // hash-join build sides
 	scalars  map[string]float64
-	partials map[string][]map[int64]float64 // grouped-aggregation partials
+	partials map[string][]*i64fMap // grouped-aggregation partials
 
 	stage     int
 	pending   int
 	done      bool
-	taskQueue []*dispatched // per-query dataflow queue (PlacementOS)
+	taskQueue deque.Deque[*dispatched] // per-query dataflow queue (PlacementOS)
+
+	// owned registers pooled buffers backing this query's intermediates,
+	// reclaimed when the finished query is drained (see pool.go).
+	owned ownedBuffers
 
 	startCycles, endCycles uint64
 }
@@ -88,7 +93,7 @@ func (q *Query) Var(name string) *PartSet {
 func (q *Query) SetVar(name string, ps *PartSet) { q.vars[name] = ps }
 
 // Set returns a named hash-join build table.
-func (q *Query) Set(name string) map[int64]int64 {
+func (q *Query) Set(name string) *i64Map {
 	s, ok := q.sets[name]
 	if !ok {
 		panic(fmt.Sprintf("db: query %s: undefined set %s", q.Plan.Name, name))
@@ -97,7 +102,7 @@ func (q *Query) Set(name string) map[int64]int64 {
 }
 
 // SetSet binds a named hash-join build table.
-func (q *Query) SetSet(name string, s map[int64]int64) { q.sets[name] = s }
+func (q *Query) SetSet(name string, s *i64Map) { q.sets[name] = s }
 
 // Scalar returns a named scalar result (0 when absent).
 func (q *Query) Scalar(name string) float64 { return q.scalars[name] }
@@ -108,11 +113,11 @@ func (q *Query) SetScalar(name string, v float64) { q.scalars[name] = v }
 // AddScalar accumulates into a named scalar (partial aggregation).
 func (q *Query) AddScalar(name string, v float64) { q.scalars[name] += v }
 
-func (q *Query) setPartials(name string, p []map[int64]float64) {
+func (q *Query) setPartials(name string, p []*i64fMap) {
 	q.partials[name] = p
 }
 
-func (q *Query) partialsOf(name string) []map[int64]float64 {
+func (q *Query) partialsOf(name string) []*i64fMap {
 	p, ok := q.partials[name]
 	if !ok {
 		panic(fmt.Sprintf("db: query %s: undefined partials %s", q.Plan.Name, name))

@@ -48,6 +48,12 @@ type Config struct {
 	// Tenants is the tenant count of the consolidation experiment
 	// (2..4; zero defaults to 3; anything else is rejected).
 	Tenants int
+	// Naive runs every rig on the pre-optimization simulator hot paths:
+	// the walk-every-core tick loop, per-block memory charging, unpooled
+	// Go-map operator execution and uncached dataset generation. Results
+	// are bit-identical to the default fast paths; only wall-clock time
+	// differs. Used by the equivalence tests and `elasticbench bench`.
+	Naive bool
 }
 
 // withDefaults validates the config and fills zero values. All validation
@@ -116,6 +122,7 @@ func newRig(c Config, mode workload.Mode, strategy elastic.Strategy) (*workload.
 		Mode:      mode,
 		Placement: c.Placement,
 		Strategy:  strategy,
+		Naive:     c.Naive,
 	})
 }
 
@@ -131,8 +138,7 @@ func q6Fixed() tpch.Q6Params {
 func thetaPlan(selectivity float64) *db.Plan {
 	cut := 1 + selectivity*50
 	return &db.Plan{Name: "thetasubselect", Stages: []db.StageFn{
-		db.ThetaSelect("lineitem", "l_quantity", "c1",
-			db.Pred{F: func(v float64) bool { return v < cut }}),
+		db.ThetaSelect("lineitem", "l_quantity", "c1", db.PredFLess(cut)),
 		db.Count("c1", "result"),
 	}}
 }

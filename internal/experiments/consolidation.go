@@ -98,7 +98,7 @@ const consolidationSeconds = 0.25
 // saturates every tenant with a continuous theta-scan stream for the
 // fixed phase window.
 func runConsolidationOnce(c Config, specs []workload.TenantSpec) (*workload.MultiRig, *workload.MultiPhaseResult, error) {
-	rig, err := workload.NewMultiRig(workload.MultiOptions{Tenants: specs})
+	rig, err := workload.NewMultiRig(workload.MultiOptions{Tenants: specs, Naive: c.Naive})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// equivalence_test.go is the experiment-level half of the fast-path
+// equivalence guarantee: entire figures run under Config.Naive (the
+// original tick loop, per-block charging and uncached datasets) must
+// render byte-identically to the event-driven fast path — which the
+// golden files already pin.
+
+// naiveGoldenRun executes a registered experiment with every fast path
+// disabled, normalizing the host-dependent metadata like goldenRun.
+func naiveGoldenRun(t *testing.T, name string) *Result {
+	t.Helper()
+	e, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("%s not registered", name)
+	}
+	cfg := goldenConfig()
+	cfg.Naive = true
+	res, err := e.Run(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Meta.WallTime = 0
+	res.Meta.Version = "golden"
+	return res
+}
+
+// TestNaiveFig4MatchesGolden: the naive path must reproduce the checked-in
+// fig4 goldens bit for bit — throughput, fault and interconnect numbers
+// all reflect scheduler stats and machine counters, so any drift between
+// the two tick loops would surface here.
+func TestNaiveFig4MatchesGolden(t *testing.T) {
+	res := naiveGoldenRun(t, "fig4")
+	for _, format := range []string{"text", "json", "csv"} {
+		checkGolden(t, res, format)
+	}
+}
+
+// TestNaiveConsolidationMatchesGolden covers the multi-tenant rig: shared
+// scheduler, arbiter and several engines on the naive path.
+func TestNaiveConsolidationMatchesGolden(t *testing.T) {
+	res := naiveGoldenRun(t, "consolidation")
+	for _, format := range []string{"text", "json", "csv"} {
+		checkGolden(t, res, format)
+	}
+}
+
+// TestNaiveAndFastRenderIdentically compares the two paths directly on a
+// figure without golden coverage (fig13 reports stolen-task and tick
+// statistics, the counters most sensitive to scheduler divergence).
+func TestNaiveAndFastRenderIdentically(t *testing.T) {
+	e, ok := Lookup("fig13")
+	if !ok {
+		t.Fatal("fig13 not registered")
+	}
+	run := func(naive bool) []byte {
+		cfg := Config{SF: 0.002, Clients: 8, Users: []int{1, 4}, Seed: 3}
+		cfg.Naive = naive
+		res, err := e.Run(context.Background(), cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Meta.WallTime = 0
+		res.Meta.Version = "equiv"
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	fast, naive := run(false), run(true)
+	if !bytes.Equal(fast, naive) {
+		t.Errorf("fig13 diverged between fast and naive paths\n--- fast ---\n%s\n--- naive ---\n%s", fast, naive)
+	}
+}

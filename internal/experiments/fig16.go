@@ -54,13 +54,24 @@ func runFig16(ctx context.Context, c Config, obs Observer) (*Result, error) {
 			}
 			mt := trace.NewMigrationTrace(r.Sched)
 			q := r.Engine.Submit(tpch.BuildQ6With(q6Fixed()))
-			deadline := r.Machine.Topology().SecondsToCycles(600)
-			ok := r.Sched.RunUntil(func() bool {
+			// Explicit drive loop rather than RunUntil: the mechanism's
+			// control step is a side effect, which RunUntil predicates
+			// must not have (its idle fast-forward would skip them).
+			deadline := r.Machine.Now() + r.Machine.Topology().SecondsToCycles(600)
+			ok := false
+			for {
 				if r.Mech != nil {
 					r.Mech.Maybe()
 				}
-				return q.Done()
-			}, deadline)
+				if q.Done() {
+					ok = true
+					break
+				}
+				if r.Machine.Now() >= deadline {
+					break
+				}
+				r.Sched.Tick()
+			}
 			if !ok {
 				return fmt.Errorf("experiments: fig16 %v timed out", mode)
 			}

@@ -1,0 +1,16 @@
+// Package hashmix provides the SplitMix64 finalizer, the 64→64 bit mixer
+// shared by the simulator's hash tables (operator join/aggregation tables
+// in internal/db, the cache residency tables in internal/numa) and the
+// TPC-H generator's random stream. Keeping one copy keeps every consumer's
+// probe behaviour in lockstep if the constants are ever tuned.
+package hashmix
+
+// Mix64 applies the SplitMix64 finalizer to x.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,219 @@
+package numa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// accessrange_test.go pins the bulk-charging contract: AccessRange must be
+// indistinguishable from the per-block Access loop it replaces — same
+// cycles, same interconnect bytes, same counter and cache evolution — for
+// arbitrary interleavings of reads, writes, partial blocks and cores.
+
+// rangeBytes mirrors the per-block byte split a caller performs when
+// charging rows [startByte, endByte) of a region.
+func blockLoopAccess(m *Machine, core CoreID, r RangeAccess) Cost {
+	var total Cost
+	for i := 0; i < r.Blocks; i++ {
+		bytes := m.Topology().BlockBytes
+		switch {
+		case i == 0 && r.FirstBytes != 0:
+			bytes = r.FirstBytes
+		case i == r.Blocks-1 && i != 0 && r.LastBytes != 0:
+			bytes = r.LastBytes
+		}
+		c := m.Access(core, Access{Block: r.Start + BlockID(i), Bytes: bytes, Write: r.Write, PID: r.PID})
+		total.Cycles += c.Cycles
+		total.HTBytes += c.HTBytes
+	}
+	return total
+}
+
+func randomRanges(seed int64, blocks int) []RangeAccess {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]RangeAccess, 600)
+	for i := range out {
+		start := rng.Intn(blocks)
+		n := 1 + rng.Intn(blocks-start)
+		if n > 40 {
+			n = 40
+		}
+		ra := RangeAccess{
+			Start:  BlockID(start),
+			Blocks: n,
+			Write:  rng.Intn(6) == 0,
+			PID:    1 + rng.Intn(3),
+		}
+		if rng.Intn(2) == 0 {
+			ra.FirstBytes = 1 + rng.Intn(16*1024)
+		}
+		if rng.Intn(2) == 0 {
+			ra.LastBytes = 1 + rng.Intn(16*1024)
+		}
+		out[i] = ra
+	}
+	return out
+}
+
+// TestAccessRangeMatchesAccessLoop replays an identical random access
+// history on two machines — one charged block by block, one in bulk — and
+// requires bit-identical costs and counters, interleaved with AdvanceTime
+// so the congestion factors move.
+func TestAccessRangeMatchesAccessLoop(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		topo := Opteron8387()
+		loopM := NewMachine(topo)
+		bulkM := NewMachine(topo)
+		const blocks = 256
+		loopM.Memory().Alloc(blocks)
+		bulkM.Memory().Alloc(blocks)
+
+		quantum := topo.SecondsToCycles(50e-6)
+		cores := topo.TotalCores()
+		for i, ra := range randomRanges(seed, blocks) {
+			core := CoreID(i % cores)
+			a := blockLoopAccess(loopM, core, ra)
+			b := bulkM.AccessRange(core, ra)
+			if a != b {
+				t.Fatalf("seed %d op %d (%+v): cost diverged: loop %+v, bulk %+v", seed, i, ra, a, b)
+			}
+			if i%3 == 0 {
+				loopM.AdvanceTime(quantum)
+				bulkM.AdvanceTime(quantum)
+			}
+		}
+		if !reflect.DeepEqual(loopM.Snapshot(), bulkM.Snapshot()) {
+			t.Fatalf("seed %d: counters diverged between loop and bulk charging", seed)
+		}
+		if loopM.HTCongestion() != bulkM.HTCongestion() {
+			t.Fatalf("seed %d: congestion factors diverged", seed)
+		}
+	}
+}
+
+// TestAccessRangeNaiveModeMatches runs the same history through a machine
+// in naive-charging mode, which must also be identical (it is the same
+// arithmetic through the public per-block entry point).
+func TestAccessRangeNaiveModeMatches(t *testing.T) {
+	topo := Opteron8387()
+	fast := NewMachine(topo)
+	naive := NewMachine(topo)
+	naive.SetNaiveCharging(true)
+	const blocks = 128
+	fast.Memory().Alloc(blocks)
+	naive.Memory().Alloc(blocks)
+	for i, ra := range randomRanges(99, blocks) {
+		core := CoreID(i % topo.TotalCores())
+		a := fast.AccessRange(core, ra)
+		b := naive.AccessRange(core, ra)
+		if a != b {
+			t.Fatalf("op %d (%+v): fast %+v, naive %+v", i, ra, a, b)
+		}
+	}
+	if !reflect.DeepEqual(fast.Snapshot(), naive.Snapshot()) {
+		t.Fatal("counters diverged between fast and naive charging")
+	}
+}
+
+// TestAdvanceTimeIdleMatchesLoop checks the idle fast-forward against the
+// tick-by-tick loop, starting from a congested state so the factor decay
+// and the refresh cadence are both exercised, across quantum/window
+// alignments.
+func TestAdvanceTimeIdleMatchesLoop(t *testing.T) {
+	congest := func(m *Machine) {
+		// Drive remote traffic past the interconnect capacity of several
+		// whole refresh windows to push the congestion factors above 1.
+		m.Memory().AllocOn(4096, 0, 1)
+		window := m.Topology().SecondsToCycles(1e-3)
+		for round := 0; round < 8; round++ {
+			for i := 0; i < 4000; i++ {
+				m.Access(CoreID(15), Access{Block: BlockID(i), Bytes: m.Topology().BlockBytes, PID: 1})
+			}
+			m.AdvanceTime(window)
+		}
+	}
+	for _, quantum := range []uint64{1000, 140000, 2800001} {
+		loopM := NewMachine(Opteron8387())
+		bulkM := NewMachine(Opteron8387())
+		congest(loopM)
+		congest(bulkM)
+		if loopM.HTCongestion() <= 1 {
+			t.Fatal("test setup failed to congest the interconnect")
+		}
+		const n = 500000
+		for i := 0; i < n; i++ {
+			loopM.AdvanceTime(quantum)
+		}
+		bulkM.AdvanceTimeIdle(quantum, n)
+		if loopM.Now() != bulkM.Now() {
+			t.Fatalf("quantum %d: Now diverged: loop %d, bulk %d", quantum, loopM.Now(), bulkM.Now())
+		}
+		if loopM.HTCongestion() != bulkM.HTCongestion() {
+			t.Fatalf("quantum %d: congestion diverged: loop %v, bulk %v",
+				quantum, loopM.HTCongestion(), bulkM.HTCongestion())
+		}
+		// The window phase must match too: one more traffic burst +
+		// refresh must evolve identically afterwards.
+		loopM.AdvanceTime(quantum)
+		bulkM.AdvanceTime(quantum)
+		if !reflect.DeepEqual(loopM.Snapshot(), bulkM.Snapshot()) {
+			t.Fatalf("quantum %d: post-skip state diverged", quantum)
+		}
+	}
+}
+
+// TestBlockTableAgainstMap cross-checks the open-addressing residency
+// table (with its backward-shift deletion) against a reference map over a
+// long random operation sequence at the table's worst-case load.
+func TestBlockTableAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const capacity = 48
+	bt := newBlockTable(capacity)
+	ref := make(map[BlockID]int32)
+	for step := 0; step < 200000; step++ {
+		b := BlockID(rng.Intn(capacity * 4)) // force collisions
+		switch {
+		case rng.Intn(3) == 0:
+			wantV, want := ref[b]
+			gotV, got := bt.get(b)
+			if got != want || (got && gotV != wantV) {
+				t.Fatalf("step %d: get(%d) = %d,%v want %d,%v", step, b, gotV, got, wantV, want)
+			}
+		case rng.Intn(2) == 0 && len(ref) <= capacity:
+			if _, dup := ref[b]; !dup {
+				v := int32(step)
+				bt.put(b, v)
+				ref[b] = v
+			}
+		default:
+			_, want := ref[b]
+			if got := bt.del(b); got != want {
+				t.Fatalf("step %d: del(%d) = %v, want %v", step, b, got, want)
+			}
+			delete(ref, b)
+		}
+		if bt.n != len(ref) {
+			t.Fatalf("step %d: n = %d, want %d", step, bt.n, len(ref))
+		}
+	}
+}
+
+// TestLRUSteadyStateZeroAlloc guards the arena-backed cache: steady-state
+// hit/miss/evict churn must not allocate.
+func TestLRUSteadyStateZeroAlloc(t *testing.T) {
+	c := newLRUCache(32)
+	for b := 0; b < 64; b++ {
+		c.Touch(BlockID(b))
+	}
+	b := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		for i := 0; i < 64; i++ {
+			c.Touch(BlockID(b % 96))
+			b++
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state LRU churn allocated %v times per run, want 0", allocs)
+	}
+}

@@ -1,5 +1,7 @@
 package numa
 
+import "elasticore/internal/hashmix"
+
 // cache.go models the cache hierarchy at block granularity: a small
 // per-core private cache standing in for L1+L2, and a per-node shared L3
 // implemented as an LRU over placement blocks. The model captures the
@@ -8,18 +10,117 @@ package numa
 // touch blocks cached remotely, and the hit-rate benefit of co-locating
 // threads that share data.
 
+// noEntry marks an empty link in the LRU arena.
+const noEntry int32 = -1
+
+// mix64 spreads BlockIDs over the residency table.
+func mix64(x uint64) uint64 { return hashmix.Mix64(x) }
+
+// blockTable maps BlockID → arena index with fixed-size open addressing
+// (linear probing, backward-shift deletion). An lruCache holds at most
+// capacity+1 entries, so the table is sized once at ≤50% load and never
+// grows; every operation is a short flat-array probe, far cheaper than a
+// Go map on the access hot path.
+type blockTable struct {
+	keys []BlockID
+	vals []int32
+	used []bool
+	mask uint64
+	n    int
+}
+
+func newBlockTable(capacity int) *blockTable {
+	size := 4
+	for size < 2*(capacity+1) {
+		size *= 2
+	}
+	return &blockTable{
+		keys: make([]BlockID, size),
+		vals: make([]int32, size),
+		used: make([]bool, size),
+		mask: uint64(size - 1),
+	}
+}
+
+func (t *blockTable) get(b BlockID) (int32, bool) {
+	i := mix64(uint64(b)) & t.mask
+	for t.used[i] {
+		if t.keys[i] == b {
+			return t.vals[i], true
+		}
+		i = (i + 1) & t.mask
+	}
+	return 0, false
+}
+
+// put inserts a key that is not present.
+func (t *blockTable) put(b BlockID, v int32) {
+	i := mix64(uint64(b)) & t.mask
+	for t.used[i] {
+		i = (i + 1) & t.mask
+	}
+	t.used[i] = true
+	t.keys[i] = b
+	t.vals[i] = v
+	t.n++
+}
+
+// del removes the key if present, backward-shifting the probe chain so
+// lookups stay correct without tombstones.
+func (t *blockTable) del(b BlockID) bool {
+	i := mix64(uint64(b)) & t.mask
+	for {
+		if !t.used[i] {
+			return false
+		}
+		if t.keys[i] == b {
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	j := i
+	for {
+		j = (j + 1) & t.mask
+		if !t.used[j] {
+			break
+		}
+		h := mix64(uint64(t.keys[j])) & t.mask
+		// Move j back into the hole unless it sits in its own probe
+		// window between the hole (exclusive) and j.
+		if (j-h)&t.mask >= (j-i)&t.mask {
+			t.keys[i] = t.keys[j]
+			t.vals[i] = t.vals[j]
+			i = j
+		}
+	}
+	t.used[i] = false
+	t.n--
+	return true
+}
+
+func (t *blockTable) clear() {
+	clear(t.used)
+	t.n = 0
+}
+
 // lruCache is a fixed-capacity LRU set of BlockIDs with O(1) lookup,
-// insert and eviction (intrusive doubly-linked list over a map).
+// insert and eviction. Entries live in a slice-backed arena linked by
+// indices and recycled through a free list, indexed by a flat
+// open-addressing table, so steady-state churn (every simulated memory
+// access touches two caches) allocates nothing and hashes nothing heavier
+// than one multiply-shift round.
 type lruCache struct {
 	capacity int
-	entries  map[BlockID]*lruEntry
-	head     *lruEntry // most recently used
-	tail     *lruEntry // least recently used
+	idx      *blockTable
+	ent      []lruEntry
+	free     []int32
+	head     int32 // most recently used
+	tail     int32 // least recently used
 }
 
 type lruEntry struct {
 	block      BlockID
-	prev, next *lruEntry
+	prev, next int32
 }
 
 func newLRUCache(capacity int) *lruCache {
@@ -28,13 +129,16 @@ func newLRUCache(capacity int) *lruCache {
 	}
 	return &lruCache{
 		capacity: capacity,
-		entries:  make(map[BlockID]*lruEntry, capacity),
+		idx:      newBlockTable(capacity),
+		ent:      make([]lruEntry, 0, capacity+1),
+		head:     noEntry,
+		tail:     noEntry,
 	}
 }
 
 // Contains reports whether the block is resident without promoting it.
 func (c *lruCache) Contains(b BlockID) bool {
-	_, ok := c.entries[b]
+	_, ok := c.idx.get(b)
 	return ok
 }
 
@@ -42,70 +146,91 @@ func (c *lruCache) Contains(b BlockID) bool {
 // It returns whether the block was already resident and, when an insertion
 // evicted an older block, that victim.
 func (c *lruCache) Touch(b BlockID) (hit bool, evicted BlockID, didEvict bool) {
-	if e, ok := c.entries[b]; ok {
+	if e, ok := c.idx.get(b); ok {
 		c.moveToFront(e)
 		return true, 0, false
 	}
-	e := &lruEntry{block: b}
-	c.entries[b] = e
+	e := c.alloc(b)
+	c.idx.put(b, e)
 	c.pushFront(e)
-	if len(c.entries) > c.capacity {
+	if c.idx.n > c.capacity {
 		victim := c.tail
+		vb := c.ent[victim].block
 		c.remove(victim)
-		delete(c.entries, victim.block)
-		return false, victim.block, true
+		c.idx.del(vb)
+		c.free = append(c.free, victim)
+		return false, vb, true
 	}
 	return false, 0, false
 }
 
 // Invalidate drops the block if resident, returning whether it was.
 func (c *lruCache) Invalidate(b BlockID) bool {
-	e, ok := c.entries[b]
+	e, ok := c.idx.get(b)
 	if !ok {
 		return false
 	}
 	c.remove(e)
-	delete(c.entries, b)
+	c.idx.del(b)
+	c.free = append(c.free, e)
 	return true
 }
 
 // Len returns the number of resident blocks.
-func (c *lruCache) Len() int { return len(c.entries) }
+func (c *lruCache) Len() int { return c.idx.n }
 
 // Clear empties the cache (used when a thread migrates away and its
-// private-cache affinity is lost).
+// working set is lost), keeping the arena and table storage.
 func (c *lruCache) Clear() {
-	c.entries = make(map[BlockID]*lruEntry, c.capacity)
-	c.head, c.tail = nil, nil
+	c.idx.clear()
+	c.free = c.free[:0]
+	for i := range c.ent {
+		c.free = append(c.free, int32(i))
+	}
+	c.head, c.tail = noEntry, noEntry
 }
 
-func (c *lruCache) pushFront(e *lruEntry) {
-	e.prev = nil
-	e.next = c.head
-	if c.head != nil {
-		c.head.prev = e
+// alloc takes an entry from the free list, extending the arena when none
+// is available.
+func (c *lruCache) alloc(b BlockID) int32 {
+	if n := len(c.free); n > 0 {
+		e := c.free[n-1]
+		c.free = c.free[:n-1]
+		c.ent[e] = lruEntry{block: b, prev: noEntry, next: noEntry}
+		return e
+	}
+	c.ent = append(c.ent, lruEntry{block: b, prev: noEntry, next: noEntry})
+	return int32(len(c.ent) - 1)
+}
+
+func (c *lruCache) pushFront(e int32) {
+	c.ent[e].prev = noEntry
+	c.ent[e].next = c.head
+	if c.head != noEntry {
+		c.ent[c.head].prev = e
 	}
 	c.head = e
-	if c.tail == nil {
+	if c.tail == noEntry {
 		c.tail = e
 	}
 }
 
-func (c *lruCache) remove(e *lruEntry) {
-	if e.prev != nil {
-		e.prev.next = e.next
+func (c *lruCache) remove(e int32) {
+	prev, next := c.ent[e].prev, c.ent[e].next
+	if prev != noEntry {
+		c.ent[prev].next = next
 	} else {
-		c.head = e.next
+		c.head = next
 	}
-	if e.next != nil {
-		e.next.prev = e.prev
+	if next != noEntry {
+		c.ent[next].prev = prev
 	} else {
-		c.tail = e.prev
+		c.tail = prev
 	}
-	e.prev, e.next = nil, nil
+	c.ent[e].prev, c.ent[e].next = noEntry, noEntry
 }
 
-func (c *lruCache) moveToFront(e *lruEntry) {
+func (c *lruCache) moveToFront(e int32) {
 	if c.head == e {
 		return
 	}

@@ -1,6 +1,18 @@
 package numa
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// simCycles accumulates virtual cycles advanced by every Machine in the
+// process. The bench harness reads it to report simulated-cycles/second
+// without threading a handle through every experiment.
+var simCycles atomic.Uint64
+
+// SimulatedCycles returns the total virtual cycles advanced by all
+// machines since process start (monotonic; read deltas around a workload).
+func SimulatedCycles() uint64 { return simCycles.Load() }
 
 // CostModel holds the per-event cycle costs used to charge memory accesses.
 // The defaults approximate the relative latencies of the Opteron 8387
@@ -70,6 +82,35 @@ type Machine struct {
 	}
 	htFactor  float64
 	imcFactor []float64
+
+	// naive forces AccessRange through the public per-block Access path,
+	// reproducing the pre-bulk-charging cost profile for equivalence
+	// benches. Results are identical either way.
+	naive bool
+	memo  costMemo
+}
+
+// costMemo caches the cycle cost of a full-block DRAM access per home node
+// within one AccessRange call. The congestion factors are constant between
+// AdvanceTime calls — and no time passes inside a range charge — so
+// reusing the computed value is exact; the memo is reset at every
+// AccessRange entry.
+type costMemo struct {
+	lines  uint64
+	local  []uint64 // per home node; ^uint64(0) = unset
+	remote []uint64
+}
+
+func (mm *costMemo) reset(lines uint64, nodes int) {
+	if len(mm.local) != nodes {
+		mm.local = make([]uint64, nodes)
+		mm.remote = make([]uint64, nodes)
+	}
+	mm.lines = lines
+	for i := range mm.local {
+		mm.local[i] = ^uint64(0)
+		mm.remote[i] = ^uint64(0)
+	}
 }
 
 // NewMachine builds a machine for the topology with the default cost model.
@@ -121,12 +162,18 @@ func (m *Machine) Access(core CoreID, a Access) Cost {
 	if a.Bytes > m.topo.BlockBytes {
 		panic(fmt.Sprintf("numa: access of %d bytes exceeds block size %d", a.Bytes, m.topo.BlockBytes))
 	}
-	node := m.topo.NodeOf(core)
-	lines := uint64((a.Bytes + m.topo.CacheLineBytes - 1) / m.topo.CacheLineBytes)
+	return m.accessBlock(core, m.topo.NodeOf(core), a.Block, a.Bytes, a.Write, a.PID, nil)
+}
 
-	tr := m.mem.touch(a.Block, node, a.PID)
+// accessBlock is the shared charging body behind Access and AccessRange.
+// memo, when non-nil, caches the DRAM cost for full-block accesses; the
+// arithmetic is identical with or without it.
+func (m *Machine) accessBlock(core CoreID, node NodeID, block BlockID, byteCount int, write bool, pid int, memo *costMemo) Cost {
+	lines := uint64((byteCount + m.topo.CacheLineBytes - 1) / m.topo.CacheLineBytes)
+
+	tr := m.mem.touch(block, node, pid)
 	m.nodes[tr.home].DataTouches++
-	level := m.caches.access(core, a.Block)
+	level := m.caches.access(core, block)
 
 	var c Cost
 	switch level {
@@ -143,17 +190,23 @@ func (m *Machine) Access(core CoreID, a Access) Cost {
 		m.nodes[home].IMCBytes += bytes
 		m.window.imcBytes[home] += bytes
 		if home == node {
-			c.Cycles = uint64(float64(lines*m.cost.LocalMemory) * m.imcFactor[home])
-		} else {
-			hops := m.topo.Hops(node, home)
-			per := m.cost.RemoteMemory + uint64(hops-1)*m.cost.PerHop
-			// A remote access crosses the interconnect AND the home
-			// node's memory controller; the slower pipe bounds it.
-			stretch := m.htFactor
-			if m.imcFactor[home] > stretch {
-				stretch = m.imcFactor[home]
+			if memo != nil && lines == memo.lines {
+				if memo.local[home] == ^uint64(0) {
+					memo.local[home] = uint64(float64(lines*m.cost.LocalMemory) * m.imcFactor[home])
+				}
+				c.Cycles = memo.local[home]
+			} else {
+				c.Cycles = uint64(float64(lines*m.cost.LocalMemory) * m.imcFactor[home])
 			}
-			c.Cycles = uint64(float64(lines*per) * stretch)
+		} else {
+			if memo != nil && lines == memo.lines {
+				if memo.remote[home] == ^uint64(0) {
+					memo.remote[home] = m.remoteCycles(node, home, lines)
+				}
+				c.Cycles = memo.remote[home]
+			} else {
+				c.Cycles = m.remoteCycles(node, home, lines)
+			}
 			m.nodes[node].HTBytesOut += bytes
 			m.nodes[home].HTBytesIn += bytes
 			m.window.htBytes += bytes
@@ -161,8 +214,8 @@ func (m *Machine) Access(core CoreID, a Access) Cost {
 		}
 	}
 
-	if a.Write {
-		inv := m.caches.invalidateRemote(core, a.Block)
+	if write {
+		inv := m.caches.invalidateRemote(core, block)
 		if inv > 0 {
 			m.nodes[node].Invalidations += uint64(inv)
 			c.Cycles += uint64(inv) * m.cost.Invalidation * lines
@@ -175,6 +228,101 @@ func (m *Machine) Access(core CoreID, a Access) Cost {
 	}
 	return c
 }
+
+// remoteCycles computes the stretched cost of a remote DRAM access. A
+// remote access crosses the interconnect AND the home node's memory
+// controller; the slower pipe bounds it.
+func (m *Machine) remoteCycles(node, home NodeID, lines uint64) uint64 {
+	hops := m.topo.Hops(node, home)
+	per := m.cost.RemoteMemory + uint64(hops-1)*m.cost.PerHop
+	stretch := m.htFactor
+	if m.imcFactor[home] > stretch {
+		stretch = m.imcFactor[home]
+	}
+	return uint64(float64(lines*per) * stretch)
+}
+
+// RangeAccess describes one bulk memory operation: a sweep over a
+// contiguous run of placement blocks, read or written in address order.
+// The first and last blocks may be covered partially; FirstBytes and
+// LastBytes of zero mean the full block, and LastBytes is ignored when the
+// range is a single block.
+type RangeAccess struct {
+	Start      BlockID
+	Blocks     int
+	FirstBytes int
+	LastBytes  int
+	Write      bool
+	// PID attributes first-touch residency; zero means anonymous.
+	PID int
+}
+
+// bytesOf returns the covered byte count of the i-th block of the range.
+func (r RangeAccess) bytesOf(i, blockBytes int) int {
+	switch {
+	case i == 0 && r.FirstBytes != 0:
+		return r.FirstBytes
+	case i == r.Blocks-1 && i != 0 && r.LastBytes != 0:
+		return r.LastBytes
+	default:
+		return blockBytes
+	}
+}
+
+// AccessRange charges a contiguous run of blocks in one call, equivalent
+// to issuing Access block by block but with the per-call overhead hoisted
+// and the DRAM cost arithmetic memoized per home node. Scans, gathers and
+// materializations — anything walking consecutive rows — charge through
+// here. The result is bit-identical to the per-block loop: same counters,
+// same cycles, same cache-state evolution.
+func (m *Machine) AccessRange(core CoreID, r RangeAccess) Cost {
+	if r.Blocks <= 0 {
+		return Cost{}
+	}
+	if r.FirstBytes > m.topo.BlockBytes || r.LastBytes > m.topo.BlockBytes {
+		panic(fmt.Sprintf("numa: range access of %d/%d bytes exceeds block size %d",
+			r.FirstBytes, r.LastBytes, m.topo.BlockBytes))
+	}
+	var total Cost
+	if m.naive {
+		// Equivalence mode: reproduce the historical one-Access-per-block
+		// cost profile through the public entry point.
+		for i := 0; i < r.Blocks; i++ {
+			c := m.Access(core, Access{
+				Block: r.Start + BlockID(i),
+				Bytes: r.bytesOf(i, m.topo.BlockBytes),
+				Write: r.Write,
+				PID:   r.PID,
+			})
+			total.Cycles += c.Cycles
+			total.HTBytes += c.HTBytes
+		}
+		return total
+	}
+	node := m.topo.NodeOf(core)
+	fullLines := uint64((m.topo.BlockBytes + m.topo.CacheLineBytes - 1) / m.topo.CacheLineBytes)
+	m.memo.reset(fullLines, m.topo.NodeCount)
+	for i := 0; i < r.Blocks; i++ {
+		byteCount := r.bytesOf(i, m.topo.BlockBytes)
+		if byteCount <= 0 {
+			continue
+		}
+		c := m.accessBlock(core, node, r.Start+BlockID(i), byteCount, r.Write, r.PID, &m.memo)
+		total.Cycles += c.Cycles
+		total.HTBytes += c.HTBytes
+	}
+	return total
+}
+
+// SetNaiveCharging forces AccessRange through the public per-block Access
+// path, reproducing the pre-bulk-charging cost profile. Results are
+// identical either way; only the host-CPU cost differs. Used by the
+// equivalence bench.
+func (m *Machine) SetNaiveCharging(naive bool) { m.naive = naive }
+
+// NaiveCharging reports whether naive charging is active (consumers use
+// it to select their own seed-faithful paths).
+func (m *Machine) NaiveCharging() bool { return m.naive }
 
 // ChargeBusy accounts cycles of useful execution on a core and advances
 // nothing else; the scheduler calls it once per quantum slice.
@@ -195,6 +343,7 @@ func (m *Machine) ChargeIdle(core CoreID, cycles uint64) {
 // concurrent clients -> more interconnect traffic -> lower throughput.
 func (m *Machine) AdvanceTime(cycles uint64) {
 	m.now += cycles
+	simCycles.Add(cycles)
 	m.window.cycles += cycles
 	// Refresh factors roughly every millisecond of virtual time.
 	windowCycles := m.topo.SecondsToCycles(1e-3)
@@ -229,6 +378,56 @@ func smoothFactor(prev, utilization float64) float64 {
 		f = 1
 	}
 	return f
+}
+
+// AdvanceTimeIdle advances virtual time by n quanta during which no
+// memory traffic occurred, replicating exactly the state n sequential
+// AdvanceTime(quantum) calls would produce: the congestion-window refresh
+// cadence is preserved while the factors are still decaying, and once
+// every factor has reached 1 (refreshes become state-invisible) the
+// remaining quanta are applied in O(1). The scheduler's idle fast-forward
+// is built on this.
+func (m *Machine) AdvanceTimeIdle(quantum, n uint64) {
+	if quantum == 0 {
+		return
+	}
+	for n > 0 {
+		if !m.idleSteady() {
+			m.AdvanceTime(quantum)
+			n--
+			continue
+		}
+		// Steady state: every refresh is a no-op beyond zeroing an
+		// already-zero window, so only the clock and the window phase
+		// move. Jump.
+		windowCycles := m.topo.SecondsToCycles(1e-3)
+		m.now += n * quantum
+		simCycles.Add(n * quantum)
+		c := m.window.cycles // invariant: c < windowCycles
+		untilRefresh := (windowCycles - c + quantum - 1) / quantum
+		if n < untilRefresh {
+			m.window.cycles = c + n*quantum
+		} else {
+			period := (windowCycles + quantum - 1) / quantum
+			m.window.cycles = ((n - untilRefresh) % period) * quantum
+		}
+		return
+	}
+}
+
+// idleSteady reports whether an idle AdvanceTime refresh would be a
+// no-op: all congestion factors have decayed to exactly 1 and the current
+// window carries no traffic.
+func (m *Machine) idleSteady() bool {
+	if m.htFactor != 1 || m.window.htBytes != 0 {
+		return false
+	}
+	for i, f := range m.imcFactor {
+		if f != 1 || m.window.imcBytes[i] != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // HTCongestion returns the current interconnect stretch factor (>= 1).

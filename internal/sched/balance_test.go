@@ -70,12 +70,12 @@ func TestIdleStealRespectsCPUSet(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		s.Tick()
 	}
-	for id, q := range s.queues {
-		if (id == 4 || id == 5) || len(q) == 0 {
+	for id := range s.queues {
+		if id == 4 || id == 5 {
 			continue
 		}
-		for _, th := range q {
-			if th.PID == 1 {
+		for i := 0; i < s.queues[id].Len(); i++ {
+			if s.queues[id].At(i).PID == 1 {
 				t.Fatalf("restricted thread stolen to core %d", id)
 			}
 		}
@@ -124,7 +124,7 @@ func TestWakePreemptsToQueueHead(t *testing.T) {
 		t.Fatal("blocky did not block")
 	}
 	s.Wake(blocky)
-	if s.queues[blocky.Core()][0] != blocky {
+	if s.queues[blocky.Core()].At(0) != blocky {
 		t.Error("woken thread not at queue head; coordinator threads would starve")
 	}
 }

@@ -1,0 +1,177 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"elasticore/internal/numa"
+)
+
+// fastforward_test.go verifies the event-driven scheduler against the
+// naive tick loop: both must produce bit-identical Stats, queue states and
+// machine counters for arbitrary workloads, and the fast path's hot loop
+// must not allocate.
+
+// chaosWork is a deterministic pseudo-random runner: it works, blocks or
+// finishes following its own rng stream, and charges real memory accesses
+// so the cache and congestion models are exercised too.
+type chaosWork struct {
+	rng    *rand.Rand
+	region numa.Region
+	rounds int
+}
+
+func (w *chaosWork) Run(ctx *ExecContext, budget uint64) (uint64, bool, bool) {
+	w.rounds--
+	if w.rounds <= 0 {
+		return budget / 2, false, true
+	}
+	cost := uint64(0)
+	for i := 0; i < 4; i++ {
+		blk := w.region.Block(w.rng.Intn(w.region.Blocks))
+		cost += ctx.Access(numa.Access{Block: blk, Bytes: 64, Write: w.rng.Intn(8) == 0})
+	}
+	switch w.rng.Intn(4) {
+	case 0:
+		return cost, true, false // block; woken by the driver below
+	case 1:
+		return budget, false, false // burn the whole quantum
+	default:
+		if cost > budget {
+			cost = budget
+		}
+		return cost, false, false
+	}
+}
+
+// runChaos drives one scheduler through a scripted random workload and
+// returns its observable end state.
+func runChaos(naive bool, seed int64) (Stats, []int, numa.Counters) {
+	machine := numa.NewMachine(numa.Opteron8387())
+	s := New(machine, Config{Naive: naive})
+	rng := rand.New(rand.NewSource(seed))
+	region := machine.Memory().Alloc(64)
+
+	var threads []*Thread
+	for i := 0; i < 24; i++ {
+		w := &chaosWork{rng: rand.New(rand.NewSource(seed + int64(i))), region: region, rounds: 30 + rng.Intn(40)}
+		threads = append(threads, s.Spawn(1+i%3, "chaos", w))
+	}
+	for tick := 0; tick < 400; tick++ {
+		s.Tick()
+		// Periodically wake blocked threads, like an engine would.
+		if tick%7 == 0 {
+			s.WakeAll(1 + tick%3)
+		}
+		if tick%13 == 0 {
+			for _, th := range threads {
+				if th.State() == Blocked {
+					s.Wake(th)
+					break
+				}
+			}
+		}
+	}
+	// Drain the rest through RunUntil, exercising its fast-forward once
+	// every thread is gone.
+	s.RunUntil(func() bool { return false }, 200*s.Quantum())
+	return s.Stats(), s.QueueLengths(), machine.Snapshot()
+}
+
+// TestFastForwardMatchesNaive is the scheduler-level equivalence property:
+// the same scripted workload under the naive and event-driven paths ends
+// in bit-identical scheduler stats, queue lengths and hardware counters.
+func TestFastForwardMatchesNaive(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		nStats, nQueues, nSnap := runChaos(true, seed)
+		fStats, fQueues, fSnap := runChaos(false, seed)
+		if nStats != fStats {
+			t.Errorf("seed %d: stats diverged\nnaive: %+v\nfast:  %+v", seed, nStats, fStats)
+		}
+		if !reflect.DeepEqual(nQueues, fQueues) {
+			t.Errorf("seed %d: queue lengths diverged\nnaive: %v\nfast:  %v", seed, nQueues, fQueues)
+		}
+		if !reflect.DeepEqual(nSnap, fSnap) {
+			t.Errorf("seed %d: machine counters diverged\nnaive: %+v\nfast:  %+v", seed, nSnap, fSnap)
+		}
+	}
+}
+
+// TestRunUntilIdleFastForward pins the bulk idle skip: with nothing
+// runnable, the fast path must land on exactly the state the naive loop
+// reaches tick by tick.
+func TestRunUntilIdleFastForward(t *testing.T) {
+	build := func(naive bool) (*Scheduler, *numa.Machine) {
+		machine := numa.NewMachine(numa.Opteron8387())
+		s := New(machine, Config{Naive: naive})
+		// One thread that blocks immediately and is never woken.
+		s.Spawn(1, "sleeper", RunnerFunc(func(_ *ExecContext, budget uint64) (uint64, bool, bool) {
+			return budget / 8, true, false
+		}))
+		s.Tick()
+		return s, machine
+	}
+	sn, mn := build(true)
+	sf, mf := build(false)
+	limit := 12345 * sn.Quantum() / 10 // deliberately not quantum-aligned
+	if sn.RunUntil(func() bool { return false }, limit) {
+		t.Fatal("naive RunUntil satisfied an unsatisfiable predicate")
+	}
+	if sf.RunUntil(func() bool { return false }, limit) {
+		t.Fatal("fast RunUntil satisfied an unsatisfiable predicate")
+	}
+	if mn.Now() != mf.Now() {
+		t.Errorf("Now diverged: naive %d, fast %d", mn.Now(), mf.Now())
+	}
+	if sn.Stats() != sf.Stats() {
+		t.Errorf("stats diverged: naive %+v, fast %+v", sn.Stats(), sf.Stats())
+	}
+	if !reflect.DeepEqual(mn.Snapshot(), mf.Snapshot()) {
+		t.Error("idle counters diverged between naive and fast RunUntil")
+	}
+}
+
+// TestTickSteadyStateZeroAlloc is the tentpole's allocation regression: a
+// steady-state run slice on the fast path must not allocate. One pinned
+// spinner per core keeps every queue busy through Tick, runCore and the
+// periodic balance pass.
+func TestTickSteadyStateZeroAlloc(t *testing.T) {
+	machine := numa.NewMachine(numa.Opteron8387())
+	s := New(machine, Config{})
+	topo := machine.Topology()
+	for c := 0; c < topo.TotalCores(); c++ {
+		s.Spawn(1, "spin", RunnerFunc(func(_ *ExecContext, budget uint64) (uint64, bool, bool) {
+			return budget, false, false
+		}), Pinned(NewCPUSet(numa.CoreID(c))))
+	}
+	for i := 0; i < 32; i++ {
+		s.Tick() // warm the queues, blocked sets and congestion windows
+	}
+	allocs := testing.AllocsPerRun(200, func() { s.Tick() })
+	if allocs != 0 {
+		t.Fatalf("steady-state Tick allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestWakeAllSteadyStateZeroAlloc guards the blocked-set double buffering:
+// block/wake cycles must not allocate once warm.
+func TestWakeAllSteadyStateZeroAlloc(t *testing.T) {
+	machine := numa.NewMachine(numa.Opteron8387())
+	s := New(machine, Config{})
+	for i := 0; i < 8; i++ {
+		s.Spawn(1, "blocky", RunnerFunc(func(_ *ExecContext, budget uint64) (uint64, bool, bool) {
+			return budget / 4, true, false
+		}))
+	}
+	cycle := func() {
+		s.Tick()
+		s.WakeAll(1)
+	}
+	for i := 0; i < 16; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Fatalf("steady-state tick+WakeAll allocated %v times per run, want 0", allocs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"elasticore/internal/deque"
 	"elasticore/internal/numa"
 )
 
@@ -18,6 +19,13 @@ type Config struct {
 	// BalanceThreshold is the queue-length imbalance (busiest minus
 	// idlest) that triggers a steal. Zero selects 2.
 	BalanceThreshold int
+	// Naive selects the original fixed-quantum tick loop: every core is
+	// walked every quantum (idle or not), each run slice allocates a fresh
+	// ExecContext, and WakeAll scans the global thread table. It exists so
+	// equivalence tests and the bench harness can verify that the
+	// event-driven fast path produces bit-identical Stats, counters and
+	// query results; production callers leave it false.
+	Naive bool
 }
 
 // Stats are the scheduler's own cumulative counters, complementing the
@@ -54,15 +62,35 @@ type RunSlice struct {
 	Cycles uint64
 }
 
+// blockedSet tracks one process's Blocked threads in ascending-TID order,
+// giving WakeAll its wake order without scanning the global thread table.
+// The order is kept in a ring deque because the churn is directional:
+// WakeAll pushes woken threads to their queues' heads in ascending TID
+// order, so they re-block mostly in descending TID order — a front insert
+// here — while freshly spawned threads block at the back. Middle inserts
+// are the rare case. scratch is the drain buffer, reused so a steady-state
+// WakeAll allocates nothing.
+type blockedSet struct {
+	items   deque.Deque[*Thread]
+	scratch []*Thread
+}
+
 // Scheduler is the OS CPU scheduler model.
 type Scheduler struct {
 	machine *numa.Machine
 	topo    *numa.Topology
 	cfg     Config
 
-	queues  [][]*Thread // per-core FIFO run queues
+	queues  []deque.Deque[*Thread] // per-core FIFO run queues
+	queued  int                    // total queued (runnable) threads
+	surplus int                    // queues holding >= 2 threads (steal candidates)
 	threads map[TID]*Thread
 	nextTID TID
+
+	// blocked indexes Blocked threads by owning PID so WakeAll is O(woken)
+	// instead of O(all threads * log). It is maintained in both scheduler
+	// modes; only WakeAll's lookup strategy differs under Config.Naive.
+	blocked map[int]*blockedSet
 
 	groups   map[string]*CGroup
 	pidGroup map[int]*CGroup
@@ -70,6 +98,10 @@ type Scheduler struct {
 
 	stats Stats
 	tick  int
+
+	// execCtx is the per-core run-slice scratch reused by the fast path so
+	// steady-state execution does not allocate.
+	execCtx []ExecContext
 
 	// OnMigrate, if set, observes every thread reassignment.
 	OnMigrate func(MigrationEvent)
@@ -93,12 +125,14 @@ func New(m *numa.Machine, cfg Config) *Scheduler {
 		machine:  m,
 		topo:     topo,
 		cfg:      cfg,
-		queues:   make([][]*Thread, topo.TotalCores()),
+		queues:   make([]deque.Deque[*Thread], topo.TotalCores()),
 		threads:  make(map[TID]*Thread),
 		nextTID:  1,
+		blocked:  make(map[int]*blockedSet),
 		groups:   make(map[string]*CGroup),
 		pidGroup: make(map[int]*CGroup),
 		rootSet:  FullSet(topo),
+		execCtx:  make([]ExecContext, topo.TotalCores()),
 	}
 }
 
@@ -110,6 +144,50 @@ func (s *Scheduler) Stats() Stats { return s.stats }
 
 // Quantum returns the time slice in cycles.
 func (s *Scheduler) Quantum() uint64 { return s.cfg.Quantum }
+
+// queue mutation helpers: every insert/remove goes through these so the
+// fast path's queued/surplus bookkeeping can never drift from the queues.
+
+func (s *Scheduler) pushBack(core numa.CoreID, t *Thread) {
+	q := &s.queues[core]
+	q.PushBack(t)
+	s.queued++
+	if q.Len() == 2 {
+		s.surplus++
+	}
+}
+
+func (s *Scheduler) pushFront(core numa.CoreID, t *Thread) {
+	q := &s.queues[core]
+	q.PushFront(t)
+	s.queued++
+	if q.Len() == 2 {
+		s.surplus++
+	}
+}
+
+func (s *Scheduler) popFront(core numa.CoreID) *Thread {
+	q := &s.queues[core]
+	t, ok := q.PopFront()
+	if !ok {
+		return nil
+	}
+	s.queued--
+	if q.Len() == 1 {
+		s.surplus--
+	}
+	return t
+}
+
+func (s *Scheduler) removeAt(core numa.CoreID, i int) *Thread {
+	q := &s.queues[core]
+	t := q.RemoveAt(i)
+	s.queued--
+	if q.Len() == 1 {
+		s.surplus--
+	}
+	return t
+}
 
 // NewCGroup creates an empty control group whose cpuset is initially the
 // full machine.
@@ -176,7 +254,7 @@ func (s *Scheduler) Spawn(pid int, name string, r Runner, opts ...SpawnOption) *
 		opt(t)
 	}
 	t.core = s.placementCore(t)
-	s.queues[t.core] = append(s.queues[t.core], t)
+	s.pushBack(t.core, t)
 	s.threads[t.ID] = t
 	s.stats.Spawned++
 	return t
@@ -189,9 +267,9 @@ func (s *Scheduler) placementCore(t *Thread) numa.CoreID {
 		// Fork-local placement: least-loaded allowed core on the hinted
 		// node; spreading is the balancer's job, not placement's.
 		if cores := allowed.CoresOnNode(s.topo, t.spawnHint); len(cores) > 0 {
-			best, bestLen := cores[0], len(s.queues[cores[0]])
+			best, bestLen := cores[0], s.queues[cores[0]].Len()
 			for _, c := range cores[1:] {
-				if l := len(s.queues[c]); l < bestLen {
+				if l := s.queues[c].Len(); l < bestLen {
 					best, bestLen = c, l
 				}
 			}
@@ -207,7 +285,7 @@ func (s *Scheduler) placementCore(t *Thread) numa.CoreID {
 		}
 		load := 0
 		for _, c := range cores {
-			load += len(s.queues[c])
+			load += s.queues[c].Len()
 		}
 		// Normalize by core count so a node with more allowed cores is
 		// not penalized for its capacity.
@@ -218,11 +296,59 @@ func (s *Scheduler) placementCore(t *Thread) numa.CoreID {
 	}
 	best, bestLen := numa.CoreID(-1), 1<<30
 	for _, c := range allowed.CoresOnNode(s.topo, bestNode) {
-		if l := len(s.queues[c]); l < bestLen {
+		if l := s.queues[c].Len(); l < bestLen {
 			best, bestLen = c, l
 		}
 	}
 	return best
+}
+
+// blockThread registers a thread that just entered the Blocked state,
+// keeping its PID's set TID-sorted: O(1) at either end, shift-the-shorter-
+// side in the middle.
+func (s *Scheduler) blockThread(t *Thread) {
+	bs := s.blocked[t.PID]
+	if bs == nil {
+		bs = &blockedSet{}
+		s.blocked[t.PID] = bs
+	}
+	n := bs.items.Len()
+	switch {
+	case n == 0 || bs.items.At(n-1).ID < t.ID:
+		bs.items.PushBack(t)
+	case t.ID < bs.items.At(0).ID:
+		bs.items.PushFront(t)
+	default:
+		bs.items.InsertAt(searchBlocked(&bs.items, t.ID), t)
+	}
+}
+
+// searchBlocked returns the insertion slot for id in the TID-sorted set
+// (a closure-free sort.Search).
+func searchBlocked(items *deque.Deque[*Thread], id TID) int {
+	lo, hi := 0, items.Len()
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if items.At(mid).ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// unblockThread removes a thread from its PID's blocked set. Absence is
+// tolerated: a WakeAll drain detaches the set before waking its members.
+func (s *Scheduler) unblockThread(t *Thread) {
+	bs := s.blocked[t.PID]
+	if bs == nil || bs.items.Len() == 0 {
+		return
+	}
+	i := searchBlocked(&bs.items, t.ID)
+	if i < bs.items.Len() && bs.items.At(i) == t {
+		bs.items.RemoveAt(i)
+	}
 }
 
 // Wake moves a Blocked thread back onto a run queue. The kernel prefers
@@ -233,6 +359,7 @@ func (s *Scheduler) Wake(t *Thread) {
 	if t.state != Blocked {
 		return
 	}
+	s.unblockThread(t)
 	allowed := s.allowedSet(t)
 	target := t.core
 	if !allowed.Contains(target) {
@@ -245,22 +372,67 @@ func (s *Scheduler) Wake(t *Thread) {
 	// Wakeup preemption: a thread that slept goes to the head of the
 	// queue (CFS credits sleepers with low vruntime), so short-running
 	// coordinator threads are not starved behind CPU-bound workers.
-	s.queues[target] = append([]*Thread{t}, s.queues[target]...)
+	if s.cfg.Naive {
+		// The seed implementation front-inserted with
+		// append([]*Thread{t}, queue...): a fresh backing array and a
+		// full copy per wake-up. Rebuild the queue the same way, then
+		// account the single logical insertion.
+		q := &s.queues[target]
+		rebuilt := make([]*Thread, 0, q.Len()+1)
+		rebuilt = append(rebuilt, t)
+		for i := 0; i < q.Len(); i++ {
+			rebuilt = append(rebuilt, q.At(i))
+		}
+		q.Clear()
+		for _, th := range rebuilt {
+			q.PushBack(th)
+		}
+		s.queued++
+		if q.Len() == 2 {
+			s.surplus++
+		}
+		return
+	}
+	s.pushFront(target, t)
 }
 
 // WakeAll wakes every Blocked thread owned by pid (a task queue became
-// non-empty).
+// non-empty), in ascending TID order.
 func (s *Scheduler) WakeAll(pid int) {
-	ids := make([]TID, 0)
-	for id, t := range s.threads {
-		if t.PID == pid && t.state == Blocked {
-			ids = append(ids, id)
+	if s.cfg.Naive {
+		// Original path: scan the global thread table and sort.
+		ids := make([]TID, 0)
+		for id, t := range s.threads {
+			if t.PID == pid && t.state == Blocked {
+				ids = append(ids, id)
+			}
 		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			s.Wake(s.threads[id])
+		}
+		return
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		s.Wake(s.threads[id])
+	bs := s.blocked[pid]
+	if bs == nil || bs.items.Len() == 0 {
+		return
 	}
+	n := bs.items.Len()
+	// Drain into the reusable scratch batch first: each Wake's
+	// unblockThread then sees an empty set instead of mutating the
+	// collection we iterate.
+	batch := bs.scratch[:0]
+	for i := 0; i < n; i++ {
+		batch = append(batch, bs.items.At(i))
+	}
+	bs.items.Clear()
+	for _, t := range batch {
+		s.Wake(t)
+	}
+	for i := range batch {
+		batch[i] = nil
+	}
+	bs.scratch = batch[:0]
 }
 
 // recordMigration updates counters and fires the trace hook for a thread
@@ -280,30 +452,35 @@ func (s *Scheduler) recordMigration(t *Thread, to numa.CoreID) {
 // reconcileGroup re-places every queued thread of the group whose core left
 // the cpuset (the cgroup cpuset write path).
 func (s *Scheduler) reconcileGroup(g *CGroup) {
+	var displaced []*Thread
 	for core := range s.queues {
-		q := s.queues[core]
-		kept := q[:0]
-		var displaced []*Thread
-		for _, t := range q {
+		displaced = displaced[:0]
+		for i := 0; i < s.queues[core].Len(); {
+			t := s.queues[core].At(i)
 			if g.pids[t.PID] && !s.allowedSet(t).Contains(numa.CoreID(core)) {
+				s.removeAt(numa.CoreID(core), i)
 				displaced = append(displaced, t)
 				continue
 			}
-			kept = append(kept, t)
+			i++
 		}
-		s.queues[core] = kept
 		for _, t := range displaced {
 			target := s.placementCore(t)
 			s.recordMigration(t, target)
-			s.queues[target] = append(s.queues[target], t)
+			s.pushBack(target, t)
 		}
 	}
 }
 
-// Tick advances the simulation by one quantum: every core runs the head of
-// its queue (work-conserving within the quantum across its own queue), the
-// machine's virtual clock moves forward, and periodically the load balancer
-// evens out queue lengths by stealing threads.
+// Tick advances the simulation by one quantum: every core with work runs
+// the head of its queue (work-conserving within the quantum across its own
+// queue), the machine's virtual clock moves forward, and periodically the
+// load balancer evens out queue lengths by stealing threads.
+//
+// The default path is event-driven: cores whose queue is empty while no
+// queue anywhere holds a steal candidate are charged their idle quantum in
+// bulk instead of walking the steal scan. Config.Naive restores the
+// original walk-everything loop; both produce bit-identical results.
 func (s *Scheduler) Tick() {
 	s.tick++
 	s.stats.TicksRun++
@@ -311,38 +488,63 @@ func (s *Scheduler) Tick() {
 	// Advance the clock first: anything that completes inside this
 	// quantum is stamped at the quantum's end, never before its start.
 	s.machine.AdvanceTime(s.cfg.Quantum)
-	for core := 0; core < s.topo.TotalCores(); core++ {
-		s.runCore(numa.CoreID(core), start)
+	if s.cfg.Naive {
+		for core := 0; core < s.topo.TotalCores(); core++ {
+			s.runCore(numa.CoreID(core), start)
+		}
+	} else {
+		for core := 0; core < s.topo.TotalCores(); core++ {
+			c := numa.CoreID(core)
+			// An idle core can only acquire work this quantum by
+			// stealing, and stealing needs some queue with >= 2
+			// threads. Without one, the whole quantum is idle —
+			// exactly what runCore would conclude after scanning.
+			if s.queues[c].Len() == 0 && s.surplus == 0 {
+				s.machine.ChargeIdle(c, s.cfg.Quantum)
+				continue
+			}
+			s.runCore(c, start)
+		}
 	}
 	if s.tick%s.cfg.BalancePeriod == 0 {
 		s.balance()
 	}
 }
 
+// sliceCtx prepares the ExecContext for one run slice. The fast path
+// reuses a per-core scratch value; the naive path reproduces the original
+// per-slice allocation.
+func (s *Scheduler) sliceCtx(core numa.CoreID, t *Thread) *ExecContext {
+	if s.cfg.Naive {
+		return &ExecContext{Machine: s.machine, Core: core, PID: t.PID, TID: t.ID}
+	}
+	ctx := &s.execCtx[core]
+	ctx.Machine, ctx.Core, ctx.PID, ctx.TID = s.machine, core, t.PID, t.ID
+	return ctx
+}
+
 // runCore executes up to one quantum of work on a core, rotating through
 // its queue if threads block or finish early.
 func (s *Scheduler) runCore(core numa.CoreID, start uint64) {
-	if len(s.queues[core]) == 0 {
+	if s.queues[core].Len() == 0 {
 		// Idle balancing: an idling CPU immediately tries to pull work
 		// from the busiest queue (Linux idle_balance), trading cache
 		// affinity for utilization — the stolen tasks of Fig 13 (d).
 		s.idleSteal(core)
 	}
 	budget := s.cfg.Quantum
-	guard := len(s.queues[core]) + 1 // at most one attempt per queued thread
+	guard := s.queues[core].Len() + 1 // at most one attempt per queued thread
 	for budget > 0 && guard > 0 {
 		guard--
-		q := s.queues[core]
-		if len(q) == 0 {
+		if s.queues[core].Len() == 0 {
 			break
 		}
-		t := q[0]
-		s.queues[core] = q[1:]
+		t := s.popFront(core)
 		if t.state == Done {
 			continue
 		}
 		t.state = Running
-		ctx := &ExecContext{Machine: s.machine, Core: core, PID: t.PID, TID: t.ID}
+		ctx := s.sliceCtx(core, t)
 		used, blocked, done := t.runner.Run(ctx, budget)
 		if used > budget {
 			used = budget
@@ -361,9 +563,10 @@ func (s *Scheduler) runCore(core numa.CoreID, start uint64) {
 			delete(s.threads, t.ID)
 		case blocked:
 			t.state = Blocked
+			s.blockThread(t)
 		default:
 			t.state = Runnable
-			s.queues[core] = append(s.queues[core], t)
+			s.pushBack(core, t)
 			if used == 0 {
 				// A runnable thread that made no progress would spin the
 				// core loop forever; treat the rest of the quantum as its
@@ -382,24 +585,25 @@ func (s *Scheduler) runCore(core numa.CoreID, start uint64) {
 func (s *Scheduler) idleSteal(core numa.CoreID) {
 	busiest, busiestLen := numa.CoreID(-1), 1
 	for c := range s.queues {
-		if l := len(s.queues[c]); l > busiestLen {
+		if l := s.queues[c].Len(); l > busiestLen {
 			busiest, busiestLen = numa.CoreID(c), l
 		}
 	}
 	if busiest < 0 {
 		return
 	}
-	for i, t := range s.queues[busiest] {
+	for i := 0; i < s.queues[busiest].Len(); i++ {
+		t := s.queues[busiest].At(i)
 		if !s.allowedSet(t).Contains(core) {
 			continue
 		}
-		s.queues[busiest] = append(s.queues[busiest][:i], s.queues[busiest][i+1:]...)
+		s.removeAt(busiest, i)
 		s.stats.StolenTasks++
 		if s.topo.NodeOf(busiest) != s.topo.NodeOf(core) {
 			s.machine.DropCoreAffinity(core)
 		}
 		s.recordMigration(t, core)
-		s.queues[core] = append(s.queues[core], t)
+		s.pushBack(core, t)
 		return
 	}
 }
@@ -413,7 +617,7 @@ func (s *Scheduler) balance() {
 		busiest, idlest := numa.CoreID(-1), numa.CoreID(-1)
 		busiestLen, idlestLen := -1, 1<<30
 		for core := range s.queues {
-			l := len(s.queues[core])
+			l := s.queues[core].Len()
 			if l > busiestLen {
 				busiestLen, busiest = l, numa.CoreID(core)
 			}
@@ -425,14 +629,15 @@ func (s *Scheduler) balance() {
 		// to.
 		var steal *Thread
 		stealIdx := -1
-		for i, t := range s.queues[busiest] {
+		for i := 0; i < s.queues[busiest].Len(); i++ {
+			t := s.queues[busiest].At(i)
 			allowed := s.allowedSet(t)
 			for core := range s.queues {
 				c := numa.CoreID(core)
 				if c == busiest || !allowed.Contains(c) {
 					continue
 				}
-				if l := len(s.queues[core]); l < idlestLen {
+				if l := s.queues[core].Len(); l < idlestLen {
 					idlestLen, idlest = l, c
 					steal, stealIdx = t, i
 				}
@@ -444,35 +649,71 @@ func (s *Scheduler) balance() {
 		if steal == nil || busiestLen-idlestLen < s.cfg.BalanceThreshold {
 			return
 		}
-		s.queues[busiest] = append(s.queues[busiest][:stealIdx], s.queues[busiest][stealIdx+1:]...)
+		s.removeAt(busiest, stealIdx)
 		s.stats.StolenTasks++
 		if s.topo.NodeOf(busiest) != s.topo.NodeOf(idlest) {
 			s.machine.DropCoreAffinity(idlest)
 		}
 		s.recordMigration(steal, idlest)
-		s.queues[idlest] = append(s.queues[idlest], steal)
+		s.pushBack(idlest, steal)
 	}
 }
 
 // RunUntil ticks the scheduler until the predicate returns true or the
 // cycle limit is reached, returning whether the predicate was satisfied.
+//
+// When no thread is runnable anywhere, a tick can change nothing but the
+// clock and the idle counters — no runner executes, so no thread can wake,
+// spawn or finish. The fast path therefore skips such stretches in one
+// bulk step (charging the skipped idle cycles and replicating the
+// congestion-window cadence exactly). The predicate must be a pure
+// observation of simulation state: no side effects (driving a control
+// loop inside a predicate would be skipped with the stretch — use an
+// explicit Tick loop for that, as fig16 does) and no direct dependence on
+// virtual time. Every in-tree predicate satisfies this.
 func (s *Scheduler) RunUntil(pred func() bool, maxCycles uint64) bool {
 	deadline := s.machine.Now() + maxCycles
 	for !pred() {
 		if s.machine.Now() >= deadline {
 			return false
 		}
+		if !s.cfg.Naive && s.queued == 0 {
+			remaining := deadline - s.machine.Now()
+			n := remaining / s.cfg.Quantum
+			if remaining%s.cfg.Quantum != 0 {
+				n++
+			}
+			s.skipIdleTicks(n)
+			continue
+		}
 		s.Tick()
 	}
 	return true
+}
+
+// skipIdleTicks advances the simulation by n fully idle quanta in bulk,
+// producing exactly the state n naive Ticks with empty queues would: the
+// same TicksRun, tick parity (balance is a no-op on empty queues), idle
+// charges and congestion-factor evolution.
+func (s *Scheduler) skipIdleTicks(n uint64) {
+	if n == 0 {
+		return
+	}
+	s.tick += int(n)
+	s.stats.TicksRun += n
+	s.machine.AdvanceTimeIdle(s.cfg.Quantum, n)
+	idle := n * s.cfg.Quantum
+	for core := 0; core < s.topo.TotalCores(); core++ {
+		s.machine.ChargeIdle(numa.CoreID(core), idle)
+	}
 }
 
 // QueueLengths returns the current run-queue length per core (diagnostics
 // and tests).
 func (s *Scheduler) QueueLengths() []int {
 	out := make([]int, len(s.queues))
-	for i, q := range s.queues {
-		out[i] = len(q)
+	for i := range s.queues {
+		out[i] = s.queues[i].Len()
 	}
 	return out
 }

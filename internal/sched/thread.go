@@ -53,6 +53,15 @@ func (ctx *ExecContext) Access(a numa.Access) uint64 {
 	return ctx.Machine.Access(ctx.Core, a).Cycles
 }
 
+// AccessRange charges a contiguous run of blocks on the executing core in
+// one call (see numa.Machine.AccessRange) and returns its cycle cost.
+func (ctx *ExecContext) AccessRange(r numa.RangeAccess) uint64 {
+	if r.PID == 0 {
+		r.PID = ctx.PID
+	}
+	return ctx.Machine.AccessRange(ctx.Core, r).Cycles
+}
+
 // Runner is the work a thread executes. Run consumes up to budget cycles
 // and reports the cycles actually used and the thread's next state:
 //

@@ -1,0 +1,64 @@
+package tpch
+
+import "sync"
+
+// cache.go memoizes generated datasets process-wide. Experiments build a
+// fresh rig — machine, store, engine — for every configuration point, but
+// the TPC-H data for a given (SF, Seed) is identical every time, and its
+// generation (SplitMix64 streams over millions of rows) dominates rig
+// construction. The cache shares the immutable value slices across rigs;
+// every store still receives its own BAT headers and simulated regions,
+// so placement, residency and all simulated behaviour are unaffected.
+
+// cacheKey identifies one generated dataset.
+type cacheKey struct {
+	sf   float64
+	seed uint64
+}
+
+// cacheEntries bounds the cache; experiments cycle through a handful of
+// (SF, Seed) points, so a small bound holds everything that recurs.
+const cacheEntries = 16
+
+var datasetCache = struct {
+	sync.Mutex
+	m map[cacheKey]*cachedDataset
+}{m: make(map[cacheKey]*cachedDataset)}
+
+type cachedDataset struct {
+	sizes  Sizes
+	tables []genTable
+}
+
+// datasetFor returns the generated dataset for the config, from the cache
+// when possible. Config.NoCache forces regeneration and leaves the cache
+// untouched.
+func datasetFor(cfg Config) (Sizes, []genTable) {
+	if cfg.NoCache {
+		return generate(cfg)
+	}
+	key := cacheKey{sf: cfg.SF, seed: cfg.Seed}
+	datasetCache.Lock()
+	if e, ok := datasetCache.m[key]; ok {
+		datasetCache.Unlock()
+		return e.sizes, e.tables
+	}
+	datasetCache.Unlock()
+	// Generate outside the lock: concurrent rigs for different keys
+	// should not serialize on each other. A racing duplicate for the same
+	// key costs one redundant generation and is then deduplicated.
+	sizes, tables := generate(cfg)
+	datasetCache.Lock()
+	defer datasetCache.Unlock()
+	if e, ok := datasetCache.m[key]; ok {
+		return e.sizes, e.tables
+	}
+	if len(datasetCache.m) >= cacheEntries {
+		for k := range datasetCache.m {
+			delete(datasetCache.m, k)
+			break
+		}
+	}
+	datasetCache.m[key] = &cachedDataset{sizes: sizes, tables: tables}
+	return sizes, tables
+}

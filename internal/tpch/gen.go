@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"elasticore/internal/db"
+	"elasticore/internal/hashmix"
 )
 
 // Dictionary sizes for encoded string attributes.
@@ -38,6 +39,10 @@ type Config struct {
 	SF float64
 	// Seed makes independent datasets; zero selects a fixed default.
 	Seed uint64
+	// NoCache bypasses the process-wide dataset value cache, forcing a
+	// full regeneration (the pre-cache cost profile). Used by equivalence
+	// benches; the generated values are identical either way.
+	NoCache bool
 }
 
 // Sizes holds the generated row counts.
@@ -63,10 +68,7 @@ func newRNG(seed uint64) *rng {
 
 func (r *rng) next() uint64 {
 	r.state += 0x9E3779B97F4A7C15
-	z := r.state
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
+	return hashmix.Mix64(r.state)
 }
 
 // intn returns a uniform value in [0, n).
@@ -107,12 +109,47 @@ func scaled(base int, sf float64) int {
 	return n
 }
 
-// Load generates every TPC-H table into the store and returns the dataset
+// Load registers every TPC-H table into the store and returns the dataset
 // summary. Tables must not already exist.
+//
+// Generation is the host-CPU-expensive part of building a rig, and
+// experiments build many rigs over the identical (SF, Seed) dataset, so
+// the generated column vectors are memoized process-wide (see cache.go).
+// Each store still gets fresh BAT headers with their own simulated
+// regions; only the immutable Go-side value slices are shared. Base-table
+// values are never mutated by query execution, so sharing is safe across
+// stores and across concurrently running rigs.
 func Load(store *db.Store, cfg Config) (*Dataset, error) {
 	if cfg.SF <= 0 {
 		return nil, fmt.Errorf("tpch: scale factor must be positive, got %g", cfg.SF)
 	}
+	sz, tables := datasetFor(cfg)
+	for _, tbl := range tables {
+		cols := make(map[string]*db.BAT, len(tbl.cols))
+		for name, c := range tbl.cols {
+			// Fresh headers per store: placement state is per machine.
+			if c.Kind == db.KindI64 {
+				cols[name] = db.NewI64(name, c.I)
+			} else {
+				cols[name] = db.NewF64(name, c.F)
+			}
+		}
+		if _, err := store.CreateTable(tbl.name, cols); err != nil {
+			return nil, err
+		}
+	}
+	return &Dataset{Config: cfg, Sizes: sz}, nil
+}
+
+// genTable is one generated table: template column BATs whose value
+// slices are shared with every store the dataset is loaded into.
+type genTable struct {
+	name string
+	cols map[string]*db.BAT
+}
+
+// generate builds the full dataset for the config in registration order.
+func generate(cfg Config) (Sizes, []genTable) {
 	sz := Sizes{
 		Orders:   scaled(1500000, cfg.SF),
 		Customer: scaled(150000, cfg.SF),
@@ -123,44 +160,32 @@ func Load(store *db.Store, cfg Config) (*Dataset, error) {
 	}
 	sz.PartSupp = 4 * sz.Part
 
-	if err := loadRegionNation(store); err != nil {
-		return nil, err
-	}
-	if err := loadSupplier(store, cfg, sz); err != nil {
-		return nil, err
-	}
-	if err := loadCustomer(store, cfg, sz); err != nil {
-		return nil, err
-	}
-	if err := loadPart(store, cfg, sz); err != nil {
-		return nil, err
-	}
-	if err := loadPartSupp(store, cfg, sz); err != nil {
-		return nil, err
-	}
-	orderDates, err := loadOrders(store, cfg, sz)
-	if err != nil {
-		return nil, err
-	}
-	n, err := loadLineitem(store, cfg, sz, orderDates)
-	if err != nil {
-		return nil, err
-	}
+	region, nation := genRegionNation()
+	orders, orderDates := genOrders(cfg, sz)
+	lineitem, n := genLineitem(cfg, sz, orderDates)
 	sz.Lineitem = n
-	return &Dataset{Config: cfg, Sizes: sz}, nil
+	tables := []genTable{
+		{"region", region},
+		{"nation", nation},
+		{"supplier", genSupplier(cfg, sz)},
+		{"customer", genCustomer(cfg, sz)},
+		{"part", genPart(cfg, sz)},
+		{"partsupp", genPartSupp(cfg, sz)},
+		{"orders", orders},
+		{"lineitem", lineitem},
+	}
+	return sz, tables
 }
 
-func loadRegionNation(store *db.Store) error {
+func genRegionNation() (region, nation map[string]*db.BAT) {
 	rk := make([]int64, NumRegions)
 	rn := make([]int64, NumRegions)
 	for i := range rk {
 		rk[i], rn[i] = int64(i), int64(i)
 	}
-	if _, err := store.CreateTable("region", map[string]*db.BAT{
+	region = map[string]*db.BAT{
 		"r_regionkey": db.NewI64("r_regionkey", rk),
 		"r_name":      db.NewI64("r_name", rn),
-	}); err != nil {
-		return err
 	}
 	nk := make([]int64, NumNations)
 	nn := make([]int64, NumNations)
@@ -168,15 +193,15 @@ func loadRegionNation(store *db.Store) error {
 	for i := range nk {
 		nk[i], nn[i], nr[i] = int64(i), int64(i), int64(i%NumRegions)
 	}
-	_, err := store.CreateTable("nation", map[string]*db.BAT{
+	nation = map[string]*db.BAT{
 		"n_nationkey": db.NewI64("n_nationkey", nk),
 		"n_name":      db.NewI64("n_name", nn),
 		"n_regionkey": db.NewI64("n_regionkey", nr),
-	})
-	return err
+	}
+	return region, nation
 }
 
-func loadSupplier(store *db.Store, cfg Config, sz Sizes) error {
+func genSupplier(cfg Config, sz Sizes) map[string]*db.BAT {
 	r := newRNG(cfg.Seed ^ 0x05)
 	n := sz.Supplier
 	key := make([]int64, n)
@@ -187,15 +212,14 @@ func loadSupplier(store *db.Store, cfg Config, sz Sizes) error {
 		nat[i] = int64(r.intn(NumNations))
 		bal[i] = -999.99 + r.f64()*10998.98
 	}
-	_, err := store.CreateTable("supplier", map[string]*db.BAT{
+	return map[string]*db.BAT{
 		"s_suppkey":   db.NewI64("s_suppkey", key),
 		"s_nationkey": db.NewI64("s_nationkey", nat),
 		"s_acctbal":   db.NewF64("s_acctbal", bal),
-	})
-	return err
+	}
 }
 
-func loadCustomer(store *db.Store, cfg Config, sz Sizes) error {
+func genCustomer(cfg Config, sz Sizes) map[string]*db.BAT {
 	r := newRNG(cfg.Seed ^ 0x0C)
 	n := sz.Customer
 	key := make([]int64, n)
@@ -208,16 +232,15 @@ func loadCustomer(store *db.Store, cfg Config, sz Sizes) error {
 		seg[i] = int64(r.intn(NumMktSegments))
 		bal[i] = -999.99 + r.f64()*10998.98
 	}
-	_, err := store.CreateTable("customer", map[string]*db.BAT{
+	return map[string]*db.BAT{
 		"c_custkey":    db.NewI64("c_custkey", key),
 		"c_nationkey":  db.NewI64("c_nationkey", nat),
 		"c_mktsegment": db.NewI64("c_mktsegment", seg),
 		"c_acctbal":    db.NewF64("c_acctbal", bal),
-	})
-	return err
+	}
 }
 
-func loadPart(store *db.Store, cfg Config, sz Sizes) error {
+func genPart(cfg Config, sz Sizes) map[string]*db.BAT {
 	r := newRNG(cfg.Seed ^ 0x70)
 	n := sz.Part
 	key := make([]int64, n)
@@ -234,18 +257,17 @@ func loadPart(store *db.Store, cfg Config, sz Sizes) error {
 		container[i] = int64(r.intn(NumContainers))
 		price[i] = 900 + float64((i%200000)+1)/10
 	}
-	_, err := store.CreateTable("part", map[string]*db.BAT{
+	return map[string]*db.BAT{
 		"p_partkey":     db.NewI64("p_partkey", key),
 		"p_brand":       db.NewI64("p_brand", brand),
 		"p_type":        db.NewI64("p_type", typ),
 		"p_size":        db.NewI64("p_size", size),
 		"p_container":   db.NewI64("p_container", container),
 		"p_retailprice": db.NewF64("p_retailprice", price),
-	})
-	return err
+	}
 }
 
-func loadPartSupp(store *db.Store, cfg Config, sz Sizes) error {
+func genPartSupp(cfg Config, sz Sizes) map[string]*db.BAT {
 	r := newRNG(cfg.Seed ^ 0x75)
 	n := sz.PartSupp
 	pk := make([]int64, n)
@@ -258,16 +280,15 @@ func loadPartSupp(store *db.Store, cfg Config, sz Sizes) error {
 		cost[i] = 1 + r.f64()*999
 		avail[i] = float64(1 + r.intn(9999))
 	}
-	_, err := store.CreateTable("partsupp", map[string]*db.BAT{
+	return map[string]*db.BAT{
 		"ps_partkey":    db.NewI64("ps_partkey", pk),
 		"ps_suppkey":    db.NewI64("ps_suppkey", sk),
 		"ps_supplycost": db.NewF64("ps_supplycost", cost),
 		"ps_availqty":   db.NewF64("ps_availqty", avail),
-	})
-	return err
+	}
 }
 
-func loadOrders(store *db.Store, cfg Config, sz Sizes) ([]int, error) {
+func genOrders(cfg Config, sz Sizes) (map[string]*db.BAT, []int) {
 	r := newRNG(cfg.Seed ^ 0x0F)
 	n := sz.Orders
 	key := make([]int64, n)
@@ -289,7 +310,7 @@ func loadOrders(store *db.Store, cfg Config, sz Sizes) ([]int, error) {
 		total[i] = 1000 + r.f64()*450000
 		ship[i] = int64(r.intn(2))
 	}
-	_, err := store.CreateTable("orders", map[string]*db.BAT{
+	return map[string]*db.BAT{
 		"o_orderkey":      db.NewI64("o_orderkey", key),
 		"o_custkey":       db.NewI64("o_custkey", cust),
 		"o_orderdate":     db.NewI64("o_orderdate", date),
@@ -297,11 +318,10 @@ func loadOrders(store *db.Store, cfg Config, sz Sizes) ([]int, error) {
 		"o_orderstatus":   db.NewI64("o_orderstatus", status),
 		"o_totalprice":    db.NewF64("o_totalprice", total),
 		"o_shippriority":  db.NewI64("o_shippriority", ship),
-	})
-	return dateOrds, err
+	}, dateOrds
 }
 
-func loadLineitem(store *db.Store, cfg Config, sz Sizes, orderDates []int) (int, error) {
+func genLineitem(cfg Config, sz Sizes, orderDates []int) (map[string]*db.BAT, int) {
 	r := newRNG(cfg.Seed ^ 0x11)
 	est := sz.Orders * 4
 	ok := make([]int64, 0, est)
@@ -354,7 +374,7 @@ func loadLineitem(store *db.Store, cfg Config, sz Sizes, orderDates []int) (int,
 			shipyear = append(shipyear, dayNumber(sd)/10000)
 		}
 	}
-	_, err := store.CreateTable("lineitem", map[string]*db.BAT{
+	return map[string]*db.BAT{
 		"l_orderkey":      db.NewI64("l_orderkey", ok),
 		"l_partkey":       db.NewI64("l_partkey", pk),
 		"l_suppkey":       db.NewI64("l_suppkey", sk),
@@ -372,6 +392,5 @@ func loadLineitem(store *db.Store, cfg Config, sz Sizes, orderDates []int) (int,
 		"l_shipinstruct":  db.NewI64("l_shipinstruct", instr),
 		"l_late":          db.NewI64("l_late", late),
 		"l_shipyear":      db.NewI64("l_shipyear", shipyear),
-	})
-	return len(ok), err
+	}, len(ok)
 }

@@ -95,12 +95,15 @@ func (s *streamSet) Active() bool {
 }
 
 // Pump collects finished queries and submits each idle client's next one.
+// Finished queries are released back to the engine immediately so their
+// pooled buffers feed the next submissions.
 func (s *streamSet) Pump() {
 	for c := range s.clients {
 		cs := &s.clients[c]
 		if cs.cur != nil && cs.cur.Done() {
 			s.Completed++
 			s.LatencySum += s.topo.CyclesToSeconds(cs.cur.ElapsedCycles())
+			s.engine.Release(cs.cur)
 			cs.cur = nil
 		}
 		if cs.cur == nil && cs.next < s.length {

@@ -46,6 +46,9 @@ type MultiOptions struct {
 	// Topology overrides the machine shape; the default scales the
 	// Opteron testbed to the tenants' aggregate scale factor.
 	Topology *numa.Topology
+	// Naive runs the consolidated rig on the pre-optimization hot paths
+	// (see Options.Naive); results are bit-identical either way.
+	Naive bool
 }
 
 // TenantRig is one consolidated tenant: the arbitrated Tenant plus its
@@ -94,6 +97,7 @@ func NewMultiRig(opts MultiOptions) (*MultiRig, error) {
 		topoIn = ScaledTopology(aggregateSF)
 	}
 	machine := numa.NewMachine(topoIn)
+	machine.SetNaiveCharging(opts.Naive)
 	topo := machine.Topology()
 	quantum := opts.Quantum
 	if quantum == 0 {
@@ -102,7 +106,7 @@ func NewMultiRig(opts MultiOptions) (*MultiRig, error) {
 	if opts.ControlPeriod == 0 {
 		opts.ControlPeriod = topo.SecondsToCycles(0.25e-3)
 	}
-	sc := sched.New(machine, sched.Config{Quantum: quantum})
+	sc := sched.New(machine, sched.Config{Quantum: quantum, Naive: opts.Naive})
 	arb, err := tenant.NewArbiter(tenant.ArbiterConfig{
 		Scheduler:     sc,
 		ControlPeriod: opts.ControlPeriod,
@@ -116,7 +120,7 @@ func NewMultiRig(opts MultiOptions) (*MultiRig, error) {
 		pid := DBMSPID + i
 		store := db.NewStore(machine)
 		store.SetLoadPID(pid)
-		ds, err := tpch.Load(store, tpch.Config{SF: spec.SF, Seed: spec.Seed})
+		ds, err := tpch.Load(store, tpch.Config{SF: spec.SF, Seed: spec.Seed, NoCache: opts.Naive})
 		if err != nil {
 			return nil, fmt.Errorf("tenant %s: %w", spec.Name, err)
 		}
@@ -126,6 +130,7 @@ func NewMultiRig(opts MultiOptions) (*MultiRig, error) {
 			Scheduler: sc,
 			PID:       pid,
 			Placement: spec.Placement,
+			Naive:     opts.Naive,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("tenant %s: %w", spec.Name, err)

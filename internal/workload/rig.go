@@ -69,6 +69,12 @@ type Options struct {
 	// experiments scale cache sizes and bandwidths with SF to preserve
 	// the paper's data-to-cache ratio at small scale factors.
 	Topology *numa.Topology
+	// Naive runs the rig on the pre-optimization hot paths: the walk-
+	// every-core scheduler tick loop, per-block memory charging and
+	// uncached dataset generation. Simulated results are bit-identical to
+	// the default fast paths; only host CPU time differs. Equivalence
+	// tests and the bench harness use it.
+	Naive bool
 }
 
 // DBMSPID is the simulated server process id.
@@ -136,6 +142,7 @@ func NewRig(opts Options) (*Rig, error) {
 		topoIn = ScaledTopology(opts.SF)
 	}
 	machine := numa.NewMachine(topoIn)
+	machine.SetNaiveCharging(opts.Naive)
 	topo := machine.Topology()
 	quantum := opts.Quantum
 	if quantum == 0 {
@@ -145,10 +152,10 @@ func NewRig(opts Options) (*Rig, error) {
 	if opts.ControlPeriod == 0 {
 		opts.ControlPeriod = topo.SecondsToCycles(0.25e-3)
 	}
-	sc := sched.New(machine, sched.Config{Quantum: quantum})
+	sc := sched.New(machine, sched.Config{Quantum: quantum, Naive: opts.Naive})
 	store := db.NewStore(machine)
 	store.SetLoadPID(DBMSPID)
-	ds, err := tpch.Load(store, tpch.Config{SF: opts.SF, Seed: opts.Seed})
+	ds, err := tpch.Load(store, tpch.Config{SF: opts.SF, Seed: opts.Seed, NoCache: opts.Naive})
 	if err != nil {
 		return nil, err
 	}
@@ -158,6 +165,7 @@ func NewRig(opts Options) (*Rig, error) {
 		Scheduler: sc,
 		PID:       DBMSPID,
 		Placement: opts.Placement,
+		Naive:     opts.Naive,
 	})
 	if err != nil {
 		return nil, err
