@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -65,14 +66,22 @@ Bench flags:
 
 Run flags:
   -sf F        TPC-H scale factor (default 0.005; paper: 1.0)
-  -clients N   concurrent clients (default 64; paper: 256)
+  -clients N   concurrent clients / open-loop server sessions (default 64)
   -seed N      data and parameter seed (default 1)
   -engine S    engine flavour: monetdb | sqlserver
   -tenants N   tenant count for consolidation (2..4, default 3)
+  -loads S     comma-separated offered-load sweep for latency-load, as
+               fractions of saturation (default 0.25,0.5,0.75,1,1.5,2)
+  -arrival S   latency-load arrival process: poisson | mmpp | diurnal
+  -open-arrivals N  arrivals offered per open-loop point (default 120)
   -format S    output format: text | json | csv (default text)
   -out DIR     write one <name>.<format> file per experiment into DIR
   -parallel N  worker pool size (default 1)
   -v           stream phase/progress events to stderr
+
+Exit status: non-zero when any experiment in the batch fails (or a
+flag, name or output error occurs); 0 only when every experiment ran
+and rendered successfully.
 `)
 }
 
@@ -106,14 +115,18 @@ type runFlags struct {
 	out      string
 	parallel int
 	verbose  bool
+	loads    string
 }
 
 func bindRunFlags(fs *flag.FlagSet) (*runFlags, *string) {
 	rf := &runFlags{}
 	fs.Float64Var(&rf.cfg.SF, "sf", 0.005, "TPC-H scale factor (paper: 1.0)")
-	fs.IntVar(&rf.cfg.Clients, "clients", 64, "concurrent clients (paper: 256)")
+	fs.IntVar(&rf.cfg.Clients, "clients", 64, "concurrent clients / open-loop server sessions (paper: 256)")
 	fs.Uint64Var(&rf.cfg.Seed, "seed", 1, "data and parameter seed")
 	fs.IntVar(&rf.cfg.Tenants, "tenants", 3, "tenant count for the consolidation experiment (2..4)")
+	fs.StringVar(&rf.loads, "loads", "", "comma-separated offered-load fractions for latency-load (default 0.25,0.5,0.75,1,1.5,2)")
+	fs.StringVar(&rf.cfg.Arrival, "arrival", "", "latency-load arrival process: poisson | mmpp | diurnal")
+	fs.IntVar(&rf.cfg.OpenArrivals, "open-arrivals", 0, "arrivals offered per open-loop point (default 120)")
 	engine := fs.String("engine", "monetdb", "engine flavour: monetdb | sqlserver")
 	fs.StringVar(&rf.format, "format", "text", "output format: text | json | csv")
 	fs.StringVar(&rf.out, "out", "", "directory for one <name>.<format> file per experiment")
@@ -129,6 +142,15 @@ func (rf *runFlags) applyEngine(engine string) error {
 		rf.cfg.Placement = db.PlacementNUMAAware
 	default:
 		return fmt.Errorf("unknown engine %q (want monetdb or sqlserver)", engine)
+	}
+	if rf.loads != "" {
+		for _, field := range strings.Split(rf.loads, ",") {
+			l, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+			if err != nil {
+				return fmt.Errorf("bad -loads entry %q: %v", field, err)
+			}
+			rf.cfg.Loads = append(rf.cfg.Loads, l)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"elasticore/internal/experiments"
+)
+
+// main_test.go pins the CLI's exit-status contract: `elasticbench run`
+// must fail (main exits non-zero) when ANY experiment in the batch
+// errors, even though per-experiment errors are reported individually
+// and the rest of the batch keeps running.
+
+func init() {
+	experiments.Register(experiments.New("test-always-fails", experiments.Description{
+		Title:   "test fixture",
+		Summary: "always returns an error",
+		Tags:    []string{"test"},
+	}, func(ctx context.Context, c experiments.Config, obs experiments.Observer) (*experiments.Result, error) {
+		return nil, fmt.Errorf("intentional failure")
+	}))
+	experiments.Register(experiments.New("test-always-succeeds", experiments.Description{
+		Title:   "test fixture",
+		Summary: "always succeeds",
+		Tags:    []string{"test"},
+	}, func(ctx context.Context, c experiments.Config, obs experiments.Observer) (*experiments.Result, error) {
+		return &experiments.Result{}, nil
+	}))
+}
+
+func quietRunFlags(t *testing.T) *runFlags {
+	t.Helper()
+	return &runFlags{format: "text", out: t.TempDir(), parallel: 1}
+}
+
+// TestExecuteFailsWhenAnyExperimentErrors: one failure in a batch of two
+// must surface as a non-nil error from execute (which main turns into
+// exit status 1), naming how many failed.
+func TestExecuteFailsWhenAnyExperimentErrors(t *testing.T) {
+	err := execute([]string{"test-always-succeeds", "test-always-fails"}, quietRunFlags(t))
+	if err == nil {
+		t.Fatal("batch with a failing experiment returned nil error (process would exit 0)")
+	}
+	if !strings.Contains(err.Error(), "1 of 2") {
+		t.Errorf("error %q does not report the failure count", err)
+	}
+}
+
+// TestExecuteAllFailuresStillErrors: the all-failed batch must not be
+// mistaken for an empty success.
+func TestExecuteAllFailuresStillErrors(t *testing.T) {
+	err := execute([]string{"test-always-fails"}, quietRunFlags(t))
+	if err == nil || !strings.Contains(err.Error(), "1 of 1") {
+		t.Errorf("all-failing batch: err = %v, want '1 of 1 experiments failed'", err)
+	}
+}
+
+// TestExecuteSucceedsCleanly: a healthy batch returns nil, so the
+// process exits 0 only when every experiment ran and rendered.
+func TestExecuteSucceedsCleanly(t *testing.T) {
+	if err := execute([]string{"test-always-succeeds"}, quietRunFlags(t)); err != nil {
+		t.Errorf("healthy batch errored: %v", err)
+	}
+}
+
+// TestExecuteRejectsUnknownNamesBeforeRunning: typos fail fast.
+func TestExecuteRejectsUnknownNamesBeforeRunning(t *testing.T) {
+	err := execute([]string{"no-such-experiment"}, quietRunFlags(t))
+	if err == nil || !strings.Contains(err.Error(), "no-such-experiment") {
+		t.Errorf("unknown name: err = %v, want mention of the name", err)
+	}
+}
+
+// TestApplyEngineParsesLoads covers the open-loop flag plumbing.
+func TestApplyEngineParsesLoads(t *testing.T) {
+	rf := &runFlags{loads: "0.5, 1, 2.5"}
+	if err := rf.applyEngine("monetdb"); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 1, 2.5}
+	if len(rf.cfg.Loads) != len(want) {
+		t.Fatalf("parsed %v, want %v", rf.cfg.Loads, want)
+	}
+	for i := range want {
+		if rf.cfg.Loads[i] != want[i] {
+			t.Errorf("loads[%d] = %g, want %g", i, rf.cfg.Loads[i], want[i])
+		}
+	}
+	bad := &runFlags{loads: "0.5,abc"}
+	if err := bad.applyEngine("monetdb"); err == nil {
+		t.Error("malformed -loads accepted")
+	}
+}

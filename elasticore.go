@@ -28,9 +28,11 @@
 package elasticore
 
 import (
+	"elasticore/internal/arrivals"
 	"elasticore/internal/db"
 	"elasticore/internal/elastic"
 	"elasticore/internal/experiments"
+	"elasticore/internal/metrics"
 	"elasticore/internal/numa"
 	"elasticore/internal/sched"
 	"elasticore/internal/tenant"
@@ -81,9 +83,53 @@ type (
 	RigOptions = workload.Options
 	// Mode selects OS baseline or a mechanism allocation mode.
 	Mode = workload.Mode
-	// Driver runs concurrent client streams against a rig.
+	// Driver runs concurrent client streams against a rig (closed loop:
+	// each client submits its next query when the previous completes).
 	Driver = workload.Driver
 )
+
+// Open-loop traffic types: queries arrive from an independent seeded
+// arrival process, wait in a bounded admission queue, and latency splits
+// into queue wait plus service time — the regime where backlog, load
+// shedding and tail latency are measurable.
+type (
+	// ArrivalProcess generates a deterministic arrival-time stream
+	// (Poisson, MMPP, diurnal ramp or a fixed trace).
+	ArrivalProcess = arrivals.Process
+	// OpenDriver replays an arrival process against a rig.
+	OpenDriver = workload.OpenDriver
+	// OpenResult summarizes an open-loop phase: admission counts and
+	// queue-wait/service/latency histograms.
+	OpenResult = workload.OpenResult
+	// OpenSample is one timeline point of an open-loop phase.
+	OpenSample = workload.OpenSample
+	// Histogram is the log-bucketed, mergeable latency histogram behind
+	// OpenResult (p50/p90/p99/max with bounded relative error).
+	Histogram = metrics.Histogram
+)
+
+// PoissonArrivals returns a constant-rate arrival process (rate in
+// arrivals per second).
+func PoissonArrivals(rate float64, seed uint64) ArrivalProcess {
+	return arrivals.NewPoisson(rate, seed)
+}
+
+// MMPPArrivals returns a two-state bursty process alternating between a
+// base and a burst rate with the given mean dwell times (seconds).
+func MMPPArrivals(baseRate, burstRate, baseDwell, burstDwell float64, seed uint64) ArrivalProcess {
+	return arrivals.NewMMPP(baseRate, burstRate, baseDwell, burstDwell, seed)
+}
+
+// DiurnalArrivals returns a sinusoidally ramping process: rate(t) =
+// base * (1 + amp*sin(2πt/period)).
+func DiurnalArrivals(base, amp, period float64, seed uint64) ArrivalProcess {
+	return arrivals.NewDiurnal(base, amp, period, seed)
+}
+
+// TraceArrivals replays a fixed, sorted list of arrival times (seconds).
+func TraceArrivals(times []float64) ArrivalProcess {
+	return arrivals.NewTrace(times)
+}
 
 // Multi-tenant consolidation types (the paper's Section VII cloud
 // setting): several tenant databases, each with its own elastic

@@ -19,6 +19,12 @@ type TransitionEvent struct {
 	Action petrinet.Decision
 }
 
+// BacklogFunc reports the instantaneous depth of the workload's
+// admission queue: requests that have arrived but have not yet been
+// submitted to the engine. Closed-loop drivers have no such queue; the
+// open-loop driver (workload.OpenDriver) wires its own.
+type BacklogFunc func() int
+
 // Config assembles a Mechanism.
 type Config struct {
 	// Scheduler and CGroup identify the OS facilities the mechanism acts
@@ -35,6 +41,13 @@ type Config struct {
 	// InitialCores is how many cores to hand out at start; zero selects 1
 	// (the paper's default marking m0(Provision) = {1}).
 	InitialCores int
+	// Backlog, when set, feeds admission-queue pressure into the control
+	// loop (see SetBacklog).
+	Backlog BacklogFunc
+	// BacklogPerCore is the queued-request depth per allocated core the
+	// mechanism tolerates before treating the window as overload
+	// regardless of the strategy reading; zero selects 4.
+	BacklogPerCore int
 }
 
 // Mechanism is the elastic multi-core allocation mechanism: a single
@@ -45,6 +58,7 @@ type Mechanism struct {
 	net   *petrinet.ElasticNet
 	topo  *numa.Topology
 	total int
+	thMax int
 
 	last     numa.Counters
 	nextEval uint64
@@ -74,6 +88,9 @@ func New(cfg Config) (*Mechanism, error) {
 	if cfg.InitialCores <= 0 {
 		cfg.InitialCores = 1
 	}
+	if cfg.BacklogPerCore <= 0 {
+		cfg.BacklogPerCore = 4
+	}
 
 	min, max := cfg.Strategy.Thresholds()
 	m := &Mechanism{
@@ -81,6 +98,7 @@ func New(cfg Config) (*Mechanism, error) {
 		net:   petrinet.NewElasticNet(min, max, topo.TotalCores()),
 		topo:  topo,
 		total: topo.TotalCores(),
+		thMax: max,
 		last:  machine.Snapshot(),
 	}
 
@@ -136,6 +154,9 @@ type Desire struct {
 	Decision petrinet.Decision
 	// Window is the counter delta the reading was computed over.
 	Window numa.Counters
+	// Backlog is the admission-queue depth observed this evaluation
+	// (zero when no backlog source is wired).
+	Backlog int
 }
 
 // evaluate runs the shared control-evaluation prologue: sample the
@@ -152,6 +173,17 @@ func (m *Mechanism) evaluate() Desire {
 	current := m.cfg.CGroup.CPUs()
 	sample := Sample{Window: window, Allocated: current.Cores()}
 	u := m.cfg.Strategy.Reading(sample)
+	backlog := 0
+	if m.cfg.Backlog != nil {
+		backlog = m.cfg.Backlog()
+		// A deep admission queue means cores are the bottleneck even when
+		// the counter-based reading sits mid-range (e.g. a short window
+		// that sampled mostly queueing, not execution): clamp the reading
+		// to the overload threshold so the net fires t1.
+		if backlog > m.cfg.BacklogPerCore*current.Count() && u < m.thMax {
+			u = m.thMax
+		}
+	}
 	m.net.SetNAlloc(current.Count())
 	ev := m.net.Evaluate(u)
 	m.TokenFlows++
@@ -167,7 +199,7 @@ func (m *Mechanism) evaluate() Desire {
 			desired--
 		}
 	}
-	return Desire{N: desired, U: u, Label: ev.Label, Decision: ev.Decision, Window: window}
+	return Desire{N: desired, U: u, Label: ev.Label, Decision: ev.Decision, Window: window, Backlog: backlog}
 }
 
 // Step samples the counter window, evaluates the PrT net and applies the
@@ -222,3 +254,13 @@ func (m *Mechanism) Due() bool {
 
 // Strategy returns the mechanism's state-transition strategy.
 func (m *Mechanism) Strategy() Strategy { return m.cfg.Strategy }
+
+// SetBacklog wires (or, with nil, unwires) the admission-queue pressure
+// source after construction. Rigs build the mechanism before any driver
+// exists, so the open-loop driver attaches its queue here for the
+// duration of a phase: when the queued-request count exceeds
+// BacklogPerCore times the allocated cores, the control loop treats the
+// window as overload regardless of the strategy reading — allocation
+// reacts to the backlog users experience, not only to the counters the
+// already-admitted queries generate.
+func (m *Mechanism) SetBacklog(f BacklogFunc) { m.cfg.Backlog = f }

@@ -232,6 +232,53 @@ func TestDesiredStepReportsWithoutTouchingCGroup(t *testing.T) {
 	}
 }
 
+// TestMechanismBacklogForcesAllocation is the queue-pressure path: an
+// idle machine (reading far below thmax) with a deep admission queue must
+// still grow the allocation, and stop reacting once the backlog source is
+// unwired.
+func TestMechanismBacklogForcesAllocation(t *testing.T) {
+	s, m := newRig(t, nil)
+	backlog := 100
+	m.SetBacklog(func() int { return backlog })
+	for i := 0; i < 40; i++ {
+		s.Tick()
+		m.Maybe()
+	}
+	if got := m.Allocated().Count(); got < 4 {
+		t.Errorf("deep backlog on an idle machine grew allocation to %d cores, want >= 4", got)
+	}
+	for _, e := range m.Events() {
+		if e.U < 70 {
+			t.Errorf("backlog-clamped reading %d below thmax 70 in event %q", e.U, e.Label)
+		}
+	}
+	// Drain the queue and unwire: the idle sub-net must shrink again.
+	backlog = 0
+	m.SetBacklog(nil)
+	for i := 0; i < 400 && m.Allocated().Count() > 1; i++ {
+		s.Tick()
+		m.Maybe()
+	}
+	if got := m.Allocated().Count(); got != 1 {
+		t.Errorf("allocation after unwiring backlog = %d cores, want 1", got)
+	}
+}
+
+// TestMechanismBacklogBelowThresholdIsInert pins the per-core tolerance:
+// a shallow queue (at most BacklogPerCore per allocated core) must not
+// perturb the strategy reading.
+func TestMechanismBacklogBelowThresholdIsInert(t *testing.T) {
+	s, m := newRig(t, nil)
+	m.SetBacklog(func() int { return 4 }) // == default BacklogPerCore * 1 core
+	for i := 0; i < 40; i++ {
+		s.Tick()
+		m.Maybe()
+	}
+	if got := m.Allocated().Count(); got != 1 {
+		t.Errorf("shallow backlog on an idle machine allocated %d cores, want 1", got)
+	}
+}
+
 func TestNewValidatesConfig(t *testing.T) {
 	machine := numa.NewMachine(numa.Opteron8387())
 	s := sched.New(machine, sched.Config{})

@@ -48,6 +48,16 @@ type Config struct {
 	// Tenants is the tenant count of the consolidation experiment
 	// (2..4; zero defaults to 3; anything else is rejected).
 	Tenants int
+	// Loads is the offered-load sweep of the latency-load experiment, as
+	// fractions of the measured closed-loop saturation throughput
+	// (default 0.25, 0.5, 0.75, 1, 1.5, 2; every entry must be > 0).
+	Loads []float64
+	// OpenArrivals bounds the arrivals offered per open-loop sweep point
+	// (default 120; negative rejected).
+	OpenArrivals int
+	// Arrival selects the latency-load arrival-process family: "poisson"
+	// (default), "mmpp" or "diurnal".
+	Arrival string
 	// Naive runs every rig on the pre-optimization simulator hot paths:
 	// the walk-every-core tick loop, per-block memory charging, unpooled
 	// Go-map operator execution and uncached dataset generation. Results
@@ -88,6 +98,27 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Tenants < 2 || c.Tenants > 4 {
 		return c, fmt.Errorf("experiments: tenant count %d outside 2..4", c.Tenants)
+	}
+	if len(c.Loads) == 0 {
+		c.Loads = []float64{0.25, 0.5, 0.75, 1, 1.5, 2}
+	}
+	for _, l := range c.Loads {
+		if l <= 0 {
+			return c, fmt.Errorf("experiments: offered load %g not positive", l)
+		}
+	}
+	if c.OpenArrivals < 0 {
+		return c, fmt.Errorf("experiments: negative open-loop arrival count %d", c.OpenArrivals)
+	}
+	if c.OpenArrivals == 0 {
+		c.OpenArrivals = 120
+	}
+	switch c.Arrival {
+	case "":
+		c.Arrival = "poisson"
+	case "poisson", "mmpp", "diurnal":
+	default:
+		return c, fmt.Errorf("experiments: unknown arrival process %q (want poisson, mmpp or diurnal)", c.Arrival)
 	}
 	return c, nil
 }

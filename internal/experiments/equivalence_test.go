@@ -51,6 +51,25 @@ func TestNaiveConsolidationMatchesGolden(t *testing.T) {
 	}
 }
 
+// TestNaiveLatencyLoadMatchesGolden extends the equivalence guarantee to
+// the open-loop path: arrival admission, queue waits and histogram
+// percentiles must be bit-identical between the two tick loops.
+func TestNaiveLatencyLoadMatchesGolden(t *testing.T) {
+	res := naiveGoldenRun(t, "latency-load")
+	for _, format := range []string{"text", "json", "csv"} {
+		checkGolden(t, res, format)
+	}
+}
+
+// TestNaiveBurstResponseMatchesGolden covers the open-loop burst
+// timelines, including the mechanism's backlog-clamped control path.
+func TestNaiveBurstResponseMatchesGolden(t *testing.T) {
+	res := naiveGoldenRun(t, "burst-response")
+	for _, format := range []string{"text", "json", "csv"} {
+		checkGolden(t, res, format)
+	}
+}
+
 // TestNaiveAndFastRenderIdentically compares the two paths directly on a
 // figure without golden coverage (fig13 reports stolen-task and tick
 // statistics, the counters most sensitive to scheduler divergence).

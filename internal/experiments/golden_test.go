@@ -17,9 +17,13 @@ import (
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 // goldenConfig is deliberately tiny so the golden runs stay fast, and
-// fully pinned so they stay deterministic.
+// fully pinned so they stay deterministic. The open-loop fields span the
+// saturation knee with few arrivals per point.
 func goldenConfig() Config {
-	return Config{SF: 0.002, Clients: 8, Users: []int{1, 2}, Seed: 7, Tenants: 2}
+	return Config{
+		SF: 0.002, Clients: 8, Users: []int{1, 2}, Seed: 7, Tenants: 2,
+		Loads: []float64{0.25, 1, 2}, OpenArrivals: 60,
+	}
 }
 
 // goldenRun executes a registered experiment and strips the
@@ -80,6 +84,49 @@ func TestGoldenConsolidation(t *testing.T) {
 	res := goldenRun(t, "consolidation")
 	for _, format := range []string{"text", "json", "csv"} {
 		checkGolden(t, res, format)
+	}
+}
+
+// TestGoldenLatencyLoad pins the open-loop sweep: same (seed, process,
+// load) must render byte-identical histogram percentiles across runs.
+func TestGoldenLatencyLoad(t *testing.T) {
+	res := goldenRun(t, "latency-load")
+	for _, format := range []string{"text", "json", "csv"} {
+		checkGolden(t, res, format)
+	}
+}
+
+// TestGoldenBurstResponse pins the MMPP burst timelines of all three
+// allocation policies.
+func TestGoldenBurstResponse(t *testing.T) {
+	res := goldenRun(t, "burst-response")
+	for _, format := range []string{"text", "json", "csv"} {
+		checkGolden(t, res, format)
+	}
+}
+
+// TestLatencyLoadTailDiverges asserts the open-loop signature on the
+// pinned golden run: past saturation the p99/p50 ratio must far exceed
+// its light-load value, while light-load latency stays queue-free.
+func TestLatencyLoadTailDiverges(t *testing.T) {
+	res := goldenRun(t, "latency-load")
+	minGap, ok1 := res.Metric("p99_p50_gap_min_load")
+	peakGap, ok2 := res.Metric("p99_p50_gap_peak")
+	if !ok1 || !ok2 {
+		t.Fatal("latency-load result missing tail-divergence metrics")
+	}
+	if peakGap < 10*minGap {
+		t.Errorf("p99-p50 gap peaked at %.3fms vs %.3fms at the lightest load; no tail divergence past saturation",
+			peakGap, minGap)
+	}
+	tl := res.Table("latency_load")
+	if tl == nil || len(tl.Rows) == 0 {
+		t.Fatal("latency-load result missing sweep table")
+	}
+	firstWait, _ := tl.Float(0, 11)
+	lastWait, _ := tl.Float(len(tl.Rows)-1, 11)
+	if lastWait <= firstWait {
+		t.Errorf("queue wait p99 did not grow across the sweep (%.3fms -> %.3fms)", firstWait, lastWait)
 	}
 }
 

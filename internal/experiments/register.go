@@ -86,4 +86,16 @@ func init() {
 		Summary: "N saturated tenant databases on one machine: weighted apportionment vs an equal-weight baseline, with over-commit and starvation checks.",
 		Tags:    []string{"tenancy", "elastic"},
 	}, runConsolidation))
+
+	Register(New("latency-load", Description{
+		Title:   "Open loop: throughput and latency percentiles vs offered load",
+		Summary: "Seeded arrival streams from 0.25x to 2x the closed-loop saturation throughput: completions, load shedding and p50/p90/p99/max latency per point.",
+		Tags:    []string{"openloop", "traffic"},
+	}, runLatencyLoad))
+
+	Register(New("burst-response", Description{
+		Title:   "Open loop: elastic reaction to an MMPP traffic burst",
+		Summary: "Core-allocation and p99 timelines around bursty arrivals: static all-cores baseline vs the adaptive mechanism with and without the admission-queue pressure signal.",
+		Tags:    []string{"openloop", "traffic", "elastic"},
+	}, runBurstResponse))
 }

@@ -9,12 +9,14 @@ import (
 	"time"
 )
 
-// TestRegistryCataloguesThirteenArtifacts pins the platform's seed
-// content: all 13 paper artifacts, in registration order.
+// TestRegistryCataloguesThirteenArtifacts pins the platform's content:
+// the 13 paper artifacts in registration order, followed by the
+// open-loop traffic scenarios.
 func TestRegistryCataloguesThirteenArtifacts(t *testing.T) {
 	want := []string{
 		"fig4", "fig5", "fig7", "fig13", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "fig19", "fig20", "overhead", "consolidation",
+		"latency-load", "burst-response",
 	}
 	names := Names()
 	if len(names) != len(want) {
@@ -48,8 +50,8 @@ func TestResolveRejectsUnknownNamesUpFront(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(exps) != 13 {
-		t.Errorf("Resolve(all) = %d experiments, want 13", len(exps))
+	if len(exps) != len(Names()) {
+		t.Errorf("Resolve(all) = %d experiments, want the whole registry (%d)", len(exps), len(Names()))
 	}
 }
 

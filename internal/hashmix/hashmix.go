@@ -14,3 +14,19 @@ func Mix64(x uint64) uint64 {
 	x ^= x >> 31
 	return x
 }
+
+// Golden is the 64-bit golden-ratio constant, SplitMix64's Weyl
+// increment.
+const Golden = 0x9E3779B97F4A7C15
+
+// Stream is a full SplitMix64 generator: a Weyl sequence through the
+// Mix64 finalizer. It is the one deterministic, stdlib-free randomness
+// source shared by the TPC-H generator and the arrival processes; State
+// is exported so callers control their own seeding discipline.
+type Stream struct{ State uint64 }
+
+// Next returns the stream's next 64-bit value.
+func (s *Stream) Next() uint64 {
+	s.State += Golden
+	return Mix64(s.State)
+}

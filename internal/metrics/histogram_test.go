@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Errorf("empty histogram not all-zero: count=%d min=%d max=%d mean=%g",
+			h.Count(), h.Min(), h.Max(), h.Mean())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %d, want 0", q, got)
+		}
+	}
+}
+
+func TestHistogramSingleSampleIsExact(t *testing.T) {
+	for _, v := range []uint64{0, 1, 15, 16, 17, 1000, 123456789, 1 << 62} {
+		var h Histogram
+		h.Record(v)
+		for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != v {
+				t.Errorf("single sample %d: Quantile(%g) = %d, want exact", v, q, got)
+			}
+		}
+		if h.Min() != v || h.Max() != v || h.Mean() != float64(v) {
+			t.Errorf("single sample %d: min=%d max=%d mean=%g", v, h.Min(), h.Max(), h.Mean())
+		}
+	}
+}
+
+// TestHistogramBucketBoundaries pins the bucketing at the edges of the
+// linear region and octave boundaries: exact below histSubCount, and
+// bucket-upper rounding (≤ 1/16 relative error) above.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// Values below 2*histSubCount map one-to-one: quantiles are exact.
+	var h Histogram
+	for v := uint64(0); v < 32; v++ {
+		h.Record(v)
+	}
+	if got := h.Quantile(1); got != 31 {
+		t.Errorf("linear region Quantile(1) = %d, want 31", got)
+	}
+	if got := h.Quantile(0.5); got != 15 {
+		t.Errorf("linear region Quantile(0.5) = %d, want 15", got)
+	}
+
+	// 32 and 33 share a bucket whose upper bound is 33; 34 starts the
+	// next bucket.
+	var b Histogram
+	b.Record(32)
+	b.Record(34)
+	if got := b.Quantile(0.5); got != 33 {
+		t.Errorf("boundary Quantile(0.5) = %d, want bucket upper 33", got)
+	}
+	if got := b.Quantile(1); got != 34 {
+		t.Errorf("boundary Quantile(1) = %d, want exact max 34", got)
+	}
+}
+
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	vals := make([]uint64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := uint64(rng.Int63n(1 << 40))
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(q*float64(len(vals))+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		exact := float64(vals[rank])
+		got := float64(h.Quantile(q))
+		if rel := (got - exact) / exact; rel < -1.0/16 || rel > 1.0/16 {
+			t.Errorf("Quantile(%g) = %g, exact %g, relative error %g beyond ±1/16", q, got, exact, rel)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, both Histogram
+	for v := uint64(1); v <= 100; v++ {
+		if v%2 == 0 {
+			a.Record(v * 1000)
+		} else {
+			b.Record(v * 1000)
+		}
+		both.Record(v * 1000)
+	}
+	a.Merge(&b)
+	if a.Count() != both.Count() || a.Min() != both.Min() || a.Max() != both.Max() {
+		t.Fatalf("merge: count/min/max = %d/%d/%d, want %d/%d/%d",
+			a.Count(), a.Min(), a.Max(), both.Count(), both.Min(), both.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Errorf("merge Quantile(%g) = %d, want %d", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+	// Merging an empty or nil histogram changes nothing.
+	before := a.Quantile(0.5)
+	var empty Histogram
+	a.Merge(&empty)
+	a.Merge(nil)
+	if a.Quantile(0.5) != before || a.Count() != both.Count() {
+		t.Error("merging empty/nil histograms changed state")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(12345)
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Error("Reset left state behind")
+	}
+	h.Record(7)
+	if h.Quantile(1) != 7 {
+		t.Error("histogram unusable after Reset")
+	}
+}
+
+func TestHistogramRecordDoesNotAllocate(t *testing.T) {
+	var h Histogram
+	v := uint64(1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(v)
+		v = v*1664525 + 1013904223
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocated %v times per call, want 0", allocs)
+	}
+}

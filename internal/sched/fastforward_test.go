@@ -45,9 +45,32 @@ func (w *chaosWork) Run(ctx *ExecContext, budget uint64) (uint64, bool, bool) {
 	}
 }
 
-// runChaos drives one scheduler through a scripted random workload and
-// returns its observable end state.
-func runChaos(naive bool, seed int64) (Stats, []int, numa.Counters) {
+// chaosArrivalTicks scripts an open-loop arrival pattern: a seeded
+// pseudo-random, sorted list of ticks at which fresh threads enter the
+// system mid-run (geometric gaps approximate a discretized Poisson
+// stream). Staggered spawns hit the fast path's surplus accounting in a
+// way the all-up-front workload never does.
+func chaosArrivalTicks(seed int64, n, horizon int) []int {
+	rng := rand.New(rand.NewSource(seed ^ 0x09E11007))
+	ticks := make([]int, 0, n)
+	at := 0
+	for len(ticks) < n {
+		at += 1 + rng.Intn(2*horizon/n)
+		if at >= horizon {
+			break
+		}
+		ticks = append(ticks, at)
+	}
+	return ticks
+}
+
+// runChaos drives one scheduler through a scripted random workload —
+// 24 threads present from the start plus an open-loop wave arriving at
+// scripted ticks — and returns its observable end state, including how
+// many threads completed and each arrival's queue wait (spawn-to-exit
+// time minus its own runtime is scheduler-dependent, so lifespans are
+// compared directly).
+func runChaos(naive bool, seed int64) (Stats, []int, numa.Counters, int, []uint64) {
 	machine := numa.NewMachine(numa.Opteron8387())
 	s := New(machine, Config{Naive: naive})
 	rng := rand.New(rand.NewSource(seed))
@@ -58,7 +81,17 @@ func runChaos(naive bool, seed int64) (Stats, []int, numa.Counters) {
 		w := &chaosWork{rng: rand.New(rand.NewSource(seed + int64(i))), region: region, rounds: 30 + rng.Intn(40)}
 		threads = append(threads, s.Spawn(1+i%3, "chaos", w))
 	}
+	arrivalTicks := chaosArrivalTicks(seed, 16, 400)
+	arrived := 0
+	var arrivals []*Thread
 	for tick := 0; tick < 400; tick++ {
+		for arrived < len(arrivalTicks) && arrivalTicks[arrived] <= tick {
+			w := &chaosWork{rng: rand.New(rand.NewSource(seed + 1000 + int64(arrived))), region: region, rounds: 10 + rng.Intn(20)}
+			th := s.Spawn(1+arrived%3, "arrival", w)
+			threads = append(threads, th)
+			arrivals = append(arrivals, th)
+			arrived++
+		}
 		s.Tick()
 		// Periodically wake blocked threads, like an engine would.
 		if tick%7 == 0 {
@@ -76,16 +109,31 @@ func runChaos(naive bool, seed int64) (Stats, []int, numa.Counters) {
 	// Drain the rest through RunUntil, exercising its fast-forward once
 	// every thread is gone.
 	s.RunUntil(func() bool { return false }, 200*s.Quantum())
-	return s.Stats(), s.QueueLengths(), machine.Snapshot()
+	completed := 0
+	for _, th := range threads {
+		if _, exited := th.Lifespan(); exited > 0 {
+			completed++
+		}
+	}
+	// The open-loop arrivals' spawn/exit stamps are the scheduler-level
+	// analogue of per-query queue wait + service time.
+	waits := make([]uint64, 0, 2*len(arrivals))
+	for _, th := range arrivals {
+		spawned, exited := th.Lifespan()
+		waits = append(waits, spawned, exited)
+	}
+	return s.Stats(), s.QueueLengths(), machine.Snapshot(), completed, waits
 }
 
 // TestFastForwardMatchesNaive is the scheduler-level equivalence property:
-// the same scripted workload under the naive and event-driven paths ends
-// in bit-identical scheduler stats, queue lengths and hardware counters.
+// the same scripted workload — including the open-loop arrival wave —
+// under the naive and event-driven paths ends in bit-identical scheduler
+// stats, queue lengths, hardware counters, completion counts and
+// per-arrival lifespans.
 func TestFastForwardMatchesNaive(t *testing.T) {
 	for seed := int64(1); seed <= 5; seed++ {
-		nStats, nQueues, nSnap := runChaos(true, seed)
-		fStats, fQueues, fSnap := runChaos(false, seed)
+		nStats, nQueues, nSnap, nDone, nWaits := runChaos(true, seed)
+		fStats, fQueues, fSnap, fDone, fWaits := runChaos(false, seed)
 		if nStats != fStats {
 			t.Errorf("seed %d: stats diverged\nnaive: %+v\nfast:  %+v", seed, nStats, fStats)
 		}
@@ -94,6 +142,15 @@ func TestFastForwardMatchesNaive(t *testing.T) {
 		}
 		if !reflect.DeepEqual(nSnap, fSnap) {
 			t.Errorf("seed %d: machine counters diverged\nnaive: %+v\nfast:  %+v", seed, nSnap, fSnap)
+		}
+		if nDone != fDone {
+			t.Errorf("seed %d: completions diverged: naive %d, fast %d", seed, nDone, fDone)
+		}
+		if nDone == 0 {
+			t.Errorf("seed %d: chaos run completed nothing", seed)
+		}
+		if !reflect.DeepEqual(nWaits, fWaits) {
+			t.Errorf("seed %d: arrival lifespans diverged\nnaive: %v\nfast:  %v", seed, nWaits, fWaits)
 		}
 	}
 }

@@ -56,20 +56,18 @@ type Dataset struct {
 	Sizes  Sizes
 }
 
-// rng is a SplitMix64 generator: deterministic, seedable, stdlib-free.
-type rng struct{ state uint64 }
+// rng is a SplitMix64 generator (hashmix.Stream): deterministic,
+// seedable, stdlib-free.
+type rng struct{ hashmix.Stream }
 
 func newRNG(seed uint64) *rng {
 	if seed == 0 {
-		seed = 0x9E3779B97F4A7C15
+		seed = hashmix.Golden
 	}
-	return &rng{state: seed}
+	return &rng{hashmix.Stream{State: seed}}
 }
 
-func (r *rng) next() uint64 {
-	r.state += 0x9E3779B97F4A7C15
-	return hashmix.Mix64(r.state)
-}
+func (r *rng) next() uint64 { return r.Next() }
 
 // intn returns a uniform value in [0, n).
 func (r *rng) intn(n int) int {

@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"elasticore/internal/arrivals"
+	"elasticore/internal/db"
+	"elasticore/internal/deque"
+	"elasticore/internal/metrics"
+	"elasticore/internal/numa"
+	"elasticore/internal/sched"
+)
+
+// opendriver.go is the open-loop counterpart of Driver: queries arrive
+// from an arrivals.Process on their own schedule, wait in a bounded
+// admission queue, and occupy one of a fixed number of server sessions
+// while executing. Unlike the closed-loop protocol, the offered load is
+// independent of the service rate, so backlog, overload and tail latency
+// become observable — and the admission-queue depth is fed to the rig's
+// elastic mechanism as a pressure signal.
+
+// PlanAt supplies the k-th admitted query (0-based, admission order).
+type PlanAt func(k int) *db.Plan
+
+// OpenDriver replays an arrival process against a rig.
+type OpenDriver struct {
+	Rig *Rig
+	// Process generates the arrival timestamps, relative to the phase
+	// start. A nil process offers nothing.
+	Process arrivals.Process
+	// MaxInFlight is the number of concurrent server sessions (queries
+	// executing at once); zero selects 64. Arrivals beyond it queue.
+	MaxInFlight int
+	// QueueCap bounds the admission queue; zero selects 1024. An arrival
+	// finding the queue full is dropped (counted, never executed).
+	QueueCap int
+	// MaxArrivals stops offering after this many arrivals; zero offers
+	// until MaxSeconds.
+	MaxArrivals int
+	// MaxSeconds bounds the phase in virtual time (default 600). Queries
+	// still queued or in flight at the deadline are abandoned.
+	MaxSeconds float64
+	// SampleEvery, when positive, records timeline samples at this
+	// virtual-time interval in seconds.
+	SampleEvery float64
+	// DisableBacklog leaves the mechanism's queue-pressure input unwired,
+	// so allocation reacts only to the counter path (A/B baselines).
+	DisableBacklog bool
+
+	// winLatency accumulates per-sample-window completions (reset each
+	// sample; kept on the driver so Run's hot loop does not allocate it).
+	winLatency metrics.Histogram
+}
+
+// OpenSample is one timeline point of an open-loop phase.
+type OpenSample struct {
+	AtSeconds float64
+	// QueueDepth and InFlight are instantaneous at the sample.
+	QueueDepth, InFlight int
+	// Allocated is the DBMS core count at the sample.
+	Allocated int
+	// Completed counts queries finished within this sample window.
+	Completed int
+	// P99Cycles is the 99th-percentile total latency (queue wait plus
+	// service) of this window's completions, in cycles; zero when none.
+	P99Cycles uint64
+}
+
+// OpenResult summarizes one open-loop phase. All histograms are in
+// simulated cycles; convert with Topology.CyclesToSeconds.
+type OpenResult struct {
+	// ElapsedSeconds is the virtual wall time of the phase.
+	ElapsedSeconds float64
+	// Offered counts arrivals generated; Admitted those submitted to the
+	// engine; Dropped those rejected at a full queue; Abandoned those
+	// still waiting in the admission queue when the phase hit its
+	// deadline; Completed those that finished before the deadline.
+	// Offered = Admitted + Dropped + Abandoned, and Admitted - Completed
+	// queries were cut off mid-execution.
+	Offered, Admitted, Dropped, Abandoned, Completed int
+	// Throughput is completions per virtual second.
+	Throughput float64
+	// QueueWait is time spent in the admission queue, Service the
+	// engine execution time, Latency their sum per query.
+	QueueWait, Service, Latency metrics.Histogram
+	// PeakQueueDepth and PeakInFlight are phase maxima.
+	PeakQueueDepth, PeakInFlight int
+	// Window is the counter delta over the phase.
+	Window numa.Counters
+	// Sched is the scheduler stats delta over the phase.
+	Sched sched.Stats
+	// Samples are periodic timeline points; empty unless SampleEvery was
+	// set.
+	Samples []OpenSample
+}
+
+// openFlight tracks one admitted query until completion.
+type openFlight struct {
+	q          *db.Query
+	waitCycles uint64
+}
+
+// Run replays the arrival process to completion (or the deadline) and
+// returns the phase summary. Arrivals are admitted in timestamp order;
+// admission to a server session is FCFS.
+func (d *OpenDriver) Run(plan PlanAt) OpenResult {
+	if d.MaxInFlight <= 0 {
+		d.MaxInFlight = 64
+	}
+	if d.QueueCap <= 0 {
+		d.QueueCap = 1024
+	}
+	if d.MaxSeconds == 0 {
+		d.MaxSeconds = 600
+	}
+	r := d.Rig
+	topo := r.Machine.Topology()
+
+	var res OpenResult
+	var queue deque.Deque[uint64] // arrival cycle of each queued request
+	flights := make([]openFlight, 0, d.MaxInFlight)
+
+	if r.Mech != nil && !d.DisableBacklog {
+		r.Mech.SetBacklog(func() int { return queue.Len() })
+		defer r.Mech.SetBacklog(nil)
+	}
+
+	startSnap := r.Machine.Snapshot()
+	startStats := r.Sched.Stats()
+	startCycle := r.Machine.Now()
+	startTime := r.Machine.NowSeconds()
+	deadline := startTime + d.MaxSeconds
+
+	// Prime the first arrival. Times from the process are relative to the
+	// phase start; due-ness is decided in integer cycles so the fast and
+	// naive simulator paths agree bit for bit.
+	var nextAt uint64
+	more := d.Process != nil
+	if more {
+		t, ok := d.Process.Next()
+		nextAt, more = startCycle+topo.SecondsToCycles(t), ok
+	}
+
+	d.winLatency.Reset()
+	winCompleted := 0
+	lastSample := startTime
+
+	for {
+		nowC := r.Machine.Now()
+
+		// Collect completions, freeing server sessions. Order-preserving
+		// compaction keeps the release order (and thus buffer reuse)
+		// deterministic.
+		kept := flights[:0]
+		for _, f := range flights {
+			if !f.q.Done() {
+				kept = append(kept, f)
+				continue
+			}
+			service := f.q.ElapsedCycles()
+			total := f.waitCycles + service
+			res.QueueWait.Record(f.waitCycles)
+			res.Service.Record(service)
+			res.Latency.Record(total)
+			d.winLatency.Record(total)
+			winCompleted++
+			res.Completed++
+			r.Engine.Release(f.q)
+		}
+		flights = kept
+
+		// Offer arrivals due by now: admit or drop against the
+		// instantaneous queue depth.
+		for more && nextAt <= nowC {
+			if queue.Len() >= d.QueueCap {
+				res.Dropped++
+			} else {
+				queue.PushBack(nextAt)
+			}
+			res.Offered++
+			if d.MaxArrivals > 0 && res.Offered >= d.MaxArrivals {
+				more = false
+				break
+			}
+			t, ok := d.Process.Next()
+			nextAt, more = startCycle+topo.SecondsToCycles(t), ok
+		}
+
+		// Fill free server sessions FCFS.
+		for len(flights) < d.MaxInFlight && queue.Len() > 0 {
+			at, _ := queue.PopFront()
+			p := plan(res.Admitted)
+			res.Admitted++
+			q := r.Engine.Submit(p)
+			flights = append(flights, openFlight{q: q, waitCycles: nowC - at})
+		}
+
+		if queue.Len() > res.PeakQueueDepth {
+			res.PeakQueueDepth = queue.Len()
+		}
+		if len(flights) > res.PeakInFlight {
+			res.PeakInFlight = len(flights)
+		}
+
+		now := r.Machine.NowSeconds()
+		if d.SampleEvery > 0 && now-lastSample >= d.SampleEvery {
+			res.Samples = append(res.Samples, OpenSample{
+				AtSeconds:  now - startTime,
+				QueueDepth: queue.Len(),
+				InFlight:   len(flights),
+				Allocated:  r.AllocatedCores(),
+				Completed:  winCompleted,
+				P99Cycles:  d.winLatency.P99(),
+			})
+			d.winLatency.Reset()
+			winCompleted = 0
+			lastSample = now
+		}
+
+		if !more && queue.Len() == 0 && len(flights) == 0 {
+			break
+		}
+		if now >= deadline {
+			break
+		}
+		r.Tick()
+	}
+
+	endSnap := r.Machine.Snapshot()
+	res.Abandoned = queue.Len()
+	res.ElapsedSeconds = r.Machine.NowSeconds() - startTime
+	res.Window = endSnap.Sub(startSnap)
+	res.Sched = schedDelta(startStats, r.Sched.Stats())
+	if res.ElapsedSeconds > 0 {
+		res.Throughput = float64(res.Completed) / res.ElapsedSeconds
+	}
+	r.Engine.Drain()
+	return res
+}
+
+// RunSameQuery replays the process with every admitted query running the
+// same plan builder under an admission-derived seed (the open-loop
+// analogue of Driver.RunSameQuery).
+func (d *OpenDriver) RunSameQuery(build func(seed uint64) *db.Plan) OpenResult {
+	return d.Run(func(k int) *db.Plan { return build(uint64(k + 1)) })
+}
