@@ -53,9 +53,25 @@ func usage(w *os.File) {
 	fmt.Fprint(w, `elasticbench runs registered experiments.
 
 Commands:
-  list                     list experiments with descriptions and tags
+  list [-tag S]            list experiments with descriptions and tags
   run <name>... [flags]    run experiments ("all" expands the registry)
   bench [flags]            time the fixed perf suite (fast vs naive paths)
+
+Tags group experiments for selection (list -tag S, experiments.WithTag):
+  microbench   single-query / single-operator measurements (figs 4-5, 13-16)
+  elastic      the mechanism is in the loop (most figures, consolidation)
+  scheduling   OS scheduler behaviour under concurrency
+  trace        lifespan / migration / tomograph artifacts
+  strategy     CPU-load vs HT/IMC state-transition strategies
+  memory       per-socket cache and memory-controller metrics
+  workload     full 22-query stable / mixed phase protocols
+  energy       the paper's CPU + interconnect energy model
+  tenancy      multi-tenant consolidation under the core arbiter
+  openloop     open-loop arrival-driven traffic (latency-load, burst-response)
+  traffic      arrival processes and admission queues
+  topology     machine-shape sweeps over the topology zoo
+  numa         NUMA-friendliness and hop-distance placement
+  petrinet     the PrT net itself (state transitions)
 
 Bench flags:
   -quick           run only the quick tier (CI smoke)
@@ -74,6 +90,10 @@ Run flags:
                fractions of saturation (default 0.25,0.5,0.75,1,1.5,2)
   -arrival S   latency-load arrival process: poisson | mmpp | diurnal
   -open-arrivals N  arrivals offered per open-loop point (default 120)
+  -topology S  machine shape for rig experiments: a zoo name (opteron,
+               2socket, 4ring, 8twisted, epyc) or a spec like "2x8" or
+               "4x4 @ 1 2 1 1 2 1" (nodes x cores @ upper-triangle hop
+               counts); default: the SF-scaled Opteron testbed
   -format S    output format: text | json | csv (default text)
   -out DIR     write one <name>.<format> file per experiment into DIR
   -parallel N  worker pool size (default 1)
@@ -127,6 +147,7 @@ func bindRunFlags(fs *flag.FlagSet) (*runFlags, *string) {
 	fs.StringVar(&rf.loads, "loads", "", "comma-separated offered-load fractions for latency-load (default 0.25,0.5,0.75,1,1.5,2)")
 	fs.StringVar(&rf.cfg.Arrival, "arrival", "", "latency-load arrival process: poisson | mmpp | diurnal")
 	fs.IntVar(&rf.cfg.OpenArrivals, "open-arrivals", 0, "arrivals offered per open-loop point (default 120)")
+	fs.StringVar(&rf.cfg.Topology, "topology", "", "machine shape: zoo name or \"nodes x cores [@ hops...]\" spec")
 	engine := fs.String("engine", "monetdb", "engine flavour: monetdb | sqlserver")
 	fs.StringVar(&rf.format, "format", "text", "output format: text | json | csv")
 	fs.StringVar(&rf.out, "out", "", "directory for one <name>.<format> file per experiment")

@@ -94,3 +94,28 @@ func TestApplyEngineParsesLoads(t *testing.T) {
 		t.Error("malformed -loads accepted")
 	}
 }
+
+// TestTopologyFlagFailsFast: a malformed -topology must fail the batch
+// before any experiment runs (central Config validation), and the error
+// must surface the offending spec.
+func TestTopologyFlagFailsFast(t *testing.T) {
+	rf := quietRunFlags(t)
+	rf.cfg.Topology = "4x4 @ 1 2"
+	err := execute([]string{"test-always-succeeds"}, rf)
+	if err == nil {
+		t.Fatal("malformed -topology spec accepted")
+	}
+}
+
+// TestTopologyFlagAcceptsZooNames: a named shape runs a real experiment
+// end to end on the selected machine.
+func TestTopologyFlagAcceptsZooNames(t *testing.T) {
+	rf := quietRunFlags(t)
+	rf.cfg.SF = 0.002
+	rf.cfg.Clients = 4
+	rf.cfg.Users = []int{1}
+	rf.cfg.Topology = "2socket"
+	if err := execute([]string{"fig4"}, rf); err != nil {
+		t.Fatalf("fig4 on 2socket failed: %v", err)
+	}
+}

@@ -62,7 +62,31 @@ type (
 	Allocator = elastic.Allocator
 	// Strategy is a state-transition metric (CPU load or HT/IMC ratio).
 	Strategy = elastic.Strategy
+	// Placement is a topology-aware core placement policy: it ranks
+	// candidate cores by the machine's hop-distance matrix instead of a
+	// fixed index order (node-fill, hop-min, scatter).
+	Placement = elastic.Placement
 )
+
+// Built-in placement policies.
+
+// NodeFillPlacement packs cores socket by socket, opening each new
+// socket at minimum hop distance from the cores already held.
+func NodeFillPlacement() Placement { return elastic.NodeFill{} }
+
+// HopMinPlacement grows and shrinks core by core on pure hop distance.
+func HopMinPlacement() Placement { return elastic.HopMin{} }
+
+// ScatterPlacement is the topology-blind round-robin baseline.
+func ScatterPlacement() Placement { return elastic.Scatter{} }
+
+// Placements lists the built-in placement policies.
+func Placements() []Placement { return elastic.Placements() }
+
+// NewPlacedAllocator adapts a Placement into an allocation mode usable
+// wherever dense/sparse/adaptive are (RigOptions.CorePlacement wires it
+// automatically).
+func NewPlacedAllocator(t *Topology, p Placement) Allocator { return elastic.NewPlaced(t, p) }
 
 // Database types.
 type (
@@ -214,6 +238,38 @@ const (
 // Opteron8387 returns the paper's testbed topology: four quad-core
 // sockets at 2.8 GHz with 6 MB shared L3s and HyperTransport 3.x links.
 func Opteron8387() *Topology { return numa.Opteron8387() }
+
+// The topology zoo: machine shapes beyond the paper's testbed, for
+// exercising the mechanism across interconnect geometries.
+
+// TwoSocket returns a dual-socket machine (two 8-core nodes, one link).
+func TwoSocket() *Topology { return numa.TwoSocket() }
+
+// FourSocketRing returns four quad-core sockets on a ring interconnect
+// (diagonal sockets two hops apart).
+func FourSocketRing() *Topology { return numa.FourSocketRing() }
+
+// EightSocketTwisted returns the real eight-socket Opteron's
+// twisted-ladder interconnect: 3-regular, diameter two.
+func EightSocketTwisted() *Topology { return numa.EightSocketTwisted() }
+
+// EPYCLike returns a chiplet-style machine: two packages of four dies
+// with asymmetric intra-package and cross-package hop distances.
+func EPYCLike() *Topology { return numa.EPYCLike() }
+
+// ParseTopology resolves a machine shape from a zoo name ("opteron",
+// "2socket", "4ring", "8twisted", "epyc") or a
+// "nodes x cores [@ hops...]" spec; see internal/numa.ParseTopology for
+// the grammar.
+func ParseTopology(spec string) (*Topology, error) { return numa.ParseTopology(spec) }
+
+// TopologyZooNames lists the zoo's canonical names.
+func TopologyZooNames() []string { return numa.ZooNames() }
+
+// ScaleTopology shrinks a base topology's caches and bandwidths
+// proportionally to the TPC-H scale factor, preserving the paper's
+// data-to-cache operating point at small SF (see workload.ScaledTopology).
+func ScaleTopology(t *Topology, sf float64) *Topology { return workload.ScaleTopology(t, sf) }
 
 // NewRig builds a complete experiment environment: a machine, an OS
 // scheduler, a TPC-H-loaded store, a database engine inside a cgroup and

@@ -58,6 +58,12 @@ type Config struct {
 	// Arrival selects the latency-load arrival-process family: "poisson"
 	// (default), "mmpp" or "diurnal".
 	Arrival string
+	// Topology selects the machine shape for rig-backed experiments: a
+	// zoo name (numa.ZooNames: opteron, 2socket, 4ring, 8twisted, epyc)
+	// or a "nodes x cores [@ hops...]" spec (numa.ParseTopology). Empty
+	// selects the SF-scaled Opteron testbed. The topology-sweep
+	// experiment ignores it — it sweeps the whole zoo.
+	Topology string
 	// Naive runs every rig on the pre-optimization simulator hot paths:
 	// the walk-every-core tick loop, per-block memory charging, unpooled
 	// Go-map operator execution and uncached dataset generation. Results
@@ -120,7 +126,27 @@ func (c Config) withDefaults() (Config, error) {
 	default:
 		return c, fmt.Errorf("experiments: unknown arrival process %q (want poisson, mmpp or diurnal)", c.Arrival)
 	}
+	if c.Topology != "" {
+		if _, err := numa.ParseTopology(c.Topology); err != nil {
+			return c, err
+		}
+	}
 	return c, nil
+}
+
+// machineTopology resolves Config.Topology into a machine shape scaled
+// to the given total scale factor, or nil when the config keeps the
+// default testbed. Validation already ran in withDefaults, so a parse
+// failure here is impossible for configs that came through Run.
+func (c Config) machineTopology(sf float64) (*numa.Topology, error) {
+	if c.Topology == "" {
+		return nil, nil
+	}
+	t, err := numa.ParseTopology(c.Topology)
+	if err != nil {
+		return nil, err
+	}
+	return workload.ScaleTopology(t, sf), nil
 }
 
 // engineName labels the engine flavour for metadata and listings.
@@ -145,14 +171,19 @@ func modeByName(name string) (workload.Mode, bool) {
 // newRig builds a workload rig with simulation timing and machine
 // geometry scaled to the dataset (workload.ScaledTopology): 50 us
 // quantum, 0.25 ms control period, SF-proportional caches and
-// bandwidths.
+// bandwidths. Config.Topology, when set, swaps the machine shape.
 func newRig(c Config, mode workload.Mode, strategy elastic.Strategy) (*workload.Rig, error) {
+	topo, err := c.machineTopology(c.SF)
+	if err != nil {
+		return nil, err
+	}
 	return workload.NewRig(workload.Options{
 		SF:        c.SF,
 		Seed:      c.Seed,
 		Mode:      mode,
 		Placement: c.Placement,
 		Strategy:  strategy,
+		Topology:  topo,
 		Naive:     c.Naive,
 	})
 }

@@ -98,7 +98,15 @@ const consolidationSeconds = 0.25
 // saturates every tenant with a continuous theta-scan stream for the
 // fixed phase window.
 func runConsolidationOnce(c Config, specs []workload.TenantSpec) (*workload.MultiRig, *workload.MultiPhaseResult, error) {
-	rig, err := workload.NewMultiRig(workload.MultiOptions{Tenants: specs, Naive: c.Naive})
+	aggregateSF := 0.0
+	for _, s := range specs {
+		aggregateSF += s.SF
+	}
+	topo, err := c.machineTopology(aggregateSF)
+	if err != nil {
+		return nil, nil, err
+	}
+	rig, err := workload.NewMultiRig(workload.MultiOptions{Tenants: specs, Topology: topo, Naive: c.Naive})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -98,4 +98,10 @@ func init() {
 		Summary: "Core-allocation and p99 timelines around bursty arrivals: static all-cores baseline vs the adaptive mechanism with and without the admission-queue pressure signal.",
 		Tags:    []string{"openloop", "traffic", "elastic"},
 	}, runBurstResponse))
+
+	Register(New("topology-sweep", Description{
+		Title:   "Topology zoo: Q6 concurrency across machine shapes x placement policies",
+		Summary: "The fig4-style workload on every zoo topology (opteron, 2socket, 4ring, 8twisted, epyc) under node-fill, hop-min and scatter core placement: throughput, HT/IMC bytes and the Section V-B NUMA-friendliness ratio.",
+		Tags:    []string{"topology", "numa", "elastic"},
+	}, runTopologySweep))
 }

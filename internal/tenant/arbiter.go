@@ -110,7 +110,7 @@ func (a *Arbiter) Add(t *Tenant) error {
 	}
 	set := sched.CPUSet(0)
 	for set.Count() < t.SLA.MinCores {
-		core, ok := t.alloc.Next(occupied.Union(set))
+		core, ok := t.nextFree(set, occupied.Union(set))
 		if !ok {
 			return fmt.Errorf("tenant %s: no free core for starvation floor", t.Name)
 		}

@@ -261,6 +261,17 @@ func (t *Tenant) shrinkTo(target int) {
 	}
 }
 
+// nextFree picks the tenant's next core outside occupied. A topology-
+// aware OccupancyAllocator places it relative to the tenant's own set
+// cur — the hop-minimizing transfer path — while the fixed-order modes
+// fall back to their sequence scan over the free cores.
+func (t *Tenant) nextFree(cur, occupied sched.CPUSet) (numa.CoreID, bool) {
+	if oa, ok := t.alloc.(elastic.OccupancyAllocator); ok {
+		return oa.NextFree(cur, occupied)
+	}
+	return t.alloc.Next(occupied)
+}
+
 // growTo adds cores through the tenant's allocator until the cpuset holds
 // target cores, skipping cores any tenant already occupies. It returns the
 // updated occupancy set.
@@ -268,7 +279,7 @@ func (t *Tenant) growTo(target int, occupied sched.CPUSet) sched.CPUSet {
 	cur := t.CGroup.CPUs()
 	grew := false
 	for cur.Count() < target {
-		core, ok := t.alloc.Next(occupied)
+		core, ok := t.nextFree(cur, occupied)
 		if !ok {
 			break
 		}

@@ -69,6 +69,13 @@ type Options struct {
 	// experiments scale cache sizes and bandwidths with SF to preserve
 	// the paper's data-to-cache ratio at small scale factors.
 	Topology *numa.Topology
+	// CorePlacement, when set, attaches the mechanism with this
+	// topology-aware core placement policy (elastic.NewPlaced) instead
+	// of Mode's fixed allocation order; Mode's ModeOS semantics (no
+	// mechanism) do not apply — a core placement always implies a
+	// mechanism. Distinct from Placement, the engine's *data* placement
+	// flavour.
+	CorePlacement elastic.Placement
 	// Naive runs the rig on the pre-optimization hot paths: the walk-
 	// every-core scheduler tick loop, per-block memory charging and
 	// uncached dataset generation. Simulated results are bit-identical to
@@ -87,10 +94,20 @@ const DBMSPID = 100
 // not be. Geometry floors keep the model meaningful at very small SF.
 // SF 1 returns the unmodified testbed.
 func ScaledTopology(sf float64) *numa.Topology {
-	t := numa.Opteron8387()
+	return ScaleTopology(numa.Opteron8387(), sf)
+}
+
+// ScaleTopology applies the same SF-proportional cache and bandwidth
+// scaling to an arbitrary base topology (the zoo shapes, parsed specs),
+// so experiments sweeping machine geometry keep the paper's
+// data-to-cache ratio at small scale factors. The base is not modified;
+// SF >= 1 returns it unchanged.
+func ScaleTopology(base *numa.Topology, sf float64) *numa.Topology {
 	if sf >= 1 {
-		return t
+		return base
 	}
+	c := *base
+	t := &c
 	t.BlockBytes = 4 * 1024
 	scale := sf * 4 // slack: 4x the strictly proportional size
 	clampInt := func(v, floor int) int {
@@ -179,14 +196,16 @@ func NewRig(opts Options) (*Rig, error) {
 		Dataset: ds,
 		Opts:    opts,
 	}
-	if opts.Mode != ModeOS {
+	if opts.Mode != ModeOS || opts.CorePlacement != nil {
 		var alloc elastic.Allocator
-		switch opts.Mode {
-		case ModeDense:
+		switch {
+		case opts.CorePlacement != nil:
+			alloc = elastic.NewPlaced(topo, opts.CorePlacement)
+		case opts.Mode == ModeDense:
 			alloc = elastic.NewDense(topo)
-		case ModeSparse:
+		case opts.Mode == ModeSparse:
 			alloc = elastic.NewSparse(topo)
-		case ModeAdaptive:
+		case opts.Mode == ModeAdaptive:
 			alloc = elastic.NewAdaptive(topo, touchDeltaResidency(machine))
 		default:
 			return nil, fmt.Errorf("workload: unknown mode %v", opts.Mode)
