@@ -26,6 +26,7 @@ import (
 
 	"elasticore/internal/db"
 	"elasticore/internal/experiments"
+	"elasticore/internal/obs"
 )
 
 func main() {
@@ -94,6 +95,9 @@ Run flags:
                2socket, 4ring, 8twisted, epyc) or a spec like "2x8" or
                "4x4 @ 1 2 1 1 2 1" (nodes x cores @ upper-triangle hop
                counts); default: the SF-scaled Opteron testbed
+  -trace FILE  record the run's telemetry bus and write it as Chrome/
+               Perfetto trace-event JSON (open at ui.perfetto.dev); the
+               batch must name exactly one experiment
   -format S    output format: text | json | csv (default text)
   -out DIR     write one <name>.<format> file per experiment into DIR
   -parallel N  worker pool size (default 1)
@@ -136,6 +140,7 @@ type runFlags struct {
 	parallel int
 	verbose  bool
 	loads    string
+	trace    string
 }
 
 func bindRunFlags(fs *flag.FlagSet) (*runFlags, *string) {
@@ -149,6 +154,7 @@ func bindRunFlags(fs *flag.FlagSet) (*runFlags, *string) {
 	fs.IntVar(&rf.cfg.OpenArrivals, "open-arrivals", 0, "arrivals offered per open-loop point (default 120)")
 	fs.StringVar(&rf.cfg.Topology, "topology", "", "machine shape: zoo name or \"nodes x cores [@ hops...]\" spec")
 	engine := fs.String("engine", "monetdb", "engine flavour: monetdb | sqlserver")
+	fs.StringVar(&rf.trace, "trace", "", "write a Chrome/Perfetto trace-event JSON file (single experiment only)")
 	fs.StringVar(&rf.format, "format", "text", "output format: text | json | csv")
 	fs.StringVar(&rf.out, "out", "", "directory for one <name>.<format> file per experiment")
 	fs.IntVar(&rf.parallel, "parallel", 1, "worker pool size")
@@ -265,6 +271,14 @@ func execute(names []string, rf *runFlags) error {
 	if rf.format != "text" && rf.format != "json" && rf.format != "csv" {
 		return fmt.Errorf("unknown format %q (want text, json or csv)", rf.format)
 	}
+	var bus *obs.Bus
+	if rf.trace != "" {
+		if len(exps) != 1 {
+			return fmt.Errorf("-trace records one experiment's telemetry, got %d (run them separately)", len(exps))
+		}
+		bus = obs.NewBus(0)
+		rf.cfg.Bus = bus
+	}
 	if rf.out != "" {
 		if err := os.MkdirAll(rf.out, 0o755); err != nil {
 			return err
@@ -296,6 +310,13 @@ func execute(names []string, rf *runFlags) error {
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d experiments failed", failed, len(reports))
+	}
+	if bus != nil {
+		if err := obs.WriteTraceFile(rf.trace, bus.Events()); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "elasticbench: wrote %d trace events to %s (%d published, %d beyond the ring)\n",
+			bus.Len(), rf.trace, bus.Total(), bus.Dropped())
 	}
 	return nil
 }

@@ -3,9 +3,16 @@
 // the paper's Figure 7: fired transition path, load reading, allocated
 // core count and the cpuset per control period.
 //
+// The view is rendered entirely from the rig's telemetry bus
+// (internal/obs): the mechanism publishes a KindTransition event per
+// control period and the scheduler its migrations, so elastictop is just
+// one more subscriber — it shares the stream with any trace consumer and
+// can dump the whole run as a Perfetto trace alongside.
+//
 // Usage:
 //
 //	elastictop -sf 0.005 -clients 32 -mode adaptive -queries 3
+//	elastictop -trace run.json   # also write Chrome/Perfetto JSON
 package main
 
 import (
@@ -15,7 +22,9 @@ import (
 	"strings"
 
 	"elasticore/internal/db"
-	"elasticore/internal/petrinet"
+	"elasticore/internal/numa"
+	"elasticore/internal/obs"
+	"elasticore/internal/sched"
 	"elasticore/internal/tpch"
 	"elasticore/internal/workload"
 )
@@ -26,6 +35,7 @@ func main() {
 		clients = flag.Int("clients", 32, "concurrent clients")
 		queries = flag.Int("queries", 2, "queries per client")
 		mode    = flag.String("mode", "adaptive", "allocation mode: dense | sparse | adaptive")
+		trace   = flag.String("trace", "", "write the run's telemetry as Chrome/Perfetto trace-event JSON")
 	)
 	flag.Parse()
 
@@ -42,11 +52,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	rig, err := workload.NewRig(workload.Options{SF: *sf, Mode: m})
+	bus := obs.NewBus(0)
+	rig, err := workload.NewRig(workload.Options{SF: *sf, Mode: m, Bus: bus})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "elastictop: %v\n", err)
 		os.Exit(1)
 	}
+	probe := rig.EnableProbe(0)
 	d := &workload.Driver{Rig: rig, QueriesPerClient: *queries}
 	res := d.Run(*clients, func(c, k int) *db.Plan {
 		x := uint64(c)*2654435761 + uint64(k) + 1
@@ -56,22 +68,60 @@ func main() {
 	topo := rig.Machine.Topology()
 	fmt.Printf("mode=%s clients=%d completed=%d throughput=%.1f q/s elapsed=%.3fs\n\n",
 		m, *clients, res.Completed, res.Throughput, res.ElapsedSeconds)
-	fmt.Printf("%-10s %-18s %5s %6s  %s\n", "t(s)", "transition", "u", "cores", "action")
-	for _, e := range rig.Mech.Events() {
+	fmt.Printf("%-10s %-18s %5s %6s  %-10s %s\n", "t(s)", "transition", "u", "cores", "action", "cpuset")
+	for _, e := range bus.EventsOfKind(obs.KindTransition) {
 		action := ""
-		switch e.Action {
-		case petrinet.DecisionAllocate:
+		switch {
+		case e.Core < 0:
+			// No core moved this period.
+		case countBits(e.Set) > prevCount(e):
 			action = fmt.Sprintf("+core %d", e.Core)
-		case petrinet.DecisionRelease:
+		default:
 			action = fmt.Sprintf("-core %d", e.Core)
 		}
-		fmt.Printf("%-10.4f %-18s %5d %6d  %s\n",
-			topo.CyclesToSeconds(e.Now), e.Label, e.U, e.NAlloc, action)
+		fmt.Printf("%-10.4f %-18s %5d %6d  %-10s %s\n",
+			topo.CyclesToSeconds(e.Now), e.Label, e.V1, e.V2, action, sched.CPUSet(e.Set))
 	}
+
 	fmt.Printf("\nfinal cpuset: %s\n", rig.CGroup.CPUs())
 	fmt.Printf("stolen=%d migrations=%d cross-node=%d\n",
 		res.Sched.StolenTasks, res.Sched.Migrations, res.Sched.CrossNodeMigrations)
+	fmt.Printf("bus: %d events published (%d retained: %d slices, %d migrations, %d tasks)\n",
+		bus.Total(), bus.Len(),
+		len(bus.EventsOfKind(obs.KindRunSlice)),
+		len(bus.EventsOfKind(obs.KindMigration)),
+		len(bus.EventsOfKind(obs.KindTaskDone)))
+	if samples := probe.Samples(); len(samples) > 0 {
+		last := samples[len(samples)-1]
+		fmt.Printf("probe: %d samples, last window: %d cores, %.2f MB HT, %.2f MB IMC, %.3f J\n",
+			len(samples), last.Allocated,
+			float64(last.HTBytes)/1e6, float64(last.IMCBytes)/1e6, last.EnergyJoules)
+	}
 	fmt.Println(strings.Repeat("-", 60))
 	fmt.Println("net incidence matrix (A^T = Post - Pre):")
 	fmt.Println(rig.Mech.Net().Net().Incidence())
+
+	if *trace != "" {
+		if err := obs.WriteTraceFile(*trace, bus.Events()); err != nil {
+			fmt.Fprintf(os.Stderr, "elastictop: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace events to %s\n", bus.Len(), *trace)
+	}
+}
+
+// countBits sizes a cpuset mask.
+func countBits(set uint64) int { return sched.CPUSet(set).Count() }
+
+// prevCount infers the pre-step allocation from a transition event: V2 is
+// the post-step size; when Core >= 0 a core moved, so the set changed by
+// exactly one — it grew if the moved core is a member now.
+func prevCount(e obs.Event) int {
+	if e.Core < 0 {
+		return int(e.V2)
+	}
+	if sched.CPUSet(e.Set).Contains(numa.CoreID(e.Core)) {
+		return int(e.V2) - 1
+	}
+	return int(e.V2) + 1
 }

@@ -28,12 +28,15 @@
 package elasticore
 
 import (
+	"io"
+
 	"elasticore/internal/arrivals"
 	"elasticore/internal/db"
 	"elasticore/internal/elastic"
 	"elasticore/internal/experiments"
 	"elasticore/internal/metrics"
 	"elasticore/internal/numa"
+	"elasticore/internal/obs"
 	"elasticore/internal/sched"
 	"elasticore/internal/tenant"
 	"elasticore/internal/tpch"
@@ -154,6 +157,48 @@ func DiurnalArrivals(base, amp, period float64, seed uint64) ArrivalProcess {
 func TraceArrivals(times []float64) ArrivalProcess {
 	return arrivals.NewTrace(times)
 }
+
+// Telemetry types (internal/obs): the simulation-wide event bus, probe
+// snapshots and trace export behind `elasticbench run -trace`.
+type (
+	// Bus is the typed telemetry event bus every rig layer publishes
+	// onto: migrations, run slices, task completions, PrT transitions,
+	// arbiter grants, admissions, sheds and query completions.
+	Bus = obs.Bus
+	// Event is the bus's flat record; EventKind discriminates it.
+	Event = obs.Event
+	// EventKind discriminates bus events (obs.KindMigration, ...).
+	EventKind = obs.Kind
+	// Probe samples Snapshot timelines at control-period boundaries.
+	Probe = obs.Probe
+	// ProbeConfig assembles a Probe.
+	ProbeConfig = obs.ProbeConfig
+	// Snapshot is one probe sample: allocation, load, backlog, window
+	// traffic, energy and latency quantiles.
+	Snapshot = obs.Snapshot
+)
+
+// NewBus creates a telemetry bus retaining up to capacity events
+// (capacity <= 0 selects the default ring size). Pass it through
+// RigOptions.Bus / MultiRigOptions.Bus or ExperimentConfig.Bus to light
+// up every producer of a rig.
+func NewBus(capacity int) *Bus { return obs.NewBus(capacity) }
+
+// WritePerfettoTrace renders recorded bus events as Chrome/Perfetto
+// trace-event JSON (open the file at ui.perfetto.dev).
+func WritePerfettoTrace(w io.Writer, events []Event) error { return obs.WriteTrace(w, events) }
+
+// Event kinds re-exported for Bus.Subscribe filters.
+const (
+	KindMigration  = obs.KindMigration
+	KindRunSlice   = obs.KindRunSlice
+	KindTaskDone   = obs.KindTaskDone
+	KindTransition = obs.KindTransition
+	KindGrant      = obs.KindGrant
+	KindAdmit      = obs.KindAdmit
+	KindShed       = obs.KindShed
+	KindQueryDone  = obs.KindQueryDone
+)
 
 // Multi-tenant consolidation types (the paper's Section VII cloud
 // setting): several tenant databases, each with its own elastic

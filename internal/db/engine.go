@@ -5,6 +5,7 @@ import (
 
 	"elasticore/internal/deque"
 	"elasticore/internal/numa"
+	"elasticore/internal/obs"
 	"elasticore/internal/sched"
 )
 
@@ -105,8 +106,37 @@ type Engine struct {
 
 	// TasksExecuted counts finished tasks (paper Fig 13 (c)).
 	TasksExecuted uint64
+
+	// bus, when attached, receives KindTaskDone events stamped with
+	// busTenant; nil keeps the completion path dark.
+	bus       *obs.Bus
+	busTenant string
+
 	// OnTaskDone, if set, observes task completions.
+	//
+	// Deprecated: a single replace-on-attach hook — a second consumer
+	// silently clobbers the first. Subscribe to obs.KindTaskDone on the
+	// engine's bus instead (SetBus / EnsureBus); the field keeps firing
+	// alongside the bus for existing callers.
 	OnTaskDone func(TaskEvent)
+}
+
+// SetBus attaches the telemetry bus the engine publishes task
+// completions onto (nil detaches); tenant labels the events under
+// consolidation ("" for a single-tenant rig). Attach once, before
+// subscribing consumers.
+func (e *Engine) SetBus(b *obs.Bus, tenant string) { e.bus, e.busTenant = b, tenant }
+
+// Bus returns the attached telemetry bus, nil when dark.
+func (e *Engine) Bus() *obs.Bus { return e.bus }
+
+// EnsureBus returns the attached bus, creating a default-capacity one on
+// first use, so several trace consumers share one stream.
+func (e *Engine) EnsureBus() *obs.Bus {
+	if e.bus == nil {
+		e.bus = obs.NewBus(0)
+	}
+	return e.bus
 }
 
 // dispatched pairs a task with its owning query.
@@ -348,6 +378,18 @@ func (e *Engine) taskFinished(w *worker, d *dispatched) {
 			Op:     d.task.Op(),
 			Start:  d.start,
 			End:    e.machine.Now(),
+		})
+	}
+	if e.bus != nil {
+		e.bus.Publish(obs.Event{
+			Kind:   obs.KindTaskDone,
+			Now:    e.machine.Now(),
+			TID:    int64(w.thread.ID),
+			Core:   -1,
+			Start:  d.start,
+			Dur:    e.machine.Now() - d.start,
+			Label:  d.task.Op(),
+			Tenant: e.busTenant,
 		})
 	}
 	q := d.query

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"elasticore/internal/numa"
+	"elasticore/internal/obs"
 	"elasticore/internal/petrinet"
 	"elasticore/internal/sched"
 )
@@ -66,6 +67,11 @@ type Mechanism struct {
 	events []TransitionEvent
 	// TokenFlows counts net evaluations (overhead accounting).
 	TokenFlows uint64
+
+	// bus, when attached, receives KindTransition events stamped with
+	// busTenant; nil keeps the control loop dark.
+	bus       *obs.Bus
+	busTenant string
 }
 
 // New wires a mechanism. It immediately shrinks the cgroup to the initial
@@ -117,6 +123,14 @@ func New(cfg Config) (*Mechanism, error) {
 	m.nextEval = machine.Now() + cfg.ControlPeriod
 	return m, nil
 }
+
+// SetBus attaches the telemetry bus the mechanism publishes its
+// control-period transition firings onto (nil detaches); tenant labels
+// the events under consolidation ("" for a single-tenant rig).
+func (m *Mechanism) SetBus(b *obs.Bus, tenant string) { m.bus, m.busTenant = b, tenant }
+
+// Bus returns the attached telemetry bus, nil when dark.
+func (m *Mechanism) Bus() *obs.Bus { return m.bus }
 
 // Net exposes the underlying PrT net (matrices, marking inspection).
 func (m *Mechanism) Net() *petrinet.ElasticNet { return m.net }
@@ -208,6 +222,7 @@ func (m *Mechanism) evaluate() Desire {
 func (m *Mechanism) Step() {
 	d := m.evaluate()
 	current := m.cfg.CGroup.CPUs()
+	before := current.Count()
 	event := TransitionEvent{
 		Now:    m.cfg.Scheduler.Machine().Now(),
 		Label:  d.Label,
@@ -231,6 +246,22 @@ func (m *Mechanism) Step() {
 	m.net.SetNAlloc(current.Count())
 	event.NAlloc = current.Count()
 	m.events = append(m.events, event)
+	if m.bus != nil {
+		core := int32(-1)
+		if d.Decision != petrinet.DecisionNone && event.NAlloc != before {
+			core = int32(event.Core)
+		}
+		m.bus.Publish(obs.Event{
+			Kind:   obs.KindTransition,
+			Now:    event.Now,
+			Core:   core,
+			V1:     int64(d.U),
+			V2:     int64(event.NAlloc),
+			Set:    uint64(current),
+			Label:  d.Label,
+			Tenant: m.busTenant,
+		})
+	}
 }
 
 // DesiredStep runs one control evaluation — sampling the counter window,
@@ -243,7 +274,23 @@ func (m *Mechanism) Step() {
 // arbitration. The caller is responsible for re-synchronizing the net
 // marking with the allocation it actually applies, via Net().SetNAlloc.
 func (m *Mechanism) DesiredStep() Desire {
-	return m.evaluate()
+	d := m.evaluate()
+	if m.bus != nil {
+		// Under arbitration the mechanism applies nothing itself: V2 is
+		// the allocation the net *asks* for; the arbiter's KindGrant
+		// events record what was applied.
+		m.bus.Publish(obs.Event{
+			Kind:   obs.KindTransition,
+			Now:    m.cfg.Scheduler.Machine().Now(),
+			Core:   -1,
+			V1:     int64(d.U),
+			V2:     int64(d.N),
+			Set:    uint64(m.cfg.CGroup.CPUs()),
+			Label:  d.Label,
+			Tenant: m.busTenant,
+		})
+	}
+	return d
 }
 
 // Due reports whether the control period has elapsed since the last

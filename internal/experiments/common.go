@@ -27,6 +27,7 @@ import (
 	"elasticore/internal/db"
 	"elasticore/internal/elastic"
 	"elasticore/internal/numa"
+	"elasticore/internal/obs"
 	"elasticore/internal/tpch"
 	"elasticore/internal/workload"
 )
@@ -70,6 +71,11 @@ type Config struct {
 	// are bit-identical to the default fast paths; only wall-clock time
 	// differs. Used by the equivalence tests and `elasticbench bench`.
 	Naive bool
+	// Bus, when set, is attached to every rig the experiment builds, so
+	// one telemetry stream spans the run (`elasticbench run -trace`).
+	// Pure observation: results are bit-identical with or without it,
+	// and it takes no part in config validation or metadata.
+	Bus *obs.Bus
 }
 
 // withDefaults validates the config and fills zero values. All validation
@@ -185,6 +191,7 @@ func newRig(c Config, mode workload.Mode, strategy elastic.Strategy) (*workload.
 		Strategy:  strategy,
 		Topology:  topo,
 		Naive:     c.Naive,
+		Bus:       c.Bus,
 	})
 }
 
@@ -254,6 +261,22 @@ func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
 
 // mb converts bytes to megabytes.
 func mb(bytes uint64) float64 { return float64(bytes) / 1e6 }
+
+// addTimelineTable renders probe samples as a Result table: one row per
+// control-period snapshot with the allocation, load reading, backlog,
+// window traffic and energy, and (when a latency source was attached)
+// the cumulative latency quantiles.
+func addTimelineTable(res *Result, topo *numa.Topology, samples []obs.Snapshot) {
+	tl := res.AddTable("timeline",
+		colF("t(s)", 4), colI("cores"), colI("load"), colI("backlog"),
+		colF("ht(MB)", 2), colF("imc(MB)", 2), colF("energy(J)", 3),
+		colF("p50(ms)", 3), colF("p99(ms)", 3))
+	for _, s := range samples {
+		tl.AddRow(topo.CyclesToSeconds(s.Now), s.Allocated, s.Load, s.Backlog,
+			mb(s.HTBytes), mb(s.IMCBytes), s.EnergyJoules,
+			topo.CyclesToSeconds(s.P50)*1e3, topo.CyclesToSeconds(s.P99)*1e3)
+	}
+}
 
 // perNodeIMCThroughput returns GB/s served by each node's memory
 // controller over a window.

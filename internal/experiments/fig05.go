@@ -43,8 +43,11 @@ func runFig5(ctx context.Context, c Config, obs Observer) (*Result, error) {
 		if err != nil {
 			return err
 		}
-		mt := trace.NewMigrationTrace(r.Sched)
-		tg := trace.NewTomograph(r.Engine, r.Machine.Topology())
+		// Both traces ride the rig's shared telemetry bus — with
+		// Config.Bus set they coexist with the exporter on one stream.
+		b := r.EnsureBus()
+		mt := trace.NewMigrationTraceOn(b, r.Machine.Topology())
+		tg := trace.NewTomographOn(b, r.Machine.Topology())
 
 		q := r.Engine.Submit(tpch.BuildQ6With(q6Fixed()))
 		if !r.Sched.RunUntil(q.Done, r.Machine.Topology().SecondsToCycles(600)) {

@@ -44,6 +44,7 @@ func runFig7(ctx context.Context, c Config, obs Observer) (*Result, error) {
 		if err != nil {
 			return err
 		}
+		pr := r.EnableProbe(0)
 		d := &workload.Driver{Rig: r, QueriesPerClient: 2}
 		d.RunSameQuery(c.Clients, tpch.BuildQ6)
 		// Let the system idle so the release transitions fire too.
@@ -69,6 +70,7 @@ func runFig7(ctx context.Context, c Config, obs Observer) (*Result, error) {
 		if n := len(events); n > 0 {
 			final = events[n-1].NAlloc
 		}
+		addTimelineTable(res, topo, pr.Samples())
 		return nil
 	})
 	if err != nil {

@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/bits"
+	"sort"
 )
 
 // histogram.go implements the latency histogram behind the open-loop
@@ -115,6 +116,61 @@ func (h *Histogram) Quantile(q float64) uint64 {
 		}
 	}
 	return h.max
+}
+
+// Quantiles returns the quantile for each q in qs (each in [0, 1]) from
+// a single walk over the buckets, agreeing exactly with Quantile per
+// entry. Snapshot probes use it so sampling several percentiles does not
+// re-scan the bucket array per percentile. The qs need not be sorted; an
+// empty histogram returns all zeros.
+func (h *Histogram) Quantiles(qs ...float64) []uint64 {
+	out := make([]uint64, len(qs))
+	if h.count == 0 || len(qs) == 0 {
+		return out
+	}
+	// Rank each quantile, then resolve them in ascending-rank order while
+	// cumulating buckets once. idx keeps the caller's order.
+	type want struct {
+		rank uint64
+		pos  int
+	}
+	wants := make([]want, len(qs))
+	for i, q := range qs {
+		rank := uint64(math.Ceil(q * float64(h.count)))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > h.count {
+			rank = h.count
+		}
+		wants[i] = want{rank: rank, pos: i}
+	}
+	sort.Slice(wants, func(i, j int) bool { return wants[i].rank < wants[j].rank })
+	clamp := func(v uint64) uint64 {
+		if v < h.min {
+			return h.min
+		}
+		if v > h.max {
+			return h.max
+		}
+		return v
+	}
+	var cum uint64
+	next := 0
+	for i := range h.counts {
+		cum += h.counts[i]
+		for next < len(wants) && cum >= wants[next].rank {
+			out[wants[next].pos] = clamp(histUpper(i))
+			next++
+		}
+		if next == len(wants) {
+			return out
+		}
+	}
+	for ; next < len(wants); next++ {
+		out[wants[next].pos] = h.max
+	}
+	return out
 }
 
 // P50, P90 and P99 are the conventional latency percentiles.

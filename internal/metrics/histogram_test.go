@@ -140,3 +140,49 @@ func TestHistogramRecordDoesNotAllocate(t *testing.T) {
 		t.Fatalf("Record allocated %v times per call, want 0", allocs)
 	}
 }
+
+// TestHistogramQuantilesMatchQuantile pins the batch accessor to the
+// per-quantile API: for any mix of distributions and any (unsorted,
+// duplicated, clamped) quantile list, Quantiles must return exactly what
+// Quantile returns per entry — it is the same walk, done once.
+func TestHistogramQuantilesMatchQuantile(t *testing.T) {
+	distributions := map[string]func(h *Histogram){
+		"empty":  func(h *Histogram) {},
+		"single": func(h *Histogram) { h.Record(42) },
+		"uniform": func(h *Histogram) {
+			for v := uint64(1); v <= 5000; v++ {
+				h.Record(v)
+			}
+		},
+		"lcg-wide": func(h *Histogram) {
+			v := uint64(1)
+			for i := 0; i < 4096; i++ {
+				v = v*6364136223846793005 + 1442695040888963407
+				h.Record(v >> (v % 48))
+			}
+		},
+	}
+	qs := []float64{0.99, 0, 0.5, 0.5, 1, 0.9, 0.01, -0.5, 1.5}
+	for name, fill := range distributions {
+		var h Histogram
+		fill(&h)
+		got := h.Quantiles(qs...)
+		if len(got) != len(qs) {
+			t.Fatalf("%s: Quantiles returned %d values for %d inputs", name, len(got), len(qs))
+		}
+		for i, q := range qs {
+			if want := h.Quantile(q); got[i] != want {
+				t.Errorf("%s: Quantiles(...)[%d] (q=%g) = %d, want Quantile = %d", name, i, q, got[i], want)
+			}
+		}
+	}
+}
+
+// TestHistogramQuantilesEmptyArgs: no quantiles requested, no work done.
+func TestHistogramQuantilesEmptyArgs(t *testing.T) {
+	var h Histogram
+	h.Record(5)
+	if got := h.Quantiles(); len(got) != 0 {
+		t.Fatalf("Quantiles() = %v, want empty", got)
+	}
+}

@@ -1,0 +1,107 @@
+package obs
+
+// DefaultCapacity is the ring size NewBus(0) selects: large enough to
+// hold every event of the stock experiments at their default scale.
+const DefaultCapacity = 1 << 16
+
+// Bus is a typed event bus with multi-subscriber fan-out and a
+// fixed-capacity ring buffer. Producers call Publish; consumers either
+// Subscribe (called synchronously, in subscription order, for every
+// matching event — including those later overwritten in the ring) or
+// read the retained window back with Events.
+//
+// The bus is single-goroutine like the simulation: no locks. Publish
+// never allocates — the ring is preallocated and subscriber lists are
+// fixed after setup — so attaching an empty bus keeps the execution hot
+// path allocation-free.
+type Bus struct {
+	ring  []Event
+	w     int // next write slot
+	n     int // live events (<= len(ring))
+	total uint64
+
+	subs [kindCount][]func(Event)
+}
+
+// NewBus creates a bus retaining up to capacity events; capacity <= 0
+// selects DefaultCapacity.
+func NewBus(capacity int) *Bus {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Bus{ring: make([]Event, capacity)}
+}
+
+// Publish appends the event to the ring (overwriting the oldest when
+// full) and fans it out to the kind's subscribers in subscription order.
+func (b *Bus) Publish(e Event) {
+	b.ring[b.w] = e
+	b.w++
+	if b.w == len(b.ring) {
+		b.w = 0
+	}
+	if b.n < len(b.ring) {
+		b.n++
+	}
+	b.total++
+	for _, fn := range b.subs[e.Kind] {
+		fn(e)
+	}
+}
+
+// Subscribe registers fn for every subsequent event of kind k. Multiple
+// subscribers coexist; there is no unsubscribe — a consumer that loses
+// interest simply ignores its callbacks (subscriptions live as long as
+// the rig, matching how traces are used).
+func (b *Bus) Subscribe(k Kind, fn func(Event)) {
+	b.subs[k] = append(b.subs[k], fn)
+}
+
+// SubscribeAll registers fn for every subsequent event of any kind.
+func (b *Bus) SubscribeAll(fn func(Event)) {
+	for k := range b.subs {
+		b.subs[k] = append(b.subs[k], fn)
+	}
+}
+
+// Events returns the retained window, oldest first. The slice is a copy;
+// the ring is not disturbed.
+func (b *Bus) Events() []Event {
+	out := make([]Event, b.n)
+	start := b.w - b.n
+	if start < 0 {
+		start += len(b.ring)
+	}
+	for i := 0; i < b.n; i++ {
+		out[i] = b.ring[(start+i)%len(b.ring)]
+	}
+	return out
+}
+
+// EventsOfKind returns the retained events of one kind, oldest first.
+func (b *Bus) EventsOfKind(k Kind) []Event {
+	var out []Event
+	start := b.w - b.n
+	if start < 0 {
+		start += len(b.ring)
+	}
+	for i := 0; i < b.n; i++ {
+		if e := b.ring[(start+i)%len(b.ring)]; e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (b *Bus) Len() int { return b.n }
+
+// Cap returns the ring capacity.
+func (b *Bus) Cap() int { return len(b.ring) }
+
+// Total counts every event ever published.
+func (b *Bus) Total() uint64 { return b.total }
+
+// Dropped counts events overwritten in the ring (published minus
+// retained). Subscribers saw them; Events no longer returns them.
+func (b *Bus) Dropped() uint64 { return b.total - uint64(b.n) }

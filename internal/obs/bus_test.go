@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestBusFanOut: multiple subscribers to one kind all see every event, in
+// subscription order, and kinds are routed independently.
+func TestBusFanOut(t *testing.T) {
+	b := NewBus(16)
+	var order []string
+	b.Subscribe(KindMigration, func(e Event) { order = append(order, "first") })
+	b.Subscribe(KindMigration, func(e Event) { order = append(order, "second") })
+	b.Subscribe(KindRunSlice, func(e Event) { order = append(order, "slice") })
+
+	b.Publish(Event{Kind: KindMigration, TID: 1})
+	b.Publish(Event{Kind: KindTaskDone}) // no subscriber: retained, not routed
+	b.Publish(Event{Kind: KindRunSlice, TID: 2})
+
+	want := []string{"first", "second", "slice"}
+	if len(order) != len(want) {
+		t.Fatalf("fan-out calls = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fan-out order = %v, want %v", order, want)
+		}
+	}
+	if b.Total() != 3 || b.Len() != 3 {
+		t.Fatalf("Total=%d Len=%d, want 3, 3", b.Total(), b.Len())
+	}
+}
+
+// TestBusSubscribeAll: an all-kinds subscriber sees every event once.
+func TestBusSubscribeAll(t *testing.T) {
+	b := NewBus(8)
+	n := 0
+	b.SubscribeAll(func(e Event) { n++ })
+	for k := 0; k < kindCount; k++ {
+		b.Publish(Event{Kind: Kind(k)})
+	}
+	if n != kindCount {
+		t.Fatalf("all-subscriber saw %d events, want %d", n, kindCount)
+	}
+}
+
+// TestBusRingWraps: a full ring overwrites the oldest events, Events
+// returns the survivors oldest-first, and Dropped accounts the rest.
+func TestBusRingWraps(t *testing.T) {
+	b := NewBus(4)
+	for i := 0; i < 10; i++ {
+		b.Publish(Event{Kind: KindAdmit, V1: int64(i)})
+	}
+	got := b.Events()
+	if len(got) != 4 {
+		t.Fatalf("retained %d events, want 4", len(got))
+	}
+	for i, e := range got {
+		if want := int64(6 + i); e.V1 != want {
+			t.Fatalf("Events()[%d].V1 = %d, want %d (oldest first)", i, e.V1, want)
+		}
+	}
+	if b.Total() != 10 || b.Dropped() != 6 {
+		t.Fatalf("Total=%d Dropped=%d, want 10, 6", b.Total(), b.Dropped())
+	}
+}
+
+// TestBusEventsOfKind filters the retained window without disturbing it.
+func TestBusEventsOfKind(t *testing.T) {
+	b := NewBus(16)
+	b.Publish(Event{Kind: KindShed, V1: 1})
+	b.Publish(Event{Kind: KindAdmit})
+	b.Publish(Event{Kind: KindShed, V1: 2})
+	sheds := b.EventsOfKind(KindShed)
+	if len(sheds) != 2 || sheds[0].V1 != 1 || sheds[1].V1 != 2 {
+		t.Fatalf("EventsOfKind(KindShed) = %+v, want V1 1 then 2", sheds)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len changed to %d after filtered read", b.Len())
+	}
+}
+
+// TestBusPublishZeroAlloc: the ring is preallocated and Event is a flat
+// value, so publishing — with or without subscribers — never allocates.
+// This is the bus's half of the hot-path contract; the scheduler-side
+// guard lives in internal/sched.
+func TestBusPublishZeroAlloc(t *testing.T) {
+	dark := NewBus(64)
+	e := Event{Kind: KindRunSlice, TID: 7, Core: 3, Start: 100, Dur: 50, Label: "worker"}
+	if allocs := testing.AllocsPerRun(500, func() { dark.Publish(e) }); allocs != 0 {
+		t.Fatalf("dark Publish allocated %v times per run, want 0", allocs)
+	}
+	lit := NewBus(64)
+	sink := uint64(0)
+	lit.Subscribe(KindRunSlice, func(ev Event) { sink += ev.Dur })
+	if allocs := testing.AllocsPerRun(500, func() { lit.Publish(e) }); allocs != 0 {
+		t.Fatalf("subscribed Publish allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestKindStrings: every kind has a stable printable name.
+func TestKindStrings(t *testing.T) {
+	for k := 0; k < kindCount; k++ {
+		if Kind(k).String() == "unknown" {
+			t.Fatalf("Kind(%d) has no name", k)
+		}
+	}
+}

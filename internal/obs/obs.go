@@ -1,0 +1,122 @@
+// Package obs is the simulation's telemetry spine: a typed event bus
+// with multi-subscriber fan-out and a fixed-capacity ring buffer, periodic
+// Snapshot probes sampled at control-period boundaries, and exporters
+// (Chrome/Perfetto trace-event JSON) over the recorded stream.
+//
+// Every layer of the stack publishes onto one shared Bus — the elastic
+// mechanism its control-period transition firings, the tenant arbiter its
+// core grants, the scheduler its thread migrations and run slices, the
+// engine its per-task operator completions, the open-loop driver its
+// admissions, sheds and query completions — so consumers like
+// trace.MigrationTrace, trace.Tomograph, elastictop and the Perfetto
+// exporter can coexist instead of fighting over single replace-on-attach
+// hooks.
+//
+// Two standing contracts shape the design:
+//
+//   - Events observe, never perturb. Publishing mutates nothing outside
+//     the bus, and every timestamp is an integer simulated-cycle count
+//     taken from the machine clock — no host time, no floats — so a
+//     traced run is bit-identical to an untraced one, fast path or naive.
+//   - Near-zero overhead when dark. Producers keep a nil-checked bus
+//     pointer (one predictable branch when tracing is off), the ring is
+//     preallocated, Event is a flat value struct (no interface boxing),
+//     and Publish with no subscribers allocates nothing.
+//
+// The bus is deliberately single-goroutine, like the simulation itself:
+// no locks, no channels, deterministic fan-out order (subscription order).
+package obs
+
+// Kind discriminates the event types carried by the Bus.
+type Kind uint8
+
+const (
+	// KindMigration is a scheduler thread reassignment (TID moved From ->
+	// Core at Now).
+	KindMigration Kind = iota
+	// KindRunSlice is one executed slice of a thread on a core (TID ran
+	// on Core for Dur cycles from Start; Label is the thread name).
+	KindRunSlice
+	// KindTaskDone is a completed operator task (worker TID ran operator
+	// Label from Start for Dur cycles; Tenant names the owning engine
+	// under consolidation).
+	KindTaskDone
+	// KindTransition is one control-period evaluation of a PrT net
+	// (Label is the fired transition path, V1 the strategy reading fed to
+	// the net, V2 the allocation the step produced — the applied cpuset
+	// size after a Step, the desired size under arbitration — Core the
+	// core added or removed, -1 when the decision moved no core, and Set
+	// the cpuset after the step).
+	KindTransition
+	// KindGrant is one tenant's outcome of an arbitration round (Tenant
+	// asked for V1 cores, was granted V2, holds cpuset Set).
+	KindGrant
+	// KindAdmit is an open-loop admission: a queued request entered a
+	// server session after Dur cycles of queue wait, leaving V1 requests
+	// queued and V2 in flight.
+	KindAdmit
+	// KindShed is an open-loop drop at a full admission queue of depth V1.
+	KindShed
+	// KindQueryDone is an open-loop query completion: total latency Dur
+	// cycles (queue wait plus service), of which V1 cycles were service.
+	KindQueryDone
+
+	kindCount = int(KindQueryDone) + 1
+)
+
+// String names the kind for exporters and diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindMigration:
+		return "migration"
+	case KindRunSlice:
+		return "runslice"
+	case KindTaskDone:
+		return "taskdone"
+	case KindTransition:
+		return "transition"
+	case KindGrant:
+		return "grant"
+	case KindAdmit:
+		return "admit"
+	case KindShed:
+		return "shed"
+	case KindQueryDone:
+		return "querydone"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is the bus's single flat record type. One struct for all kinds —
+// rather than an interface — keeps Publish allocation-free: values are
+// copied into the preallocated ring, never boxed. Field meaning is
+// per-kind (see the Kind constants); unused fields are zero.
+type Event struct {
+	// Kind discriminates the record.
+	Kind Kind
+	// Now is the virtual time of the event in cycles (the machine clock
+	// at publish; for run slices and tasks the *end* of the activity).
+	Now uint64
+	// TID is the subject thread (migration, run slice) or worker (task).
+	TID int64
+	// Core is the core acted on; -1 when the event names no core.
+	Core int32
+	// From is a migration's origin core.
+	From int32
+	// Start is the begin cycle of span events (run slice, task).
+	Start uint64
+	// Dur is the span length in cycles (run slice, task, queue wait,
+	// query latency).
+	Dur uint64
+	// V1 and V2 carry per-kind integer payloads (readings, depths,
+	// demands, grants — see the Kind constants).
+	V1, V2 int64
+	// Set is a cpuset bitmask (transition, grant).
+	Set uint64
+	// Label is a per-kind name: thread name, operator, transition path.
+	Label string
+	// Tenant names the owning tenant under consolidation ("" for the
+	// single-tenant rig).
+	Tenant string
+}

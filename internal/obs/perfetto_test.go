@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// perfettoEvents is a synthetic window covering every kind, the input to
+// the schema checks below.
+func perfettoEvents() []Event {
+	return []Event{
+		{Kind: KindRunSlice, Now: 150, TID: 7, Core: 2, Start: 100, Dur: 50, Label: "worker"},
+		{Kind: KindMigration, Now: 160, TID: 7, Core: 3, From: 2},
+		{Kind: KindTaskDone, Now: 220, TID: 7, Core: -1, Start: 150, Dur: 70, Label: "algebra.subselect", Tenant: "alpha"},
+		{Kind: KindTransition, Now: 250, Core: 4, V1: 93, V2: 3, Set: 0b111, Label: "t1-Overload-t5", Tenant: "alpha"},
+		{Kind: KindGrant, Now: 260, Core: -1, V1: 4, V2: 3, Set: 0b111, Tenant: "alpha"},
+		{Kind: KindAdmit, Now: 300, Core: -1, Dur: 20, V1: 5, V2: 2},
+		{Kind: KindShed, Now: 310, Core: -1, V1: 8},
+		{Kind: KindQueryDone, Now: 400, Core: -1, Dur: 120, V1: 90},
+	}
+}
+
+// decodeTrace unmarshals exporter output and returns the traceEvents.
+func decodeTrace(t *testing.T, raw []byte) []map[string]any {
+	t.Helper()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("exporter output is not valid JSON: %v", err)
+	}
+	return doc.TraceEvents
+}
+
+// TestPerfettoSchema validates the trace-event contract: every event
+// carries name/ph/pid/tid/ts, ph is one of the emitted phases, X events
+// carry a duration, and every (pid, tid) named by thread_name metadata
+// carries at least one real event — the property the CI jq check reruns
+// on a live elasticbench trace.
+func TestPerfettoSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, perfettoEvents()); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+	if len(events) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+	declared := map[[2]float64]bool{} // thread_name metadata tracks
+	carried := map[[2]float64]bool{}  // tracks with >= 1 real event
+	phases := map[string]bool{"X": true, "C": true, "i": true, "M": true}
+	for i, e := range events {
+		ph, _ := e["ph"].(string)
+		name, _ := e["name"].(string)
+		if !phases[ph] {
+			t.Fatalf("event %d: unknown phase %q", i, ph)
+		}
+		if name == "" {
+			t.Fatalf("event %d: empty name", i)
+		}
+		for _, field := range []string{"pid", "tid", "ts"} {
+			if _, ok := e[field].(float64); !ok {
+				t.Fatalf("event %d (%s): missing numeric %s", i, name, field)
+			}
+		}
+		pid, tid := e["pid"].(float64), e["tid"].(float64)
+		switch ph {
+		case "M":
+			if name == "thread_name" {
+				declared[[2]float64{pid, tid}] = true
+			}
+		case "X":
+			if _, ok := e["dur"].(float64); !ok {
+				t.Fatalf("event %d (%s): X without dur", i, name)
+			}
+			carried[[2]float64{pid, tid}] = true
+		default:
+			carried[[2]float64{pid, tid}] = true
+		}
+	}
+	if len(declared) == 0 {
+		t.Fatal("no thread_name metadata emitted")
+	}
+	for track := range declared {
+		if !carried[track] {
+			t.Errorf("track pid=%v tid=%v declared but empty", track[0], track[1])
+		}
+	}
+	// Every kind produced at least one event: 8 inputs, plus metadata.
+	if len(events) < len(perfettoEvents())+3 {
+		t.Fatalf("only %d events for %d inputs", len(events), len(perfettoEvents()))
+	}
+}
+
+// TestPerfettoDeterministic: same events, same bytes — map keys are
+// sorted by encoding/json and track numbering follows the stream.
+func TestPerfettoDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteTrace(&a, perfettoEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(&b, perfettoEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same events differ")
+	}
+}
+
+// TestPerfettoBusRoundTrip: exporting through the Bus uses the retained
+// ring window.
+func TestPerfettoBusRoundTrip(t *testing.T) {
+	bus := NewBus(4)
+	for _, e := range perfettoEvents() {
+		bus.Publish(e)
+	}
+	var buf bytes.Buffer
+	if err := bus.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+	real := 0
+	for _, e := range events {
+		if ph, _ := e["ph"].(string); ph != "M" {
+			real++
+		}
+	}
+	// The ring kept the last 4 inputs: grant (2 events), admit, shed,
+	// querydone (1 each).
+	if real != 5 {
+		t.Fatalf("exported %d real events from a 4-slot ring, want 5", real)
+	}
+}

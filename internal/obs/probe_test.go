@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"testing"
+
+	"elasticore/internal/metrics"
+	"elasticore/internal/numa"
+)
+
+// TestProbeCadence: Maybe samples once per interval, never between, and
+// each snapshot reflects the callbacks and the counter window.
+func TestProbeCadence(t *testing.T) {
+	machine := numa.NewMachine(numa.Opteron8387())
+	cores := 3
+	p := NewProbe(ProbeConfig{
+		Machine:   machine,
+		Every:     1000,
+		Allocated: func() int { return cores },
+		Reading:   func() int { return 42 },
+		Backlog:   func() int { return 7 },
+	})
+
+	p.Maybe()
+	if len(p.Samples()) != 0 {
+		t.Fatal("sampled before the first interval elapsed")
+	}
+	for i := 0; i < 5; i++ {
+		machine.AdvanceTime(500)
+		machine.ChargeBusy(0, 500)
+		p.Maybe()
+		p.Maybe() // second call in the same tick must not double-sample
+	}
+	samples := p.Samples()
+	// 2500 cycles at one sample per 1000: due at 1000 and 2000.
+	if len(samples) != 2 {
+		t.Fatalf("recorded %d samples over 2500 cycles at interval 1000, want 2", len(samples))
+	}
+	s := samples[0]
+	if s.Now != 1000 || s.Allocated != 3 || s.Load != 42 || s.Backlog != 7 {
+		t.Fatalf("sample = %+v, want Now=1000 Allocated=3 Load=42 Backlog=7", s)
+	}
+	if s.EnergyJoules <= 0 {
+		t.Fatalf("busy window priced at %v J, want > 0", s.EnergyJoules)
+	}
+}
+
+// TestProbeLatencyQuantiles: an attached histogram supplies P50/P99 via
+// the batch accessor, matching the per-quantile API exactly.
+func TestProbeLatencyQuantiles(t *testing.T) {
+	machine := numa.NewMachine(numa.Opteron8387())
+	p := NewProbe(ProbeConfig{Machine: machine, Every: 100})
+	var h metrics.Histogram
+	for v := uint64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	p.SetLatency(&h)
+	machine.AdvanceTime(100)
+	p.Maybe()
+	samples := p.Samples()
+	if len(samples) != 1 {
+		t.Fatalf("recorded %d samples, want 1", len(samples))
+	}
+	if want := h.Quantile(0.50); samples[0].P50 != want {
+		t.Fatalf("P50 = %d, want %d", samples[0].P50, want)
+	}
+	if want := h.Quantile(0.99); samples[0].P99 != want {
+		t.Fatalf("P99 = %d, want %d", samples[0].P99, want)
+	}
+}

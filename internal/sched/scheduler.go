@@ -6,6 +6,7 @@ import (
 
 	"elasticore/internal/deque"
 	"elasticore/internal/numa"
+	"elasticore/internal/obs"
 )
 
 // Config tunes the scheduler model.
@@ -103,9 +104,21 @@ type Scheduler struct {
 	// steady-state execution does not allocate.
 	execCtx []ExecContext
 
+	// bus, when attached, receives KindMigration and KindRunSlice events;
+	// nil (the default) keeps the hot path dark.
+	bus *obs.Bus
+
 	// OnMigrate, if set, observes every thread reassignment.
+	//
+	// Deprecated: a single replace-on-attach hook — a second consumer
+	// silently clobbers the first. Subscribe to obs.KindMigration on the
+	// scheduler's bus instead (SetBus / EnsureBus); the field keeps
+	// firing alongside the bus for existing callers.
 	OnMigrate func(MigrationEvent)
 	// OnRunSlice, if set, observes every executed slice.
+	//
+	// Deprecated: single replace-on-attach hook; subscribe to
+	// obs.KindRunSlice on the scheduler's bus instead.
 	OnRunSlice func(RunSlice)
 }
 
@@ -138,6 +151,25 @@ func New(m *numa.Machine, cfg Config) *Scheduler {
 
 // Machine returns the underlying hardware model.
 func (s *Scheduler) Machine() *numa.Machine { return s.machine }
+
+// SetBus attaches the telemetry bus the scheduler publishes migration
+// and run-slice events onto (nil detaches). Attach once, before
+// subscribing consumers: replacing an attached bus orphans its
+// subscribers.
+func (s *Scheduler) SetBus(b *obs.Bus) { s.bus = b }
+
+// Bus returns the attached telemetry bus, nil when dark.
+func (s *Scheduler) Bus() *obs.Bus { return s.bus }
+
+// EnsureBus returns the attached bus, creating and attaching a
+// default-capacity one on first use — the idiom trace consumers use so
+// several of them share one stream.
+func (s *Scheduler) EnsureBus() *obs.Bus {
+	if s.bus == nil {
+		s.bus = obs.NewBus(0)
+	}
+	return s.bus
+}
 
 // Stats returns a copy of the scheduler counters.
 func (s *Scheduler) Stats() Stats { return s.stats }
@@ -446,6 +478,15 @@ func (s *Scheduler) recordMigration(t *Thread, to numa.CoreID) {
 	if s.OnMigrate != nil {
 		s.OnMigrate(MigrationEvent{TID: t.ID, From: from, To: to, Now: s.machine.Now()})
 	}
+	if s.bus != nil {
+		s.bus.Publish(obs.Event{
+			Kind: obs.KindMigration,
+			Now:  s.machine.Now(),
+			TID:  int64(t.ID),
+			Core: int32(to),
+			From: int32(from),
+		})
+	}
 	t.core = to
 }
 
@@ -553,6 +594,18 @@ func (s *Scheduler) runCore(core numa.CoreID, start uint64) {
 			s.machine.ChargeBusy(core, used)
 			if s.OnRunSlice != nil {
 				s.OnRunSlice(RunSlice{TID: t.ID, Core: core, Start: start + (s.cfg.Quantum - budget), Cycles: used})
+			}
+			if s.bus != nil {
+				sliceStart := start + (s.cfg.Quantum - budget)
+				s.bus.Publish(obs.Event{
+					Kind:  obs.KindRunSlice,
+					Now:   sliceStart + used,
+					TID:   int64(t.ID),
+					Core:  int32(core),
+					Start: sliceStart,
+					Dur:   used,
+					Label: t.Name,
+				})
 			}
 		}
 		budget -= used

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"elasticore/internal/numa"
+	"elasticore/internal/obs"
 	"elasticore/internal/sched"
 )
 
@@ -51,6 +52,10 @@ type Arbiter struct {
 	peakDemand int
 	// Rounds counts arbitration rounds executed (overhead accounting).
 	Rounds uint64
+
+	// bus, when attached, receives a KindGrant event for every
+	// AllocationEvent recorded; nil keeps the arbiter dark.
+	bus *obs.Bus
 }
 
 // NewArbiter creates an empty arbiter over the scheduler's machine.
@@ -70,6 +75,30 @@ func NewArbiter(cfg ArbiterConfig) (*Arbiter, error) {
 		period:   cfg.ControlPeriod,
 		nextEval: machine.Now() + cfg.ControlPeriod,
 	}, nil
+}
+
+// SetBus attaches the telemetry bus the arbiter publishes per-tenant
+// grant events onto (nil detaches).
+func (a *Arbiter) SetBus(b *obs.Bus) { a.bus = b }
+
+// Bus returns the attached telemetry bus, nil when dark.
+func (a *Arbiter) Bus() *obs.Bus { return a.bus }
+
+// recordEvent appends one allocation outcome to the timeline and mirrors
+// it onto the bus.
+func (a *Arbiter) recordEvent(e AllocationEvent) {
+	a.events = append(a.events, e)
+	if a.bus != nil {
+		a.bus.Publish(obs.Event{
+			Kind:   obs.KindGrant,
+			Now:    e.Now,
+			Core:   -1,
+			V1:     int64(e.Demand),
+			V2:     int64(e.Grant),
+			Set:    uint64(e.Set),
+			Tenant: e.Tenant,
+		})
+	}
 }
 
 // Tenants returns the arbitrated tenants in add order.
@@ -122,7 +151,7 @@ func (a *Arbiter) Add(t *Tenant) error {
 	t.demand = set.Count()
 	t.lastSet = set
 	a.tenants = append(a.tenants, t)
-	a.events = append(a.events, AllocationEvent{
+	a.recordEvent(AllocationEvent{
 		Now:    a.sch.Machine().Now(),
 		Tenant: t.Name,
 		Demand: t.demand,
@@ -210,7 +239,7 @@ func (a *Arbiter) Step() {
 		if !changed {
 			continue
 		}
-		a.events = append(a.events, AllocationEvent{
+		a.recordEvent(AllocationEvent{
 			Now:    now,
 			Tenant: t.Name,
 			Demand: demand[i],

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"elasticore/internal/numa"
+	"elasticore/internal/obs"
 	"elasticore/internal/sched"
 )
 
@@ -20,12 +21,34 @@ type MigrationTrace struct {
 	slices []sched.RunSlice
 }
 
-// NewMigrationTrace hooks a trace into the scheduler. Existing hooks are
-// replaced.
+// NewMigrationTrace subscribes a trace to the scheduler's telemetry bus
+// (attaching one if needed). Unlike the deprecated OnMigrate/OnRunSlice
+// hooks it replaces, any number of traces and other consumers coexist on
+// the one stream.
 func NewMigrationTrace(s *sched.Scheduler) *MigrationTrace {
-	t := &MigrationTrace{topo: s.Machine().Topology()}
-	s.OnMigrate = func(e sched.MigrationEvent) { t.events = append(t.events, e) }
-	s.OnRunSlice = func(r sched.RunSlice) { t.slices = append(t.slices, r) }
+	return NewMigrationTraceOn(s.EnsureBus(), s.Machine().Topology())
+}
+
+// NewMigrationTraceOn subscribes a trace to an existing bus — the form
+// used when several consumers share one rig-wide stream.
+func NewMigrationTraceOn(b *obs.Bus, topo *numa.Topology) *MigrationTrace {
+	t := &MigrationTrace{topo: topo}
+	b.Subscribe(obs.KindMigration, func(e obs.Event) {
+		t.events = append(t.events, sched.MigrationEvent{
+			TID:  sched.TID(e.TID),
+			From: numa.CoreID(e.From),
+			To:   numa.CoreID(e.Core),
+			Now:  e.Now,
+		})
+	})
+	b.Subscribe(obs.KindRunSlice, func(e obs.Event) {
+		t.slices = append(t.slices, sched.RunSlice{
+			TID:    sched.TID(e.TID),
+			Core:   numa.CoreID(e.Core),
+			Start:  e.Start,
+			Cycles: e.Dur,
+		})
+	})
 	return t
 }
 

@@ -7,6 +7,8 @@ import (
 
 	"elasticore/internal/db"
 	"elasticore/internal/numa"
+	"elasticore/internal/obs"
+	"elasticore/internal/sched"
 )
 
 // Tomograph aggregates per-operator task executions like MonetDB's
@@ -17,10 +19,25 @@ type Tomograph struct {
 	events []db.TaskEvent
 }
 
-// NewTomograph hooks into the engine's task-completion stream.
+// NewTomograph subscribes to the engine's task-completion stream via its
+// telemetry bus (attaching one if needed). Unlike the deprecated
+// OnTaskDone hook it replaces, any number of consumers coexist.
 func NewTomograph(e *db.Engine, topo *numa.Topology) *Tomograph {
+	return NewTomographOn(e.EnsureBus(), topo)
+}
+
+// NewTomographOn subscribes a tomograph to an existing bus — the form
+// used when several consumers share one rig-wide stream.
+func NewTomographOn(b *obs.Bus, topo *numa.Topology) *Tomograph {
 	t := &Tomograph{topo: topo}
-	e.OnTaskDone = func(ev db.TaskEvent) { t.events = append(t.events, ev) }
+	b.Subscribe(obs.KindTaskDone, func(e obs.Event) {
+		t.events = append(t.events, db.TaskEvent{
+			Worker: sched.TID(e.TID),
+			Op:     e.Label,
+			Start:  e.Start,
+			End:    e.Start + e.Dur,
+		})
+	})
 	return t
 }
 

@@ -136,3 +136,34 @@ func TestTomographParallelism(t *testing.T) {
 		}
 	}
 }
+
+// TestTraceConsumersCoexist: before the bus, each trace constructor
+// replaced the scheduler's single hook, so attaching a second consumer
+// silently disconnected the first. All consumers now subscribe to the
+// shared bus, and the deprecated raw hooks still fire beside them.
+func TestTraceConsumersCoexist(t *testing.T) {
+	sc, eng, m := tracedRig(t)
+	trA := NewMigrationTrace(sc)
+	trB := NewMigrationTrace(sc) // would have clobbered trA pre-bus
+	tg := NewTomograph(eng, m.Topology())
+	rawSlices := 0
+	sc.OnRunSlice = func(sched.RunSlice) { rawSlices++ }
+
+	q := eng.Submit(tpch.BuildQ6(1))
+	if !sc.RunUntil(q.Done, m.Topology().SecondsToCycles(300)) {
+		t.Fatal("query did not finish")
+	}
+
+	if len(trA.slices) == 0 {
+		t.Fatal("first trace saw no slices after a second attached")
+	}
+	if len(trA.slices) != len(trB.slices) {
+		t.Fatalf("traces diverged: %d vs %d slices", len(trA.slices), len(trB.slices))
+	}
+	if rawSlices != len(trA.slices) {
+		t.Fatalf("deprecated hook saw %d slices, bus consumers %d", rawSlices, len(trA.slices))
+	}
+	if len(tg.Stats()) == 0 {
+		t.Fatal("tomograph saw no tasks while migration traces attached")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"elasticore/internal/db"
 	"elasticore/internal/elastic"
 	"elasticore/internal/numa"
+	"elasticore/internal/obs"
 	"elasticore/internal/sched"
 	"elasticore/internal/tenant"
 	"elasticore/internal/tpch"
@@ -49,6 +50,10 @@ type MultiOptions struct {
 	// Naive runs the consolidated rig on the pre-optimization hot paths
 	// (see Options.Naive); results are bit-identical either way.
 	Naive bool
+	// Bus, when set, is attached to the shared scheduler and arbiter and
+	// to every tenant's engine and mechanism, labelling per-tenant events
+	// with the tenant name.
+	Bus *obs.Bus
 }
 
 // TenantRig is one consolidated tenant: the arbitrated Tenant plus its
@@ -71,6 +76,9 @@ type MultiRig struct {
 	Arbiter *tenant.Arbiter
 	Tenants []*TenantRig
 	Opts    MultiOptions
+	// Bus is the telemetry bus attached to the rig's producers; nil when
+	// the rig runs dark.
+	Bus *obs.Bus
 }
 
 // NewMultiRig builds the shared machine and scheduler, then one store,
@@ -115,6 +123,11 @@ func NewMultiRig(opts MultiOptions) (*MultiRig, error) {
 		return nil, err
 	}
 	m := &MultiRig{Machine: machine, Sched: sc, Arbiter: arb, Opts: opts}
+	if opts.Bus != nil {
+		m.Bus = opts.Bus
+		sc.SetBus(opts.Bus)
+		arb.SetBus(opts.Bus)
+	}
 
 	for i, spec := range opts.Tenants {
 		pid := DBMSPID + i
@@ -153,6 +166,10 @@ func NewMultiRig(opts MultiOptions) (*MultiRig, error) {
 		}
 		if err := arb.Add(tn); err != nil {
 			return nil, err
+		}
+		if opts.Bus != nil {
+			eng.SetBus(opts.Bus, spec.Name)
+			tn.Mech.SetBus(opts.Bus, spec.Name)
 		}
 		m.Tenants = append(m.Tenants, &TenantRig{
 			Tenant:  tn,

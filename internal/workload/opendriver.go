@@ -6,6 +6,7 @@ import (
 	"elasticore/internal/deque"
 	"elasticore/internal/metrics"
 	"elasticore/internal/numa"
+	"elasticore/internal/obs"
 	"elasticore/internal/sched"
 )
 
@@ -113,6 +114,7 @@ func (d *OpenDriver) Run(plan PlanAt) OpenResult {
 	}
 	r := d.Rig
 	topo := r.Machine.Topology()
+	bus := r.Bus
 
 	var res OpenResult
 	var queue deque.Deque[uint64] // arrival cycle of each queued request
@@ -121,6 +123,12 @@ func (d *OpenDriver) Run(plan PlanAt) OpenResult {
 	if r.Mech != nil && !d.DisableBacklog {
 		r.Mech.SetBacklog(func() int { return queue.Len() })
 		defer r.Mech.SetBacklog(nil)
+	}
+	if r.Probe != nil {
+		// Timeline samples during this phase carry the queue depth and
+		// the phase's cumulative latency quantiles.
+		r.Probe.SetLatency(&res.Latency)
+		defer r.Probe.SetLatency(nil)
 	}
 
 	startSnap := r.Machine.Snapshot()
@@ -163,6 +171,15 @@ func (d *OpenDriver) Run(plan PlanAt) OpenResult {
 			d.winLatency.Record(total)
 			winCompleted++
 			res.Completed++
+			if bus != nil {
+				bus.Publish(obs.Event{
+					Kind: obs.KindQueryDone,
+					Now:  nowC,
+					Core: -1,
+					Dur:  total,
+					V1:   int64(service),
+				})
+			}
 			r.Engine.Release(f.q)
 		}
 		flights = kept
@@ -172,6 +189,14 @@ func (d *OpenDriver) Run(plan PlanAt) OpenResult {
 		for more && nextAt <= nowC {
 			if queue.Len() >= d.QueueCap {
 				res.Dropped++
+				if bus != nil {
+					bus.Publish(obs.Event{
+						Kind: obs.KindShed,
+						Now:  nowC,
+						Core: -1,
+						V1:   int64(queue.Len()),
+					})
+				}
 			} else {
 				queue.PushBack(nextAt)
 			}
@@ -191,6 +216,16 @@ func (d *OpenDriver) Run(plan PlanAt) OpenResult {
 			res.Admitted++
 			q := r.Engine.Submit(p)
 			flights = append(flights, openFlight{q: q, waitCycles: nowC - at})
+			if bus != nil {
+				bus.Publish(obs.Event{
+					Kind: obs.KindAdmit,
+					Now:  nowC,
+					Core: -1,
+					Dur:  nowC - at,
+					V1:   int64(queue.Len()),
+					V2:   int64(len(flights)),
+				})
+			}
 		}
 
 		if queue.Len() > res.PeakQueueDepth {

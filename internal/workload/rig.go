@@ -10,6 +10,7 @@ import (
 	"elasticore/internal/db"
 	"elasticore/internal/elastic"
 	"elasticore/internal/numa"
+	"elasticore/internal/obs"
 	"elasticore/internal/sched"
 	"elasticore/internal/tpch"
 )
@@ -82,6 +83,11 @@ type Options struct {
 	// the default fast paths; only host CPU time differs. Equivalence
 	// tests and the bench harness use it.
 	Naive bool
+	// Bus, when set, is attached to every producer of the rig (scheduler,
+	// engine, mechanism, open-loop driver) so one telemetry stream spans
+	// the stack. Events observe, never perturb: a traced rig's simulated
+	// results are bit-identical to an untraced one's.
+	Bus *obs.Bus
 }
 
 // DBMSPID is the simulated server process id.
@@ -143,6 +149,12 @@ type Rig struct {
 	Mech    *elastic.Mechanism // nil under ModeOS
 	Dataset *tpch.Dataset
 	Opts    Options
+	// Bus is the telemetry bus attached to the rig's producers; nil when
+	// the rig runs dark (see Options.Bus, EnsureBus).
+	Bus *obs.Bus
+	// Probe, when enabled, samples timeline Snapshots each Tick (see
+	// EnableProbe).
+	Probe *obs.Probe
 }
 
 // NewRig builds the machine, loads TPC-H, starts the engine and, unless
@@ -222,7 +234,69 @@ func NewRig(opts Options) (*Rig, error) {
 		}
 		r.Mech = mech
 	}
+	if opts.Bus != nil {
+		r.attachBus(opts.Bus)
+	}
 	return r, nil
+}
+
+// attachBus wires one bus into every producer of the rig.
+func (r *Rig) attachBus(b *obs.Bus) {
+	r.Bus = b
+	r.Sched.SetBus(b)
+	r.Engine.SetBus(b, "")
+	if r.Mech != nil {
+		r.Mech.SetBus(b, "")
+	}
+}
+
+// EnsureBus returns the rig's bus, attaching one on first use. A bus the
+// scheduler already carries (a trace consumer called sched.EnsureBus
+// before the rig did) is adopted rather than replaced, so earlier
+// subscribers keep their stream.
+func (r *Rig) EnsureBus() *obs.Bus {
+	if r.Bus != nil {
+		return r.Bus
+	}
+	b := r.Sched.Bus()
+	if b == nil {
+		b = obs.NewBus(0)
+	}
+	r.attachBus(b)
+	return b
+}
+
+// EnableProbe starts periodic Snapshot sampling driven by Tick: every
+// interval cycles (zero selects the mechanism's control period, or its
+// 0.25 ms default under ModeOS) the probe records allocated cores, the
+// strategy reading, interconnect and memory traffic, and the energy
+// estimate of the window. Open-loop drivers additionally wire their
+// backlog and latency sources for the duration of a phase.
+func (r *Rig) EnableProbe(interval uint64) *obs.Probe {
+	if r.Probe != nil {
+		return r.Probe
+	}
+	if interval == 0 {
+		interval = r.Opts.ControlPeriod
+	}
+	cfg := obs.ProbeConfig{
+		Machine:   r.Machine,
+		Every:     interval,
+		Allocated: func() int { return r.CGroup.CPUs().Count() },
+	}
+	if r.Mech != nil {
+		strategy := r.Mech.Strategy()
+		machine, group := r.Machine, r.CGroup
+		var last numa.Counters = machine.Snapshot()
+		cfg.Reading = func() int {
+			snap := machine.Snapshot()
+			window := snap.Sub(last)
+			last = snap
+			return strategy.Reading(elastic.Sample{Window: window, Allocated: group.CPUs().Cores()})
+		}
+	}
+	r.Probe = obs.NewProbe(cfg)
+	return r.Probe
 }
 
 // touchDeltaResidency returns the adaptive mode's residency source for a
@@ -252,6 +326,9 @@ func (r *Rig) Tick() {
 	r.Sched.Tick()
 	if r.Mech != nil {
 		r.Mech.Maybe()
+	}
+	if r.Probe != nil {
+		r.Probe.Maybe()
 	}
 }
 
