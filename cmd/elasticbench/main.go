@@ -91,6 +91,10 @@ Run flags:
                fractions of saturation (default 0.25,0.5,0.75,1,1.5,2)
   -arrival S   latency-load arrival process: poisson | mmpp | diurnal
   -open-arrivals N  arrivals offered per open-loop point (default 120)
+  -machines N  fleet size for the cluster experiments (default 4;
+               scale-out sweeps 1..N in powers of two)
+  -shards N    fleet partition count (default 2x machines; must be
+               >= machines so every machine owns data)
   -topology S  machine shape for rig experiments: a zoo name (opteron,
                2socket, 4ring, 8twisted, epyc) or a spec like "2x8" or
                "4x4 @ 1 2 1 1 2 1" (nodes x cores @ upper-triangle hop
@@ -152,6 +156,8 @@ func bindRunFlags(fs *flag.FlagSet) (*runFlags, *string) {
 	fs.StringVar(&rf.loads, "loads", "", "comma-separated offered-load fractions for latency-load (default 0.25,0.5,0.75,1,1.5,2)")
 	fs.StringVar(&rf.cfg.Arrival, "arrival", "", "latency-load arrival process: poisson | mmpp | diurnal")
 	fs.IntVar(&rf.cfg.OpenArrivals, "open-arrivals", 0, "arrivals offered per open-loop point (default 120)")
+	fs.IntVar(&rf.cfg.Machines, "machines", 0, "fleet size for the cluster experiments (default 4)")
+	fs.IntVar(&rf.cfg.Shards, "shards", 0, "fleet partition count (default 2x machines; must be >= machines)")
 	fs.StringVar(&rf.cfg.Topology, "topology", "", "machine shape: zoo name or \"nodes x cores [@ hops...]\" spec")
 	engine := fs.String("engine", "monetdb", "engine flavour: monetdb | sqlserver")
 	fs.StringVar(&rf.trace, "trace", "", "write a Chrome/Perfetto trace-event JSON file (single experiment only)")

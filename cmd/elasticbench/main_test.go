@@ -107,6 +107,42 @@ func TestTopologyFlagFailsFast(t *testing.T) {
 	}
 }
 
+// TestMachinesFlagFailsFast: a negative -machines must fail the batch
+// before any experiment runs (central Config validation), turning into
+// a non-zero exit status.
+func TestMachinesFlagFailsFast(t *testing.T) {
+	rf := quietRunFlags(t)
+	rf.cfg.Machines = -1
+	if err := execute([]string{"test-always-succeeds"}, rf); err == nil {
+		t.Fatal("-machines -1 accepted")
+	}
+}
+
+// TestShardsFlagFailsFast: fewer shards than machines would leave
+// machines without data; the batch must fail up front.
+func TestShardsFlagFailsFast(t *testing.T) {
+	rf := quietRunFlags(t)
+	rf.cfg.Machines = 4
+	rf.cfg.Shards = 2
+	if err := execute([]string{"test-always-succeeds"}, rf); err == nil {
+		t.Fatal("-machines 4 -shards 2 accepted")
+	}
+}
+
+// TestMachinesFlagRunsFleet: the flags reach the cluster experiments —
+// a 2-machine scale-out runs end to end.
+func TestMachinesFlagRunsFleet(t *testing.T) {
+	rf := quietRunFlags(t)
+	rf.cfg.SF = 0.002
+	rf.cfg.Clients = 4
+	rf.cfg.Seed = 7
+	rf.cfg.OpenArrivals = 20
+	rf.cfg.Machines = 2
+	if err := execute([]string{"scale-out"}, rf); err != nil {
+		t.Fatalf("scale-out on 2 machines failed: %v", err)
+	}
+}
+
 // TestTopologyFlagAcceptsZooNames: a named shape runs a real experiment
 // end to end on the selected machine.
 func TestTopologyFlagAcceptsZooNames(t *testing.T) {

@@ -20,7 +20,11 @@
 //     experiment harness per paper figure (internal/workload,
 //     internal/metrics, internal/trace, internal/experiments),
 //   - multi-tenant consolidation: per-tenant elastic mechanisms under a
-//     machine-level, SLA-weighted core arbiter (internal/tenant).
+//     machine-level, SLA-weighted core arbiter (internal/tenant),
+//   - a cluster tier: sharded fleets of lockstep machines behind a
+//     scatter-gather coordinator, with a second control tier moving
+//     cores across machines at an explicit migration cost
+//     (internal/cluster).
 //
 // This file re-exports the handful of types a downstream user needs to
 // run elastic-allocation experiments without reaching into the internal
@@ -31,6 +35,7 @@ import (
 	"io"
 
 	"elasticore/internal/arrivals"
+	"elasticore/internal/cluster"
 	"elasticore/internal/db"
 	"elasticore/internal/elastic"
 	"elasticore/internal/experiments"
@@ -198,7 +203,64 @@ const (
 	KindAdmit      = obs.KindAdmit
 	KindShed       = obs.KindShed
 	KindQueryDone  = obs.KindQueryDone
+	KindRoute      = obs.KindRoute
+	KindRebalance  = obs.KindRebalance
 )
+
+// Cluster tier types (internal/cluster): the single-machine mechanism
+// scaled out — N lockstep simulated machines behind a sharded TPC-H
+// dataset, an open-loop coordinator routing and scatter-gathering
+// queries, and a second control tier moving whole cores across machines
+// with an explicit migration-latency cost.
+type (
+	// Fleet is N lockstep machines (each a Rig) behind one Sharder.
+	Fleet = cluster.Fleet
+	// FleetOptions configures NewFleet.
+	FleetOptions = cluster.Options
+	// Sharder owns the deterministic key -> shard -> machine placement
+	// (hashed shards, contiguous per-machine ranges).
+	Sharder = cluster.Sharder
+	// Coordinator replays an arrival process against a fleet: keyed
+	// requests go to their shard's owner, unkeyed ones to the
+	// least-loaded machine, every n-th as a scatter-gather over all.
+	Coordinator = cluster.Coordinator
+	// CoordinatorResult summarizes one coordinator run, with fleet-wide
+	// histograms and per-machine stats.
+	CoordinatorResult = cluster.Result
+	// BalancePolicy routes unkeyed requests (shortest-queue or weighted
+	// by allocated cores).
+	BalancePolicy = cluster.Policy
+	// ClusterArbiter is the cluster-level control tier: it collects the
+	// per-machine mechanisms' desired allocations and moves whole cores
+	// across machines within a fleet-wide budget, charging a migration
+	// latency per moved core.
+	ClusterArbiter = cluster.ClusterArbiter
+	// ClusterArbiterConfig assembles a ClusterArbiter.
+	ClusterArbiterConfig = cluster.ClusterArbiterConfig
+)
+
+// Balance policies re-exported for Coordinator construction.
+const (
+	BalanceShortestQueue = cluster.BalanceShortestQueue
+	BalanceWeighted      = cluster.BalanceWeighted
+)
+
+// NewFleet builds N lockstep machines, each loading its owned fraction
+// of the total scale factor (the fleet as a whole stores one database).
+func NewFleet(opts FleetOptions) (*Fleet, error) { return cluster.NewFleet(opts) }
+
+// NewSharder partitions `shards` hashed shards into contiguous ranges
+// across `machines` (shards >= machines >= 1).
+func NewSharder(shards, machines int) (*Sharder, error) {
+	return cluster.NewSharder(shards, machines)
+}
+
+// NewClusterArbiter attaches the cluster control tier to a fleet; every
+// machine must run an elastic mode (the per-machine mechanisms evaluate,
+// the arbiter applies).
+func NewClusterArbiter(cfg ClusterArbiterConfig) (*ClusterArbiter, error) {
+	return cluster.NewClusterArbiter(cfg)
+}
 
 // Multi-tenant consolidation types (the paper's Section VII cloud
 // setting): several tenant databases, each with its own elastic

@@ -141,6 +141,97 @@ func ExampleArbiter() {
 	// gold keeps its floor: true
 }
 
+// ExampleSharder partitions hashed shards into contiguous per-machine
+// ranges: the same key always routes to the same shard, and every shard
+// has exactly one owner.
+func ExampleSharder() {
+	sh, err := elasticore.NewSharder(8, 4) // 8 shards on 4 machines
+	if err != nil {
+		log.Fatal(err)
+	}
+	for m := 0; m < 4; m++ {
+		lo, hi := sh.ShardsOf(m)
+		fmt.Printf("machine %d owns shards [%d,%d)\n", m, lo, hi)
+	}
+	key := sh.KeyForShard(5, 0) // synthesize a key hashing to shard 5
+	fmt.Println("key routes to shard", sh.Shard(key), "on machine", sh.MachineFor(key))
+	// Output:
+	// machine 0 owns shards [0,2)
+	// machine 1 owns shards [2,4)
+	// machine 2 owns shards [4,6)
+	// machine 3 owns shards [6,8)
+	// key routes to shard 5 on machine 2
+}
+
+// ExampleCoordinator runs open-loop traffic against a two-machine fleet:
+// keyed queries go to their shard's owner, every third request fans out
+// to all machines and merges by scalar addition.
+func ExampleCoordinator() {
+	fleet, err := elasticore.NewFleet(elasticore.FleetOptions{
+		Machines: 2,
+		Shards:   4,
+		SF:       0.002,
+		Seed:     7,
+		Mode:     elasticore.ModeDense,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := &elasticore.Coordinator{
+		Fleet:   fleet,
+		Process: elasticore.PoissonArrivals(400, 7),
+		Keys: func(k int) uint64 { // route request k by its shard
+			return fleet.Sharder.KeyForShard(k%fleet.Sharder.Shards(), uint64(k))
+		},
+		ScatterEvery: 3,
+		MaxArrivals:  12,
+	}
+	res := c.Run()
+	fmt.Println("offered:", res.Offered, "scattered:", res.Scattered)
+	fmt.Println("all completed:", res.Completed == res.Offered)
+	fmt.Println("merged revenue positive:", res.MergedScalars > 0)
+	// Output:
+	// offered: 12 scattered: 4
+	// all completed: true
+	// merged revenue positive: true
+}
+
+// ExampleClusterArbiter attaches the cluster control tier to a fleet
+// under a core budget below physical capacity: the per-machine
+// mechanisms evaluate their desires, the arbiter apportions and moves
+// cores across machines, charging a migration latency per moved core.
+func ExampleClusterArbiter() {
+	fleet, err := elasticore.NewFleet(elasticore.FleetOptions{
+		Machines: 2,
+		SF:       0.002,
+		Seed:     7,
+		Mode:     elasticore.ModeAdaptive,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ca, err := elasticore.NewClusterArbiter(elasticore.ClusterArbiterConfig{
+		Fleet:  fleet,
+		Budget: 12, // two 16-core machines share 12 cores
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 50000; i++ {
+		fleet.Tick()
+	}
+	held := 0
+	for _, n := range fleet.AllocatedCores() {
+		held += n
+	}
+	fmt.Println("within budget:", held+ca.InTransit() <= ca.Budget())
+	fmt.Println("charged = moved x latency:",
+		ca.ChargedCycles == uint64(ca.MovedCores)*ca.MigrateLatency())
+	// Output:
+	// within budget: true
+	// charged = moved x latency: true
+}
+
 // ExamplePlacement grows an allocation core by core on the 8-socket
 // twisted-ladder machine: the node-fill policy packs one socket, then
 // opens a one-hop neighbour — never a distant node.

@@ -1,0 +1,93 @@
+// Cluster: scale the elastic mechanism out — a fleet of four simulated
+// machines shares one sharded TPC-H dataset behind a coordinator that
+// routes keyed queries to their shard's owner and fans every eighth
+// request out to all machines, merging the partial results. A cluster
+// arbiter arbitrates a core budget below the fleet's physical capacity,
+// moving whole cores between machines at an explicit migration cost
+// while a hot shard shifts from the first machine to the last.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elasticore"
+)
+
+func main() {
+	fleet, err := elasticore.NewFleet(elasticore.FleetOptions{
+		Machines: 4,
+		Shards:   8,
+		SF:       0.004, // total dataset; each machine loads its owned 1/4
+		Seed:     7,
+		Mode:     elasticore.ModeAdaptive,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sh := fleet.Sharder
+	fmt.Printf("fleet: %d machines x %s, %d shards\n",
+		fleet.Machines(), fleet.Rigs[0].Machine.Topology(), sh.Shards())
+
+	// 40 of the fleet's 64 physical cores are granted at any moment; the
+	// rest is headroom the arbiter shifts toward whichever machines the
+	// per-machine mechanisms report as overloaded.
+	ca, err := elasticore.NewClusterArbiter(elasticore.ClusterArbiterConfig{
+		Fleet:  fleet,
+		Budget: 40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The key stream concentrates on machine 0's first shard for the
+	// first half of the run, then jumps to the last machine's — a moving
+	// hot spot the cluster tier has to follow.
+	const total = 320
+	hotA, _ := sh.ShardsOf(0)
+	hotB, _ := sh.ShardsOf(fleet.Machines() - 1)
+	coord := &elasticore.Coordinator{
+		Fleet:   fleet,
+		Process: elasticore.PoissonArrivals(3000, 42),
+		Keys: func(k int) uint64 {
+			hot := hotA
+			if k >= total/2 {
+				hot = hotB
+			}
+			return sh.KeyForShard(hot, uint64(k))
+		},
+		ScatterEvery: 8,
+		MaxInFlight:  4,
+		MaxArrivals:  total,
+		MaxSeconds:   10,
+	}
+	res := coord.Run()
+
+	topo := fleet.Rigs[0].Machine.Topology()
+	ms := func(cycles uint64) float64 { return topo.CyclesToSeconds(cycles) * 1e3 }
+	fmt.Printf("offered %d (keyed %d, scattered %d): completed %d, dropped %d in %.3fs (%.1f q/s)\n",
+		res.Offered, res.RoutedKeyed, res.Scattered, res.Completed, res.Dropped,
+		res.ElapsedSeconds, res.Throughput)
+	fmt.Printf("latency p50 %.2fms  p99 %.2fms; merged revenue %.2f\n",
+		ms(res.Latency.P50()), ms(res.Latency.P99()), res.MergedScalars)
+
+	fmt.Println("\nper machine (routed / completed / cores at end):")
+	for m, st := range res.PerMachine {
+		fmt.Printf("  machine %d: %4d routed  %4d completed  %2d cores\n",
+			m, st.Routed, st.Completed, st.AllocatedEnd)
+	}
+
+	fmt.Printf("\ncluster arbiter: %d rounds, %d cores moved, %.2f Mcycles charged in transit\n",
+		ca.Rounds, ca.MovedCores, float64(ca.ChargedCycles)/1e6)
+	events := ca.Events()
+	tail := events
+	if len(tail) > 6 {
+		tail = tail[len(tail)-6:]
+	}
+	fmt.Printf("%d rebalances; tail:\n", len(events))
+	for _, e := range tail {
+		fmt.Printf("  t=%.3fs machine %d %+d cores -> %d (migration %.2fms)\n",
+			topo.CyclesToSeconds(e.Now), e.Machine, e.Delta, e.Target,
+			topo.CyclesToSeconds(e.Latency)*1e3)
+	}
+}

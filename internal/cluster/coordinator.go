@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"elasticore/internal/arrivals"
+	"elasticore/internal/db"
+	"elasticore/internal/metrics"
+	"elasticore/internal/obs"
+	"elasticore/internal/tpch"
+	"elasticore/internal/workload"
+)
+
+// coordinator.go is the fleet's front door: the open-loop driver
+// generalized from one machine to N. Requests arrive from an arrival
+// process, are routed — keyed requests to their shard's owner, unkeyed
+// ones by a load-balance policy, every ScatterEvery-th as a
+// scatter-gather fan-out over all machines — and each machine runs its
+// own workload.Admission (the same bounded-queue/session layer the
+// single-machine OpenDriver uses). Partial results of a scatter merge
+// by scalar addition; the parent request completes when its last
+// sub-query does.
+
+// Policy selects how unkeyed requests pick a machine.
+type Policy int
+
+const (
+	// BalanceShortestQueue routes to the machine with the fewest queued
+	// requests (ties: fewer in flight, then lowest index).
+	BalanceShortestQueue Policy = iota
+	// BalanceWeighted routes to the machine with the lowest queue depth
+	// per allocated core, so a machine the arbiter grew absorbs
+	// proportionally more traffic (ties: lowest index).
+	BalanceWeighted
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	if p == BalanceWeighted {
+		return "weighted"
+	}
+	return "shortest-queue"
+}
+
+// parentReq tracks one routed request until every sub-query finishes.
+type parentReq struct {
+	at      uint64
+	pending int
+	merged  float64
+	label   string
+}
+
+// MachineStats is one machine's share of a coordinator run.
+type MachineStats struct {
+	// Routed counts requests (or scatter sub-queries) sent here.
+	Routed int
+	// Admitted, Dropped and Completed are the machine's admission-layer
+	// outcomes; PeakQueueDepth and PeakInFlight its maxima.
+	Admitted, Dropped, Completed int
+	PeakQueueDepth, PeakInFlight int
+	// Latency is the machine-local per-query latency histogram (cycles).
+	Latency metrics.Histogram
+	// AllocatedEnd is the machine's core count when the run ended.
+	AllocatedEnd int
+}
+
+// Result summarizes one coordinator run. Counts are parent requests
+// (a scatter counts once, however many machines it fanned to).
+type Result struct {
+	// ElapsedSeconds is the virtual wall time of the run.
+	ElapsedSeconds float64
+	// Offered = Completed + Dropped + Abandoned: every generated request
+	// either finished, was shed at a full queue (a scatter sheds
+	// atomically: all sub-queries or none), or was still queued or in
+	// flight at the deadline.
+	Offered, Completed, Dropped, Abandoned int
+	// RoutedKeyed, RoutedBalanced and Scattered split Offered by routing
+	// kind.
+	RoutedKeyed, RoutedBalanced, Scattered int
+	// Throughput is parent completions per virtual second.
+	Throughput float64
+	// Latency is the fleet-wide parent-request latency histogram in
+	// cycles (arrival to last sub-query completion).
+	Latency metrics.Histogram
+	// QueueWait and Service are fleet-wide per-query histograms, merged
+	// bucket-wise from the per-machine admission layers.
+	QueueWait, Service metrics.Histogram
+	// MergedScalars sums every completed request's merged scalar — the
+	// cross-check that scatter-gather merging loses nothing.
+	MergedScalars float64
+	// PerMachine is indexed by machine.
+	PerMachine []MachineStats
+}
+
+// Coordinator replays an arrival process against a fleet.
+type Coordinator struct {
+	// Fleet is the machine pool (required).
+	Fleet *Fleet
+	// Process generates arrival timestamps relative to the run start. A
+	// nil process offers nothing.
+	Process arrivals.Process
+	// Policy routes unkeyed requests (default BalanceShortestQueue).
+	Policy Policy
+	// Keys, when set, returns the routing key of the k-th offered
+	// request (0-based); its shard's owner serves it. Nil leaves every
+	// request unkeyed (balance-routed).
+	Keys func(k int) uint64
+	// ScatterEvery makes every n-th offered request (1-based: requests
+	// n-1, 2n-1, ...) a scatter-gather over all machines; 0 disables.
+	ScatterEvery int
+	// Build builds the plan of an admitted (sub-)query from its parent
+	// request id (default tpch.BuildQ6(id+1)); a scatter's sub-queries
+	// share the parent id, i.e. they are the same query on every shard.
+	Build func(id uint64) *db.Plan
+	// MergeScalar names the scalar summed across sub-queries (default
+	// "result", Q6's revenue).
+	MergeScalar string
+	// MaxInFlight and QueueCap bound each machine's admission layer
+	// (defaults 64 and 1024, as for the single-machine OpenDriver).
+	MaxInFlight, QueueCap int
+	// MaxArrivals stops offering after this many requests; zero offers
+	// until MaxSeconds.
+	MaxArrivals int
+	// MaxSeconds bounds the run in virtual time (default 600).
+	MaxSeconds float64
+	// DisableBacklog leaves the mechanisms' queue-pressure inputs
+	// unwired (A/B baselines).
+	DisableBacklog bool
+}
+
+// pick returns the balance policy's machine for an unkeyed request.
+func (c *Coordinator) pick(adms []*workload.Admission) int {
+	best := 0
+	switch c.Policy {
+	case BalanceWeighted:
+		// Lowest queue depth per allocated core: compare q_i/w_i by
+		// cross-multiplication to stay in integers.
+		bw := c.Fleet.Rigs[0].AllocatedCores()
+		bq := adms[0].QueueLen() + adms[0].InFlight()
+		for m := 1; m < len(adms); m++ {
+			w := c.Fleet.Rigs[m].AllocatedCores()
+			q := adms[m].QueueLen() + adms[m].InFlight()
+			if q*bw < bq*w {
+				best, bq, bw = m, q, w
+			}
+		}
+	default:
+		for m := 1; m < len(adms); m++ {
+			q, b := adms[m], adms[best]
+			if q.QueueLen() < b.QueueLen() ||
+				(q.QueueLen() == b.QueueLen() && q.InFlight() < b.InFlight()) {
+				best = m
+			}
+		}
+	}
+	return best
+}
+
+// Run replays the arrival process to completion (or the deadline) and
+// returns the fleet-wide summary.
+func (c *Coordinator) Run() Result {
+	f := c.Fleet
+	if c.MaxSeconds == 0 {
+		c.MaxSeconds = 600
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1024
+	}
+	if c.Build == nil {
+		c.Build = func(id uint64) *db.Plan { return tpch.BuildQ6(id + 1) }
+	}
+	if c.MergeScalar == "" {
+		c.MergeScalar = "result"
+	}
+	topo := f.Rigs[0].Machine.Topology()
+	bus := f.Bus
+
+	var res Result
+	res.PerMachine = make([]MachineStats, len(f.Rigs))
+	var reqs []parentReq
+
+	adms := make([]*workload.Admission, len(f.Rigs))
+	for m, r := range f.Rigs {
+		adm := &workload.Admission{
+			Rig:         r,
+			MaxInFlight: c.MaxInFlight,
+			QueueCap:    c.QueueCap,
+			MachineID:   int32(m),
+		}
+		adm.OnComplete = func(tag int64, q *db.Query, total, service uint64) {
+			p := &reqs[tag]
+			p.merged += q.Scalar(c.MergeScalar)
+			p.pending--
+			if p.pending == 0 {
+				res.Completed++
+				res.MergedScalars += p.merged
+				res.Latency.Record(f.Now() - p.at)
+			}
+		}
+		adms[m] = adm
+		if r.Mech != nil && !c.DisableBacklog {
+			r.Mech.SetBacklog(adm.QueueLen)
+			defer r.Mech.SetBacklog(nil)
+		}
+	}
+	plans := make([]func(k int, tag int64) *db.Plan, len(f.Rigs))
+	for m := range plans {
+		plans[m] = func(_ int, tag int64) *db.Plan { return c.Build(uint64(tag)) }
+	}
+
+	startCycle := f.Now()
+	startTime := f.NowSeconds()
+	deadline := startTime + c.MaxSeconds
+
+	// Prime the first arrival; due-ness is decided in integer cycles so
+	// the fast and naive paths agree bit for bit (OpenDriver's rule).
+	var nextAt uint64
+	more := c.Process != nil
+	if more {
+		t, ok := c.Process.Next()
+		nextAt, more = startCycle+topo.SecondsToCycles(t), ok
+	}
+
+	// offer routes one request at arrival cycle at.
+	offer := func(nowC, at uint64) {
+		id := int64(len(reqs))
+		k := res.Offered
+		res.Offered++
+		scatter := c.ScatterEvery > 0 && (k+1)%c.ScatterEvery == 0
+		switch {
+		case scatter:
+			res.Scattered++
+			// Atomic admission: a scatter that cannot seat every
+			// sub-query is shed whole — a partial fan-out would merge a
+			// partial result.
+			for _, adm := range adms {
+				if adm.QueueLen() >= c.QueueCap {
+					res.Dropped++
+					return
+				}
+			}
+			reqs = append(reqs, parentReq{at: at, pending: len(adms), label: "scatter"})
+			for m, adm := range adms {
+				adm.Offer(nowC, at, id)
+				res.PerMachine[m].Routed++
+				if bus != nil {
+					bus.Publish(obs.Event{
+						Kind: obs.KindRoute, Now: nowC, Core: -1,
+						V1: int64(adm.QueueLen()), V2: -1,
+						Label: "scatter", Machine: int32(m),
+					})
+				}
+			}
+		default:
+			m, shard, label := 0, int64(-1), "any"
+			if c.Keys != nil {
+				key := c.Keys(k)
+				s := f.Sharder.Shard(key)
+				m, shard, label = f.Sharder.Owner(s), int64(s), "keyed"
+			} else {
+				m = c.pick(adms)
+			}
+			reqs = append(reqs, parentReq{at: at, pending: 1, label: label})
+			if !adms[m].Offer(nowC, at, id) {
+				res.Dropped++
+				reqs[id].pending = 0
+				return
+			}
+			res.PerMachine[m].Routed++
+			if label == "keyed" {
+				res.RoutedKeyed++
+			} else {
+				res.RoutedBalanced++
+			}
+			if bus != nil {
+				bus.Publish(obs.Event{
+					Kind: obs.KindRoute, Now: nowC, Core: -1,
+					V1: int64(adms[m].QueueLen()), V2: shard,
+					Label: label, Machine: int32(m),
+				})
+			}
+		}
+	}
+
+	for {
+		nowC := f.Now()
+		for _, adm := range adms {
+			adm.Collect(nowC)
+		}
+		for more && nextAt <= nowC {
+			offer(nowC, nextAt)
+			if c.MaxArrivals > 0 && res.Offered >= c.MaxArrivals {
+				more = false
+				break
+			}
+			t, ok := c.Process.Next()
+			nextAt, more = startCycle+topo.SecondsToCycles(t), ok
+		}
+		idle := true
+		for m, adm := range adms {
+			adm.Fill(nowC, plans[m])
+			adm.UpdatePeaks()
+			idle = idle && adm.Idle()
+		}
+		if !more && idle {
+			break
+		}
+		if f.NowSeconds() >= deadline {
+			break
+		}
+		f.Tick()
+	}
+
+	res.Abandoned = res.Offered - res.Completed - res.Dropped
+	res.ElapsedSeconds = f.NowSeconds() - startTime
+	if res.ElapsedSeconds > 0 {
+		res.Throughput = float64(res.Completed) / res.ElapsedSeconds
+	}
+	for m, adm := range adms {
+		st := &res.PerMachine[m]
+		st.Admitted = adm.Admitted
+		st.Dropped = adm.Dropped
+		st.Completed = adm.Completed
+		st.PeakQueueDepth = adm.PeakQueueDepth
+		st.PeakInFlight = adm.PeakInFlight
+		st.Latency = adm.Latency
+		st.AllocatedEnd = f.Rigs[m].AllocatedCores()
+		res.QueueWait.Merge(&adm.QueueWait)
+		res.Service.Merge(&adm.Service)
+		f.Rigs[m].Engine.Drain()
+	}
+	return res
+}

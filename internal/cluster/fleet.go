@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+
+	"elasticore/internal/elastic"
+	"elasticore/internal/hashmix"
+	"elasticore/internal/numa"
+	"elasticore/internal/obs"
+	"elasticore/internal/workload"
+)
+
+// Options configures a fleet.
+type Options struct {
+	// Machines is the fleet size (default 1).
+	Machines int
+	// Shards is the partition count (default Machines; must be >= it).
+	Shards int
+	// SF is the *total* TPC-H scale factor; each machine loads its owned
+	// fraction (shards owned / total shards) of it.
+	SF float64
+	// Seed varies datasets and workload; each machine derives its own
+	// dataset seed from it (default 1).
+	Seed uint64
+	// Mode is the per-machine allocation policy (default ModeOS: no
+	// mechanism; a ClusterArbiter requires an elastic mode).
+	Mode workload.Mode
+	// Strategy overrides each mechanism's state-transition metric.
+	Strategy elastic.Strategy
+	// ControlPeriod overrides the per-machine control period in cycles.
+	ControlPeriod uint64
+	// Topology is the per-machine base shape (default the SF-scaled
+	// Opteron testbed). Every machine gets the same shape, which makes
+	// all quanta equal — the lockstep invariant Tick depends on.
+	Topology *numa.Topology
+	// Naive routes every rig through the pre-optimization hot paths;
+	// results are bit-identical to the fast paths.
+	Naive bool
+	// Bus, when set, is attached to every rig and to the cluster layers
+	// (Coordinator routes, ClusterArbiter rebalances).
+	Bus *obs.Bus
+}
+
+// Fleet is N lockstep simulated machines behind one Sharder. All
+// machines share one quantum and advance together: Tick ticks each
+// machine's scheduler in index order, then runs whichever control tier
+// is attached (per-machine mechanisms, or the ClusterArbiter when one
+// has been installed).
+type Fleet struct {
+	// Sharder owns the key -> shard -> machine placement.
+	Sharder *Sharder
+	// Rigs are the machines in index order.
+	Rigs []*workload.Rig
+	// Opts echoes the construction options (post-default).
+	Opts Options
+	// Bus is the fleet-wide telemetry bus, nil when dark.
+	Bus *obs.Bus
+
+	arb *ClusterArbiter
+}
+
+// fleetSeed derives machine m's dataset seed: distinct per machine (a
+// machine holds its own shard range, not a copy), stable across runs,
+// and never zero (zero selects the rig default).
+func fleetSeed(seed uint64, m int) uint64 {
+	s := hashmix.Mix64(seed ^ (hashmix.Golden * uint64(m+1)))
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// NewFleet builds the machines and the sharder. Each machine's dataset
+// is its owned fraction of the total SF, so the fleet as a whole stores
+// one database regardless of machine count.
+func NewFleet(opts Options) (*Fleet, error) {
+	if opts.Machines == 0 {
+		opts.Machines = 1
+	}
+	if opts.Shards == 0 {
+		opts.Shards = opts.Machines
+	}
+	sh, err := NewSharder(opts.Shards, opts.Machines)
+	if err != nil {
+		return nil, err
+	}
+	if opts.SF == 0 {
+		opts.SF = 0.01
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	f := &Fleet{Sharder: sh, Opts: opts, Bus: opts.Bus}
+	for m := 0; m < opts.Machines; m++ {
+		lo, hi := sh.ShardsOf(m)
+		r, err := workload.NewRig(workload.Options{
+			SF:            opts.SF * float64(hi-lo) / float64(opts.Shards),
+			Seed:          fleetSeed(opts.Seed, m),
+			Mode:          opts.Mode,
+			Strategy:      opts.Strategy,
+			ControlPeriod: opts.ControlPeriod,
+			Topology:      opts.Topology,
+			Naive:         opts.Naive,
+			Bus:           opts.Bus,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: machine %d: %w", m, err)
+		}
+		f.Rigs = append(f.Rigs, r)
+	}
+	return f, nil
+}
+
+// Machines returns the fleet size.
+func (f *Fleet) Machines() int { return len(f.Rigs) }
+
+// Now returns the fleet clock in cycles (machine 0; all machines are in
+// lockstep).
+func (f *Fleet) Now() uint64 { return f.Rigs[0].Machine.Now() }
+
+// NowSeconds returns the fleet clock in virtual seconds.
+func (f *Fleet) NowSeconds() float64 { return f.Rigs[0].Machine.NowSeconds() }
+
+// Arbiter returns the attached cluster arbiter, nil when each machine's
+// mechanism self-governs.
+func (f *Fleet) Arbiter() *ClusterArbiter { return f.arb }
+
+// Tick advances every machine by one scheduler quantum in index order,
+// then runs the control tier: the ClusterArbiter when attached (the
+// per-machine mechanisms only *evaluate*, via the arbiter), otherwise
+// each machine's own mechanism.
+func (f *Fleet) Tick() {
+	for _, r := range f.Rigs {
+		r.Sched.Tick()
+	}
+	if f.arb != nil {
+		f.arb.Maybe()
+	} else {
+		for _, r := range f.Rigs {
+			if r.Mech != nil {
+				r.Mech.Maybe()
+			}
+		}
+	}
+	for _, r := range f.Rigs {
+		if r.Probe != nil {
+			r.Probe.Maybe()
+		}
+	}
+}
+
+// AllocatedCores returns the cores currently held by each machine's
+// DBMS cgroup, in machine order.
+func (f *Fleet) AllocatedCores() []int {
+	out := make([]int, len(f.Rigs))
+	for m, r := range f.Rigs {
+		out[m] = r.AllocatedCores()
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+// Package cluster scales the paper's single-machine elastic mechanism
+// out to a simulated fleet: N workload rigs (each its own topology,
+// scheduler, DB engine and elastic mechanism), a Sharder partitioning
+// the TPC-H store across them, a Coordinator routing open-loop queries
+// to shard owners (with scatter-gather and queue-aware load balancing),
+// and a ClusterArbiter — a second control tier above the per-machine
+// PrT nets — that moves whole cores between machines and charges an
+// explicit migration latency for every core that travels.
+//
+// Determinism contract: machines tick in index order under one shared
+// quantum, every routing and rebalance decision breaks ties by lowest
+// machine index, and all randomness flows through SplitMix64 — a fleet
+// run is bit-identical across repeats and between the fast and Naive
+// simulator paths.
+package cluster
+
+import (
+	"fmt"
+
+	"elasticore/internal/hashmix"
+)
+
+// Sharder partitions a keyed store into shards and owns the shard ->
+// machine placement. Keys hash to shards via SplitMix64 (stable under
+// any machine count); shards map to machines as contiguous ranges, so
+// growing the fleet re-homes whole ranges instead of rehashing keys.
+type Sharder struct {
+	shards   int
+	machines int
+}
+
+// NewSharder validates the partitioning shape: at least one machine,
+// and at least as many shards as machines so every machine owns data.
+func NewSharder(shards, machines int) (*Sharder, error) {
+	if machines < 1 {
+		return nil, fmt.Errorf("cluster: machines %d < 1", machines)
+	}
+	if shards < machines {
+		return nil, fmt.Errorf("cluster: shards %d < machines %d", shards, machines)
+	}
+	return &Sharder{shards: shards, machines: machines}, nil
+}
+
+// Shards returns the shard count.
+func (s *Sharder) Shards() int { return s.shards }
+
+// Machines returns the machine count.
+func (s *Sharder) Machines() int { return s.machines }
+
+// Shard hashes a key to its shard.
+func (s *Sharder) Shard(key uint64) int {
+	return int(hashmix.Mix64(key) % uint64(s.shards))
+}
+
+// ShardsOf returns machine m's contiguous owned range [lo, hi).
+func (s *Sharder) ShardsOf(machine int) (lo, hi int) {
+	lo = machine * s.shards / s.machines
+	hi = (machine + 1) * s.shards / s.machines
+	return lo, hi
+}
+
+// Owner returns the machine owning a shard (the inverse of ShardsOf).
+func (s *Sharder) Owner(shard int) int {
+	return ((shard+1)*s.machines - 1) / s.shards
+}
+
+// MachineFor routes a key to the machine owning its shard.
+func (s *Sharder) MachineFor(key uint64) int {
+	return s.Owner(s.Shard(key))
+}
+
+// KeyForShard synthesizes a key that hashes to the given shard, varying
+// with salt — the inverse mapping workload generators need to aim
+// traffic at a chosen shard (Zipf-skewed heat, hot-shard shifts). It
+// scans keys from a salt-derived origin; with keys uniform over shards
+// the expected scan length is the shard count.
+func (s *Sharder) KeyForShard(shard int, salt uint64) uint64 {
+	k := hashmix.Mix64(salt)
+	for s.Shard(k) != shard {
+		k++
+	}
+	return k
+}

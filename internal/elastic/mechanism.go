@@ -302,6 +302,11 @@ func (m *Mechanism) Due() bool {
 // Strategy returns the mechanism's state-transition strategy.
 func (m *Mechanism) Strategy() Strategy { return m.cfg.Strategy }
 
+// Allocator returns the mechanism's allocation mode, letting an external
+// arbiter apply grants through the same placement order the mechanism
+// itself would use (Next to grow, Victim to shrink).
+func (m *Mechanism) Allocator() Allocator { return m.cfg.Allocator }
+
 // SetBacklog wires (or, with nil, unwires) the admission-queue pressure
 // source after construction. Rigs build the mechanism before any driver
 // exists, so the open-loop driver attaches its queue here for the

@@ -59,6 +59,12 @@ type Config struct {
 	// Arrival selects the latency-load arrival-process family: "poisson"
 	// (default), "mmpp" or "diurnal".
 	Arrival string
+	// Machines is the fleet size for the cluster experiments (default 4;
+	// must be >= 1; scale-out sweeps 1..Machines in powers of two).
+	Machines int
+	// Shards is the fleet's partition count (default 2x Machines; must
+	// be >= Machines so every machine owns data).
+	Shards int
 	// Topology selects the machine shape for rig-backed experiments: a
 	// zoo name (numa.ZooNames: opteron, 2socket, 4ring, 8twisted, epyc)
 	// or a "nodes x cores [@ hops...]" spec (numa.ParseTopology). Empty
@@ -121,6 +127,18 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.OpenArrivals < 0 {
 		return c, fmt.Errorf("experiments: negative open-loop arrival count %d", c.OpenArrivals)
+	}
+	if c.Machines < 0 {
+		return c, fmt.Errorf("experiments: machine count %d below 1", c.Machines)
+	}
+	if c.Machines == 0 {
+		c.Machines = 4
+	}
+	if c.Shards == 0 {
+		c.Shards = 2 * c.Machines
+	}
+	if c.Shards < c.Machines {
+		return c, fmt.Errorf("experiments: %d shards below %d machines (every machine must own data)", c.Shards, c.Machines)
 	}
 	if c.OpenArrivals == 0 {
 		c.OpenArrivals = 120

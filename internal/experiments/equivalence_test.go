@@ -70,6 +70,26 @@ func TestNaiveBurstResponseMatchesGolden(t *testing.T) {
 	}
 }
 
+// TestNaiveScaleOutMatchesGolden extends the equivalence guarantee to
+// the cluster tier: fleets of every sweep size, coordinator routing and
+// per-machine admission must be bit-identical between the tick loops.
+func TestNaiveScaleOutMatchesGolden(t *testing.T) {
+	res := naiveGoldenRun(t, "scale-out")
+	for _, format := range []string{"text", "json", "csv"} {
+		checkGolden(t, res, format)
+	}
+}
+
+// TestNaiveRebalanceCostMatchesGolden covers the cluster arbiter on the
+// naive path: demand collection, apportionment and delayed grant landing
+// must not depend on which tick loop ran the machines.
+func TestNaiveRebalanceCostMatchesGolden(t *testing.T) {
+	res := naiveGoldenRun(t, "rebalance-cost")
+	for _, format := range []string{"text", "json", "csv"} {
+		checkGolden(t, res, format)
+	}
+}
+
 // TestNaiveAndFastRenderIdentically compares the two paths directly on a
 // figure without golden coverage (fig13 reports stolen-task and tick
 // statistics, the counters most sensitive to scheduler divergence).

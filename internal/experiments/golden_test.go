@@ -23,6 +23,7 @@ func goldenConfig() Config {
 	return Config{
 		SF: 0.002, Clients: 8, Users: []int{1, 2}, Seed: 7, Tenants: 2,
 		Loads: []float64{0.25, 1, 2}, OpenArrivals: 60,
+		Machines: 8, Shards: 16,
 	}
 }
 
@@ -127,6 +128,91 @@ func TestLatencyLoadTailDiverges(t *testing.T) {
 	lastWait, _ := tl.Float(len(tl.Rows)-1, 11)
 	if lastWait <= firstWait {
 		t.Errorf("queue wait p99 did not grow across the sweep (%.3fms -> %.3fms)", firstWait, lastWait)
+	}
+}
+
+// TestGoldenScaleOut pins the fleet speedup curve: same seed, same
+// shards, same arrival stream must render byte-identically.
+func TestGoldenScaleOut(t *testing.T) {
+	res := goldenRun(t, "scale-out")
+	for _, format := range []string{"text", "json", "csv"} {
+		checkGolden(t, res, format)
+	}
+}
+
+// TestGoldenShardSkew pins the Zipf shard-heat sweep.
+func TestGoldenShardSkew(t *testing.T) {
+	res := goldenRun(t, "shard-skew")
+	for _, format := range []string{"text", "json", "csv"} {
+		checkGolden(t, res, format)
+	}
+}
+
+// TestGoldenRebalanceCost pins the cluster-arbiter migration sweep.
+func TestGoldenRebalanceCost(t *testing.T) {
+	res := goldenRun(t, "rebalance-cost")
+	for _, format := range []string{"text", "json", "csv"} {
+		checkGolden(t, res, format)
+	}
+}
+
+// TestScaleOutSpeedupMonotonic asserts the acceptance criterion on the
+// pinned golden run: at fixed offered load, throughput speedup must be
+// monotonically non-decreasing from 1 to 8 machines, and 8 machines
+// must beat 1 by a real margin.
+func TestScaleOutSpeedupMonotonic(t *testing.T) {
+	res := goldenRun(t, "scale-out")
+	tbl := res.Table("scale_out")
+	if tbl == nil || len(tbl.Rows) < 4 {
+		t.Fatalf("scale-out table missing or short (%v rows)", tbl)
+	}
+	prev := 0.0
+	for i := range tbl.Rows {
+		m, _ := tbl.Float(i, 0)
+		s, ok := tbl.Float(i, 6)
+		if !ok {
+			t.Fatalf("row %d: no speedup cell", i)
+		}
+		if s < prev {
+			t.Errorf("speedup fell from %.2f to %.2f at %d machines", prev, s, int(m))
+		}
+		prev = s
+	}
+	if last, _ := tbl.Float(len(tbl.Rows)-1, 6); last < 2 {
+		t.Errorf("8-machine speedup is %.2fx; scaling out bought almost nothing", last)
+	}
+}
+
+// TestShardSkewImbalanceGrows asserts the skew signature on the golden
+// run: routing imbalance must grow with theta.
+func TestShardSkewImbalanceGrows(t *testing.T) {
+	res := goldenRun(t, "shard-skew")
+	uni, ok1 := res.Metric("imbalance_uniform")
+	worst, ok2 := res.Metric("imbalance_max_skew")
+	if !ok1 || !ok2 {
+		t.Fatal("shard-skew result missing imbalance metrics")
+	}
+	if worst <= uni {
+		t.Errorf("imbalance did not grow with skew: theta=0 %.2fx vs theta=2 %.2fx", uni, worst)
+	}
+}
+
+// TestRebalanceCostCharges asserts the migration cost model on the
+// golden run: cores moved, and dearer migration charged more cycles.
+func TestRebalanceCostCharges(t *testing.T) {
+	res := goldenRun(t, "rebalance-cost")
+	tbl := res.Table("rebalance_cost")
+	if tbl == nil || len(tbl.Rows) < 2 {
+		t.Fatal("rebalance-cost table missing or short")
+	}
+	first, _ := tbl.Float(0, 2)
+	last, _ := tbl.Float(len(tbl.Rows)-1, 2)
+	moved, _ := tbl.Float(len(tbl.Rows)-1, 1)
+	if moved == 0 {
+		t.Error("no cores moved under the shifting hot shard")
+	}
+	if last <= first {
+		t.Errorf("charged cycles did not grow with migration latency (%.2f -> %.2f Mcyc)", first, last)
 	}
 }
 

@@ -104,4 +104,22 @@ func init() {
 		Summary: "The fig4-style workload on every zoo topology (opteron, 2socket, 4ring, 8twisted, epyc) under node-fill, hop-min and scatter core placement: throughput, HT/IMC bytes and the Section V-B NUMA-friendliness ratio.",
 		Tags:    []string{"topology", "numa", "elastic"},
 	}, runTopologySweep))
+
+	Register(New("scale-out", Description{
+		Title:   "Cluster: throughput speedup across fleet sizes",
+		Summary: "One fixed saturating arrival stream over a sharded TPC-H dataset against fleets of 1..N machines: throughput, speedup over one machine and latency percentiles per fleet size.",
+		Tags:    []string{"cluster", "openloop"},
+	}, runScaleOut))
+
+	Register(New("shard-skew", Description{
+		Title:   "Cluster: Zipf shard heat at fixed fleet size",
+		Summary: "Keyed routing under Zipf-skewed shard popularity (theta 0/1/2): throughput, tail latency and the per-machine routing imbalance the hash partitioning cannot absorb.",
+		Tags:    []string{"cluster", "openloop"},
+	}, runShardSkew))
+
+	Register(New("rebalance-cost", Description{
+		Title:   "Cluster: migration-latency cost of chasing a moving hot shard",
+		Summary: "A hot shard that shifts machines mid-run under a contended cluster core budget: moved cores, charged migration cycles and throughput per migration latency.",
+		Tags:    []string{"cluster", "elastic"},
+	}, runRebalanceCost))
 }

@@ -116,6 +116,63 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramMergeCrossMachine is the cluster-tier property: one value
+// stream scattered across 16 per-machine histograms (the way the
+// Coordinator scatters queries) and rolled up with Merge must agree with
+// a single fleet-wide histogram exactly, and with the true sample
+// quantiles within the structural ±1/16 relative-error bound — merging
+// loses no resolution, however unevenly the stream splits.
+func TestHistogramMergeCrossMachine(t *testing.T) {
+	const machines = 16
+	rng := rand.New(rand.NewSource(77))
+	per := make([]Histogram, machines)
+	var whole Histogram
+	vals := make([]uint64, 0, 30000)
+	for i := 0; i < 30000; i++ {
+		v := uint64(rng.Int63n(1<<44)) + 1
+		// Skewed split: machine m receives ~2x the traffic of machine
+		// m+1, like a hot shard — Merge must not care.
+		m := 0
+		for u := rng.Float64(); u < 0.5 && m < machines-1; u = rng.Float64() {
+			m++
+		}
+		per[m].Record(v)
+		whole.Record(v)
+		vals = append(vals, v)
+	}
+	var merged Histogram
+	for m := range per {
+		merged.Merge(&per[m])
+	}
+	if merged.Count() != whole.Count() || merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("merged count/min/max = %d/%d/%d, want %d/%d/%d",
+			merged.Count(), merged.Min(), merged.Max(),
+			whole.Count(), whole.Min(), whole.Max())
+	}
+	// The sums accumulate in different orders, so the means agree only up
+	// to float rounding.
+	if rel := (merged.Mean() - whole.Mean()) / whole.Mean(); rel < -1e-12 || rel > 1e-12 {
+		t.Fatalf("merged mean %g drifted from %g", merged.Mean(), whole.Mean())
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("merged Quantile(%g) = %d, single histogram says %d",
+				q, merged.Quantile(q), whole.Quantile(q))
+		}
+		rank := int(q*float64(len(vals))+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		exact := float64(vals[rank])
+		got := float64(merged.Quantile(q))
+		if rel := (got - exact) / exact; rel < -1.0/16 || rel > 1.0/16 {
+			t.Errorf("merged Quantile(%g) = %g, exact %g, relative error %g beyond ±1/16",
+				q, got, exact, rel)
+		}
+	}
+}
+
 func TestHistogramReset(t *testing.T) {
 	var h Histogram
 	h.Record(12345)

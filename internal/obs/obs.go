@@ -60,8 +60,17 @@ const (
 	// KindQueryDone is an open-loop query completion: total latency Dur
 	// cycles (queue wait plus service), of which V1 cycles were service.
 	KindQueryDone
+	// KindRoute is a cluster routing decision: the coordinator placed a
+	// request on Machine (V1 = its admission-queue depth after the
+	// enqueue, V2 = the target shard, -1 for unkeyed requests; Label is
+	// the routing kind: "keyed", "any" or "scatter").
+	KindRoute
+	// KindRebalance is a cluster-arbiter core movement: Machine's budget
+	// changed by V1 cores to V2, with Dur cycles of migration latency
+	// charged before an increase takes effect.
+	KindRebalance
 
-	kindCount = int(KindQueryDone) + 1
+	kindCount = int(KindRebalance) + 1
 )
 
 // String names the kind for exporters and diagnostics.
@@ -83,6 +92,10 @@ func (k Kind) String() string {
 		return "shed"
 	case KindQueryDone:
 		return "querydone"
+	case KindRoute:
+		return "route"
+	case KindRebalance:
+		return "rebalance"
 	default:
 		return "unknown"
 	}
@@ -119,4 +132,7 @@ type Event struct {
 	// Tenant names the owning tenant under consolidation ("" for the
 	// single-tenant rig).
 	Tenant string
+	// Machine is the simulated-fleet machine the event belongs to (route,
+	// rebalance); zero for single-machine rigs, which never set it.
+	Machine int32
 }

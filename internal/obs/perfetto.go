@@ -27,6 +27,10 @@ import (
 //	                  counter (C) tracking the allocation
 //	pid 4 "traffic"   admission queue depth and in-flight sessions as
 //	                  counters, sheds and query completions as instants
+//	pid 10+m "machine m" one lane per fleet machine: coordinator routing
+//	                  decisions as instants plus a per-machine queue-depth
+//	                  counter, cluster-arbiter rebalances as instants with
+//	                  a core-budget counter
 //
 // Metadata (M) events name exactly the processes and threads that carry
 // at least one event, so every declared track is non-empty by
@@ -39,6 +43,10 @@ const (
 	perfettoPidControl
 	perfettoPidTraffic
 )
+
+// perfettoPidMachineBase starts the per-machine pid family: fleet machine
+// m renders under pid base+m, leaving the single-machine pids stable.
+const perfettoPidMachineBase = 10
 
 // pftEvent builds one trace event. Maps marshal with sorted keys, so the
 // output is deterministic; the exporter runs after the simulation, so its
@@ -137,6 +145,20 @@ func WriteTrace(w io.Writer, events []Event) error {
 			use(perfettoPidTraffic, 0, "admission")
 			out = append(out, pftEvent("i", "query done", perfettoPidTraffic, 0, int64(e.Now),
 				map[string]any{"s": "t", "args": map[string]any{"latency": e.Dur, "service": e.V1}}))
+		case KindRoute:
+			pid := perfettoPidMachineBase + int(e.Machine)
+			use(pid, 0, "routing")
+			out = append(out, pftEvent("i", "route "+e.Label, pid, 0, int64(e.Now),
+				map[string]any{"s": "t", "args": map[string]any{"shard": e.V2, "queued": e.V1}}))
+			out = append(out, pftEvent("C", "queue depth", pid, 0, int64(e.Now),
+				map[string]any{"args": map[string]any{"queued": e.V1}}))
+		case KindRebalance:
+			pid := perfettoPidMachineBase + int(e.Machine)
+			use(pid, 1, "rebalance")
+			out = append(out, pftEvent("i", "rebalance", pid, 1, int64(e.Now),
+				map[string]any{"s": "t", "args": map[string]any{"delta": e.V1, "cores": e.V2, "latency": e.Dur}}))
+			out = append(out, pftEvent("C", "core budget", pid, 1, int64(e.Now),
+				map[string]any{"args": map[string]any{"cores": e.V2}}))
 		}
 	}
 
@@ -163,8 +185,12 @@ func WriteTrace(w io.Writer, events []Event) error {
 		t := tracks[k]
 		if !seenPid[t.pid] {
 			seenPid[t.pid] = true
+			name, ok := pidNames[t.pid]
+			if !ok {
+				name = fmt.Sprintf("machine %d", t.pid-perfettoPidMachineBase)
+			}
 			meta = append(meta, pftEvent("M", "process_name", t.pid, 0, 0,
-				map[string]any{"args": map[string]any{"name": pidNames[t.pid]}}))
+				map[string]any{"args": map[string]any{"name": name}}))
 		}
 		meta = append(meta, pftEvent("M", "thread_name", t.pid, t.tid, 0,
 			map[string]any{"args": map[string]any{"name": t.name}}))

@@ -18,6 +18,43 @@ func perfettoEvents() []Event {
 		{Kind: KindAdmit, Now: 300, Core: -1, Dur: 20, V1: 5, V2: 2},
 		{Kind: KindShed, Now: 310, Core: -1, V1: 8},
 		{Kind: KindQueryDone, Now: 400, Core: -1, Dur: 120, V1: 90},
+		{Kind: KindRoute, Now: 410, Core: -1, V1: 3, V2: 5, Label: "keyed", Machine: 1},
+		{Kind: KindRebalance, Now: 420, Core: -1, Dur: 5000, V1: 2, V2: 6, Machine: 2},
+	}
+}
+
+// TestPerfettoMachineLanes: cluster events render on per-machine pids in
+// the machine family, and those processes are named "machine N".
+func TestPerfettoMachineLanes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, perfettoEvents()); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+	names := map[float64]string{} // pid -> process_name
+	pids := map[string]float64{}  // event name -> pid
+	for _, e := range events {
+		pid, _ := e["pid"].(float64)
+		name, _ := e["name"].(string)
+		if ph, _ := e["ph"].(string); ph == "M" && name == "process_name" {
+			args, _ := e["args"].(map[string]any)
+			pname, _ := args["name"].(string)
+			names[pid] = pname
+			continue
+		}
+		pids[name] = pid
+	}
+	if got := pids["route keyed"]; got != float64(perfettoPidMachineBase+1) {
+		t.Fatalf("route event on pid %v, want %d", got, perfettoPidMachineBase+1)
+	}
+	if got := pids["rebalance"]; got != float64(perfettoPidMachineBase+2) {
+		t.Fatalf("rebalance event on pid %v, want %d", got, perfettoPidMachineBase+2)
+	}
+	if got := names[float64(perfettoPidMachineBase+1)]; got != "machine 1" {
+		t.Fatalf("machine pid named %q, want %q", got, "machine 1")
+	}
+	if got := names[float64(perfettoPidMachineBase+2)]; got != "machine 2" {
+		t.Fatalf("machine pid named %q, want %q", got, "machine 2")
 	}
 }
 
@@ -126,9 +163,9 @@ func TestPerfettoBusRoundTrip(t *testing.T) {
 			real++
 		}
 	}
-	// The ring kept the last 4 inputs: grant (2 events), admit, shed,
-	// querydone (1 each).
-	if real != 5 {
-		t.Fatalf("exported %d real events from a 4-slot ring, want 5", real)
+	// The ring kept the last 4 inputs: shed and querydone (1 event each),
+	// route and rebalance (2 each: instant + counter).
+	if real != 6 {
+		t.Fatalf("exported %d real events from a 4-slot ring, want 6", real)
 	}
 }

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"elasticore/internal/db"
+	"elasticore/internal/deque"
+	"elasticore/internal/metrics"
+	"elasticore/internal/obs"
+)
+
+// admission.go is the per-machine admission layer shared by the
+// single-machine OpenDriver and the cluster Coordinator: a bounded FCFS
+// queue of pending requests plus a fixed pool of server sessions on one
+// rig's engine. The split keeps OpenDriver a thin arrival-replay loop and
+// lets a cluster driver run one Admission per fleet machine while routing
+// between them. Every state change here is deterministic — FCFS pops,
+// order-preserving session compaction, integer-cycle bookkeeping — so a
+// refactored driver stays bit-identical to the pre-split one.
+
+// pendingRequest is one queued arrival awaiting a server session.
+type pendingRequest struct {
+	// at is the arrival cycle (queue-wait accounting baseline).
+	at uint64
+	// tag is a caller-defined request id threaded through to OnComplete;
+	// the cluster coordinator uses it to find the routed parent request.
+	tag int64
+}
+
+// admFlight tracks one admitted query until completion.
+type admFlight struct {
+	q          *db.Query
+	waitCycles uint64
+	tag        int64
+}
+
+// Admission is one machine's bounded admission queue plus server-session
+// pool. Zero-value fields select the OpenDriver defaults at first use via
+// normalize; callers drive it with Offer (arrival), Fill (seat queued
+// requests) and Collect (reap completions) from their own loop.
+type Admission struct {
+	// Rig is the machine whose engine executes admitted queries.
+	Rig *Rig
+	// MaxInFlight is the number of concurrent server sessions; zero
+	// selects 64. Arrivals beyond it queue.
+	MaxInFlight int
+	// QueueCap bounds the admission queue; zero selects 1024. An arrival
+	// finding the queue full is dropped (counted, never executed).
+	QueueCap int
+	// MachineID labels this machine's bus events; zero on single-machine
+	// drivers, the fleet index under a cluster coordinator.
+	MachineID int32
+
+	// OnComplete, when set, observes each completion after the histograms
+	// update: the request's tag, the finished query (still valid — called
+	// before Release, so scatter-gather callers can read partial scalars)
+	// and the total latency and service cycles.
+	OnComplete func(tag int64, q *db.Query, total, service uint64)
+
+	queue   deque.Deque[pendingRequest]
+	flights []admFlight
+
+	// Offered counts arrivals presented to Offer; Admitted those seated
+	// into a session; Dropped those rejected at a full queue; Completed
+	// those whose query finished. Offered - Admitted - Dropped requests
+	// are still queued.
+	Offered, Admitted, Dropped, Completed int
+	// PeakQueueDepth and PeakInFlight are maxima over UpdatePeaks calls.
+	PeakQueueDepth, PeakInFlight int
+	// QueueWait, Service and Latency accumulate per-query cycles.
+	QueueWait, Service, Latency metrics.Histogram
+}
+
+// normalize applies the zero-value defaults.
+func (a *Admission) normalize() {
+	if a.MaxInFlight <= 0 {
+		a.MaxInFlight = 64
+	}
+	if a.QueueCap <= 0 {
+		a.QueueCap = 1024
+	}
+	if a.flights == nil {
+		a.flights = make([]admFlight, 0, a.MaxInFlight)
+	}
+}
+
+// QueueLen is the instantaneous admission-queue depth (the elastic
+// mechanism's backlog signal).
+func (a *Admission) QueueLen() int { return a.queue.Len() }
+
+// InFlight is the number of occupied server sessions.
+func (a *Admission) InFlight() int { return len(a.flights) }
+
+// Idle reports whether nothing is queued or executing.
+func (a *Admission) Idle() bool { return a.queue.Len() == 0 && len(a.flights) == 0 }
+
+// Collect reaps finished queries, freeing their sessions and recording
+// latency. Order-preserving compaction keeps the release order (and thus
+// engine buffer reuse) deterministic.
+func (a *Admission) Collect(nowC uint64) {
+	bus := a.Rig.Bus
+	kept := a.flights[:0]
+	for _, f := range a.flights {
+		if !f.q.Done() {
+			kept = append(kept, f)
+			continue
+		}
+		service := f.q.ElapsedCycles()
+		total := f.waitCycles + service
+		a.QueueWait.Record(f.waitCycles)
+		a.Service.Record(service)
+		a.Latency.Record(total)
+		a.Completed++
+		if bus != nil {
+			bus.Publish(obs.Event{
+				Kind:    obs.KindQueryDone,
+				Now:     nowC,
+				Core:    -1,
+				Dur:     total,
+				V1:      int64(service),
+				Machine: a.MachineID,
+			})
+		}
+		if a.OnComplete != nil {
+			a.OnComplete(f.tag, f.q, total, service)
+		}
+		a.Rig.Engine.Release(f.q)
+	}
+	a.flights = kept
+}
+
+// Offer presents one arrival (arrival cycle at, caller tag) against the
+// instantaneous queue depth, reporting whether it was queued or dropped.
+func (a *Admission) Offer(nowC, at uint64, tag int64) bool {
+	a.normalize()
+	a.Offered++
+	if a.queue.Len() >= a.QueueCap {
+		a.Dropped++
+		if bus := a.Rig.Bus; bus != nil {
+			bus.Publish(obs.Event{
+				Kind:    obs.KindShed,
+				Now:     nowC,
+				Core:    -1,
+				V1:      int64(a.queue.Len()),
+				Machine: a.MachineID,
+			})
+		}
+		return false
+	}
+	a.queue.PushBack(pendingRequest{at: at, tag: tag})
+	return true
+}
+
+// Fill seats queued requests into free server sessions FCFS. plan builds
+// the k-th admitted query of this machine (0-based) from its tag.
+func (a *Admission) Fill(nowC uint64, plan func(k int, tag int64) *db.Plan) {
+	a.normalize()
+	for len(a.flights) < a.MaxInFlight && a.queue.Len() > 0 {
+		req, _ := a.queue.PopFront()
+		p := plan(a.Admitted, req.tag)
+		a.Admitted++
+		q := a.Rig.Engine.Submit(p)
+		a.flights = append(a.flights, admFlight{q: q, waitCycles: nowC - req.at, tag: req.tag})
+		if bus := a.Rig.Bus; bus != nil {
+			bus.Publish(obs.Event{
+				Kind:    obs.KindAdmit,
+				Now:     nowC,
+				Core:    -1,
+				Dur:     nowC - req.at,
+				V1:      int64(a.queue.Len()),
+				V2:      int64(len(a.flights)),
+				Machine: a.MachineID,
+			})
+		}
+	}
+}
+
+// UpdatePeaks folds the instantaneous depths into the phase maxima.
+func (a *Admission) UpdatePeaks() {
+	if a.queue.Len() > a.PeakQueueDepth {
+		a.PeakQueueDepth = a.queue.Len()
+	}
+	if len(a.flights) > a.PeakInFlight {
+		a.PeakInFlight = len(a.flights)
+	}
+}

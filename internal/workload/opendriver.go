@@ -3,10 +3,8 @@ package workload
 import (
 	"elasticore/internal/arrivals"
 	"elasticore/internal/db"
-	"elasticore/internal/deque"
 	"elasticore/internal/metrics"
 	"elasticore/internal/numa"
-	"elasticore/internal/obs"
 	"elasticore/internal/sched"
 )
 
@@ -93,41 +91,39 @@ type OpenResult struct {
 	Samples []OpenSample
 }
 
-// openFlight tracks one admitted query until completion.
-type openFlight struct {
-	q          *db.Query
-	waitCycles uint64
-}
-
 // Run replays the arrival process to completion (or the deadline) and
 // returns the phase summary. Arrivals are admitted in timestamp order;
-// admission to a server session is FCFS.
+// admission to a server session is FCFS. The queue/session machinery
+// lives in the shared per-machine Admission layer — Run contributes only
+// the arrival replay, termination logic and timeline sampling, so the
+// cluster Coordinator can drive N Admissions from the same building
+// block without duplicating this loop.
 func (d *OpenDriver) Run(plan PlanAt) OpenResult {
-	if d.MaxInFlight <= 0 {
-		d.MaxInFlight = 64
-	}
-	if d.QueueCap <= 0 {
-		d.QueueCap = 1024
-	}
 	if d.MaxSeconds == 0 {
 		d.MaxSeconds = 600
 	}
 	r := d.Rig
 	topo := r.Machine.Topology()
-	bus := r.Bus
 
 	var res OpenResult
-	var queue deque.Deque[uint64] // arrival cycle of each queued request
-	flights := make([]openFlight, 0, d.MaxInFlight)
+	adm := Admission{Rig: r, MaxInFlight: d.MaxInFlight, QueueCap: d.QueueCap}
+	adm.normalize()
+
+	d.winLatency.Reset()
+	winCompleted := 0
+	adm.OnComplete = func(_ int64, _ *db.Query, total, _ uint64) {
+		d.winLatency.Record(total)
+		winCompleted++
+	}
 
 	if r.Mech != nil && !d.DisableBacklog {
-		r.Mech.SetBacklog(func() int { return queue.Len() })
+		r.Mech.SetBacklog(adm.QueueLen)
 		defer r.Mech.SetBacklog(nil)
 	}
 	if r.Probe != nil {
 		// Timeline samples during this phase carry the queue depth and
 		// the phase's cumulative latency quantiles.
-		r.Probe.SetLatency(&res.Latency)
+		r.Probe.SetLatency(&adm.Latency)
 		defer r.Probe.SetLatency(nil)
 	}
 
@@ -147,61 +143,20 @@ func (d *OpenDriver) Run(plan PlanAt) OpenResult {
 		nextAt, more = startCycle+topo.SecondsToCycles(t), ok
 	}
 
-	d.winLatency.Reset()
-	winCompleted := 0
 	lastSample := startTime
+	planByIndex := func(k int, _ int64) *db.Plan { return plan(k) }
 
 	for {
 		nowC := r.Machine.Now()
 
-		// Collect completions, freeing server sessions. Order-preserving
-		// compaction keeps the release order (and thus buffer reuse)
-		// deterministic.
-		kept := flights[:0]
-		for _, f := range flights {
-			if !f.q.Done() {
-				kept = append(kept, f)
-				continue
-			}
-			service := f.q.ElapsedCycles()
-			total := f.waitCycles + service
-			res.QueueWait.Record(f.waitCycles)
-			res.Service.Record(service)
-			res.Latency.Record(total)
-			d.winLatency.Record(total)
-			winCompleted++
-			res.Completed++
-			if bus != nil {
-				bus.Publish(obs.Event{
-					Kind: obs.KindQueryDone,
-					Now:  nowC,
-					Core: -1,
-					Dur:  total,
-					V1:   int64(service),
-				})
-			}
-			r.Engine.Release(f.q)
-		}
-		flights = kept
+		// Collect completions, freeing server sessions.
+		adm.Collect(nowC)
 
 		// Offer arrivals due by now: admit or drop against the
 		// instantaneous queue depth.
 		for more && nextAt <= nowC {
-			if queue.Len() >= d.QueueCap {
-				res.Dropped++
-				if bus != nil {
-					bus.Publish(obs.Event{
-						Kind: obs.KindShed,
-						Now:  nowC,
-						Core: -1,
-						V1:   int64(queue.Len()),
-					})
-				}
-			} else {
-				queue.PushBack(nextAt)
-			}
-			res.Offered++
-			if d.MaxArrivals > 0 && res.Offered >= d.MaxArrivals {
+			adm.Offer(nowC, nextAt, 0)
+			if d.MaxArrivals > 0 && adm.Offered >= d.MaxArrivals {
 				more = false
 				break
 			}
@@ -210,37 +165,15 @@ func (d *OpenDriver) Run(plan PlanAt) OpenResult {
 		}
 
 		// Fill free server sessions FCFS.
-		for len(flights) < d.MaxInFlight && queue.Len() > 0 {
-			at, _ := queue.PopFront()
-			p := plan(res.Admitted)
-			res.Admitted++
-			q := r.Engine.Submit(p)
-			flights = append(flights, openFlight{q: q, waitCycles: nowC - at})
-			if bus != nil {
-				bus.Publish(obs.Event{
-					Kind: obs.KindAdmit,
-					Now:  nowC,
-					Core: -1,
-					Dur:  nowC - at,
-					V1:   int64(queue.Len()),
-					V2:   int64(len(flights)),
-				})
-			}
-		}
-
-		if queue.Len() > res.PeakQueueDepth {
-			res.PeakQueueDepth = queue.Len()
-		}
-		if len(flights) > res.PeakInFlight {
-			res.PeakInFlight = len(flights)
-		}
+		adm.Fill(nowC, planByIndex)
+		adm.UpdatePeaks()
 
 		now := r.Machine.NowSeconds()
 		if d.SampleEvery > 0 && now-lastSample >= d.SampleEvery {
 			res.Samples = append(res.Samples, OpenSample{
 				AtSeconds:  now - startTime,
-				QueueDepth: queue.Len(),
-				InFlight:   len(flights),
+				QueueDepth: adm.QueueLen(),
+				InFlight:   adm.InFlight(),
 				Allocated:  r.AllocatedCores(),
 				Completed:  winCompleted,
 				P99Cycles:  d.winLatency.P99(),
@@ -250,7 +183,7 @@ func (d *OpenDriver) Run(plan PlanAt) OpenResult {
 			lastSample = now
 		}
 
-		if !more && queue.Len() == 0 && len(flights) == 0 {
+		if !more && adm.Idle() {
 			break
 		}
 		if now >= deadline {
@@ -260,7 +193,16 @@ func (d *OpenDriver) Run(plan PlanAt) OpenResult {
 	}
 
 	endSnap := r.Machine.Snapshot()
-	res.Abandoned = queue.Len()
+	res.Offered = adm.Offered
+	res.Admitted = adm.Admitted
+	res.Dropped = adm.Dropped
+	res.Completed = adm.Completed
+	res.Abandoned = adm.QueueLen()
+	res.QueueWait = adm.QueueWait
+	res.Service = adm.Service
+	res.Latency = adm.Latency
+	res.PeakQueueDepth = adm.PeakQueueDepth
+	res.PeakInFlight = adm.PeakInFlight
 	res.ElapsedSeconds = r.Machine.NowSeconds() - startTime
 	res.Window = endSnap.Sub(startSnap)
 	res.Sched = schedDelta(startStats, r.Sched.Stats())
