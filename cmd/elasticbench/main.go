@@ -73,6 +73,8 @@ Tags group experiments for selection (list -tag S, experiments.WithTag):
   topology     machine-shape sweeps over the topology zoo
   numa         NUMA-friendliness and hop-distance placement
   petrinet     the PrT net itself (state transitions)
+  cluster      sharded fleets behind the scatter/route coordinator
+  faults       failure injection: crashes, slow cores, lossy links
 
 Bench flags:
   -quick           run only the quick tier (CI smoke)
@@ -99,6 +101,12 @@ Run flags:
                2socket, 4ring, 8twisted, epyc) or a spec like "2x8" or
                "4x4 @ 1 2 1 1 2 1" (nodes x cores @ upper-triangle hop
                counts); default: the SF-scaled Opteron testbed
+  -replicas N  shard copies kept by the cluster experiments (0 picks
+               each experiment's default; must be <= machines)
+  -faults S    deterministic failure plan injected into the cluster
+               experiments, e.g. "crash m1 @0.02s for 0.06s; slow m0
+               c* x4 @0s; link m2 +0.5ms drop 0.3 @1s for 2s" (or the
+               equivalent JSON); empty disables fault injection
   -trace FILE  record the run's telemetry bus and write it as Chrome/
                Perfetto trace-event JSON (open at ui.perfetto.dev); the
                batch must name exactly one experiment
@@ -159,6 +167,8 @@ func bindRunFlags(fs *flag.FlagSet) (*runFlags, *string) {
 	fs.IntVar(&rf.cfg.Machines, "machines", 0, "fleet size for the cluster experiments (default 4)")
 	fs.IntVar(&rf.cfg.Shards, "shards", 0, "fleet partition count (default 2x machines; must be >= machines)")
 	fs.StringVar(&rf.cfg.Topology, "topology", "", "machine shape: zoo name or \"nodes x cores [@ hops...]\" spec")
+	fs.IntVar(&rf.cfg.Replicas, "replicas", 0, "shard copies kept by the cluster experiments (0: experiment default; must be <= machines)")
+	fs.StringVar(&rf.cfg.Faults, "faults", "", "deterministic failure plan injected into cluster experiments (internal/faults grammar or JSON)")
 	engine := fs.String("engine", "monetdb", "engine flavour: monetdb | sqlserver")
 	fs.StringVar(&rf.trace, "trace", "", "write a Chrome/Perfetto trace-event JSON file (single experiment only)")
 	fs.StringVar(&rf.format, "format", "text", "output format: text | json | csv")

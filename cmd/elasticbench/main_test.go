@@ -143,6 +143,43 @@ func TestMachinesFlagRunsFleet(t *testing.T) {
 	}
 }
 
+// TestFaultsFlagFailsFast: a malformed -faults plan must fail the batch
+// before any experiment runs (central Config validation).
+func TestFaultsFlagFailsFast(t *testing.T) {
+	rf := quietRunFlags(t)
+	rf.cfg.Faults = "explode m0 @1s"
+	if err := execute([]string{"test-always-succeeds"}, rf); err == nil {
+		t.Fatal("malformed -faults plan accepted")
+	}
+}
+
+// TestReplicasFlagFailsFast: more replicas than machines cannot place
+// distinct shard copies; the batch must fail up front.
+func TestReplicasFlagFailsFast(t *testing.T) {
+	rf := quietRunFlags(t)
+	rf.cfg.Machines = 2
+	rf.cfg.Replicas = 3
+	if err := execute([]string{"test-always-succeeds"}, rf); err == nil {
+		t.Fatal("-machines 2 -replicas 3 accepted")
+	}
+}
+
+// TestFaultsFlagRunsFaultedFleet: a crash plan from the flag reaches the
+// fleet — a replicated 2-machine fault-tolerance run survives end to end.
+func TestFaultsFlagRunsFaultedFleet(t *testing.T) {
+	rf := quietRunFlags(t)
+	rf.cfg.SF = 0.002
+	rf.cfg.Clients = 4
+	rf.cfg.Seed = 7
+	rf.cfg.OpenArrivals = 20
+	rf.cfg.Machines = 2
+	rf.cfg.Replicas = 2
+	rf.cfg.Faults = "crash m1 @0.01s for 0.03s"
+	if err := execute([]string{"fault-tolerance"}, rf); err != nil {
+		t.Fatalf("faulted fault-tolerance run failed: %v", err)
+	}
+}
+
 // TestTopologyFlagAcceptsZooNames: a named shape runs a real experiment
 // end to end on the selected machine.
 func TestTopologyFlagAcceptsZooNames(t *testing.T) {

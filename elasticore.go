@@ -24,7 +24,11 @@
 //   - a cluster tier: sharded fleets of lockstep machines behind a
 //     scatter-gather coordinator, with a second control tier moving
 //     cores across machines at an explicit migration cost
-//     (internal/cluster).
+//     (internal/cluster),
+//   - deterministic fault injection: scheduled crashes, slow cores and
+//     lossy links (internal/faults), survived through replica failover,
+//     retries, hedged requests and health-monitor-driven shard
+//     re-assignment (internal/cluster).
 //
 // This file re-exports the handful of types a downstream user needs to
 // run elastic-allocation experiments without reaching into the internal
@@ -39,6 +43,7 @@ import (
 	"elasticore/internal/db"
 	"elasticore/internal/elastic"
 	"elasticore/internal/experiments"
+	"elasticore/internal/faults"
 	"elasticore/internal/metrics"
 	"elasticore/internal/numa"
 	"elasticore/internal/obs"
@@ -205,6 +210,11 @@ const (
 	KindQueryDone  = obs.KindQueryDone
 	KindRoute      = obs.KindRoute
 	KindRebalance  = obs.KindRebalance
+	KindFault      = obs.KindFault
+	KindRetry      = obs.KindRetry
+	KindFailover   = obs.KindFailover
+	KindReassign   = obs.KindReassign
+	KindHeartbeat  = obs.KindHeartbeat
 )
 
 // Cluster tier types (internal/cluster): the single-machine mechanism
@@ -260,6 +270,52 @@ func NewSharder(shards, machines int) (*Sharder, error) {
 // the arbiter applies).
 func NewClusterArbiter(cfg ClusterArbiterConfig) (*ClusterArbiter, error) {
 	return cluster.NewClusterArbiter(cfg)
+}
+
+// Fault-injection types (internal/faults, internal/cluster): the
+// deterministic failure plans a fleet compiles and injects as it ticks,
+// and the health monitor that detects the damage and re-homes shards.
+type (
+	// FaultPlan is a validated, deterministic failure schedule: machine
+	// crashes with timed recovery, per-core stalls and slowdowns, and
+	// degraded shard links. Pass it through FleetOptions.Faults.
+	FaultPlan = faults.Plan
+	// Fault is one scheduled failure window of a FaultPlan.
+	Fault = faults.Fault
+	// FaultKind discriminates faults (crash, stall, slow, link).
+	FaultKind = faults.FaultKind
+	// FaultInjector is a plan compiled against a concrete fleet; the
+	// fleet drives it cycle by cycle and its read surface (Down,
+	// CoreFactor, LinkDelay, LinkDrop) is nil-safe.
+	FaultInjector = faults.Injector
+	// HealthMonitor is the fleet's failure detector and repair loop:
+	// heartbeat-gap death detection, shard re-assignment with an
+	// explicit transfer cost, brownout load-shedding and recovery.
+	HealthMonitor = cluster.HealthMonitor
+	// HealthConfig assembles a HealthMonitor.
+	HealthConfig = cluster.HealthConfig
+)
+
+// ParseFaultPlan parses a failure-plan spec — the semicolon grammar
+// ("crash m1 @2s for 1.5s; slow m0 c* x8 @1s; link m2 +0.5ms drop 0.3
+// @3s for 2s; seed 42") or the equivalent JSON document. The empty
+// string is the empty plan, which injects nothing.
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return faults.Parse(spec) }
+
+// NewReplicatedSharder partitions `shards` hashed shards across
+// `machines` keeping `replicas` copies of each (the primary plus R-1
+// successor machines); keyed routing prefers the primary and fails over
+// along the replica set. NewSharder is the replicas == 1 special case.
+func NewReplicatedSharder(shards, machines, replicas int) (*Sharder, error) {
+	return cluster.NewReplicatedSharder(shards, machines, replicas)
+}
+
+// NewHealthMonitor wires heartbeat-driven failure detection onto a
+// fleet: a machine whose beats stop is declared dead, its shards
+// re-home onto surviving replicas (charging the transfer against the
+// cluster arbiter's budget), and a recovered machine gets them back.
+func NewHealthMonitor(cfg HealthConfig) (*HealthMonitor, error) {
+	return cluster.NewHealthMonitor(cfg)
 }
 
 // Multi-tenant consolidation types (the paper's Section VII cloud

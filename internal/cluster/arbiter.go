@@ -90,6 +90,12 @@ type ClusterArbiter struct {
 	// ChargedCycles is the total migration cost: moved cores times the
 	// per-core latency.
 	ChargedCycles uint64
+	// TransferCycles is the total shard-transfer cost the health monitor
+	// charged against this budget (data movement after failures, on top
+	// of core movement).
+	TransferCycles uint64
+
+	reserved int
 }
 
 // NewClusterArbiter wires the second control tier onto a fleet and
@@ -174,6 +180,23 @@ func (ca *ClusterArbiter) Grants() []int {
 	return out
 }
 
+// ChargeTransfer adds a shard-transfer cost to the arbiter's ledger; the
+// health monitor calls it when a re-assignment lands.
+func (ca *ClusterArbiter) ChargeTransfer(cycles uint64) {
+	ca.TransferCycles += cycles
+	ca.ChargedCycles += cycles
+}
+
+// SetReserved withholds n cores from the apportionable budget (the
+// health monitor reserves capacity for in-flight shard transfers); the
+// one-core-per-machine floors always remain grantable.
+func (ca *ClusterArbiter) SetReserved(n int) {
+	if n < 0 {
+		n = 0
+	}
+	ca.reserved = n
+}
+
 // InTransit returns cores currently migrating (granted, not yet landed).
 func (ca *ClusterArbiter) InTransit() int {
 	n := 0
@@ -236,8 +259,18 @@ func (ca *ClusterArbiter) Step() {
 		if r.Mech.Due() {
 			ca.demand[m] = r.Mech.DesiredStep().N
 		}
+		// A machine the health monitor believes dead demands only its
+		// floor: its stalled cores are reclaimed for the survivors until
+		// its beats resume.
+		if f.health != nil && f.health.Dead(m) {
+			ca.demand[m] = ca.floors[m]
+		}
 	}
-	grant := tenant.Apportion(ca.demand, ca.weights, ca.floors, ca.budget)
+	budget := ca.budget - ca.reserved
+	if budget < len(f.Rigs) {
+		budget = len(f.Rigs) // the floors stay grantable
+	}
+	grant := tenant.Apportion(ca.demand, ca.weights, ca.floors, budget)
 
 	for m, r := range f.Rigs {
 		target := grant[m]

@@ -46,6 +46,79 @@ type parentReq struct {
 	pending int
 	merged  float64
 	label   string
+	// Fault-tolerance fields, used only on the FT path (see ftState):
+	// the routing key (keyed requests re-route on retry), whether the
+	// request resolved (completed, failed or dropped — later attempt
+	// completions are ignored), whether its one hedge was spent, and how
+	// many send attempts it has consumed.
+	key    uint64
+	keyed  bool
+	done   bool
+	hedged bool
+	tries  int
+}
+
+// attempt is one send of a parent request to one machine: the admission
+// tag on the FT path indexes this table, so retries and hedges of the
+// same parent stay distinguishable.
+type attempt struct {
+	parent   int64
+	machine  int
+	sent     uint64
+	deadline uint64 // 0 = no timeout
+	hedge    bool
+	done     bool
+}
+
+// retryEntry is one scheduled resend, due after its backoff elapses.
+type retryEntry struct {
+	parent int64
+	due    uint64
+}
+
+// wireMsg is one request in flight on a degraded link, delivered to its
+// machine's admission queue only after the link's added delay.
+type wireMsg struct {
+	at      uint64 // original arrival cycle (queue-wait baseline)
+	deliver uint64
+	machine int
+	tag     int64
+}
+
+// ftState is the coordinator's fault-tolerance machinery, allocated only
+// when timeouts, hedging or a compiled fault plan make it reachable — a
+// coordinator without any of those runs the exact pre-FT code path, so
+// healthy-fleet results stay byte-identical.
+type ftState struct {
+	timeoutC, hedgeC, backoffC uint64
+	maxRetries                 int
+
+	attempts    []attempt
+	outstanding []int64
+	retryQ      []retryEntry
+	wire        []wireMsg
+	dropN       []uint64 // per-machine link-drop roll counters
+	buf         []int
+	// dueBuf and hedges stage work found while compacting retryQ and
+	// outstanding, so acting on it (which appends to those same slices)
+	// never aliases an in-progress scan.
+	dueBuf []int64
+	hedges []int64
+}
+
+// quiet reports whether no retry, wire or timeout work is pending (the
+// FT half of the run loop's idle test).
+func (ft *ftState) quiet(reqs []parentReq) bool {
+	if len(ft.retryQ) > 0 || len(ft.wire) > 0 {
+		return false
+	}
+	for _, id := range ft.outstanding {
+		a := &ft.attempts[id]
+		if !a.done && a.deadline > 0 && !reqs[a.parent].done {
+			return false
+		}
+	}
+	return true
 }
 
 // MachineStats is one machine's share of a coordinator run.
@@ -67,11 +140,18 @@ type MachineStats struct {
 type Result struct {
 	// ElapsedSeconds is the virtual wall time of the run.
 	ElapsedSeconds float64
-	// Offered = Completed + Dropped + Abandoned: every generated request
-	// either finished, was shed at a full queue (a scatter sheds
-	// atomically: all sub-queries or none), or was still queued or in
-	// flight at the deadline.
+	// Offered = Completed + Dropped + Failed + Abandoned: every generated
+	// request either finished, was shed at a full queue (a scatter sheds
+	// atomically: all sub-queries or none), exhausted its fault-tolerance
+	// retries, or was still queued or in flight at the deadline.
 	Offered, Completed, Dropped, Abandoned int
+	// Failed counts parent requests that gave up — retries exhausted, or
+	// a scatter sub-query aborted by a machine crash.
+	Failed int
+	// Retried, Hedged, Failovers and WireDropped count fault-tolerance
+	// actions: scheduled resends, hedged duplicates, requests served by a
+	// non-primary replica, and sends lost on a degraded link.
+	Retried, Hedged, Failovers, WireDropped int
 	// RoutedKeyed, RoutedBalanced and Scattered split Offered by routing
 	// kind.
 	RoutedKeyed, RoutedBalanced, Scattered int
@@ -124,6 +204,30 @@ type Coordinator struct {
 	// DisableBacklog leaves the mechanisms' queue-pressure inputs
 	// unwired (A/B baselines).
 	DisableBacklog bool
+
+	// TimeoutSeconds is the per-attempt timeout: an attempt still
+	// unresolved this many virtual seconds after it was sent is retried
+	// with capped exponential backoff. The original is never cancelled —
+	// whichever attempt completes first wins and later ones are ignored.
+	// Zero disables timeouts.
+	TimeoutSeconds float64
+	// MaxRetries bounds resends per request after the first attempt; a
+	// request that exhausts them counts as Failed. Zero selects 3 when
+	// the fault machinery is active.
+	MaxRetries int
+	// BackoffSeconds is the base retry delay, doubled per attempt and
+	// capped at 8x the base (default 5 ms).
+	BackoffSeconds float64
+	// HedgeAfterSeconds sends one duplicate of a still-pending keyed
+	// request to the next healthy replica owner after this long; zero
+	// disables. Hedges need Replicas >= 2 to have anywhere to go and do
+	// not consume retry budget.
+	HedgeAfterSeconds float64
+	// OnOutcome, when set, observes every parent request as it resolves:
+	// ok true with the total latency on completion, ok false (latency 0)
+	// on a drop or failure. Experiments use it to window latency and
+	// shed-rate timelines through a fault.
+	OnOutcome func(nowC, latency uint64, ok bool)
 }
 
 // pick returns the balance policy's machine for an unkeyed request.
@@ -176,9 +280,44 @@ func (c *Coordinator) Run() Result {
 	topo := f.Rigs[0].Machine.Topology()
 	bus := f.Bus
 
+	// The FT machinery only exists when something can need it; without
+	// it the run takes the exact pre-FT code path.
+	var ft *ftState
+	if c.TimeoutSeconds > 0 || c.HedgeAfterSeconds > 0 || f.Injector() != nil {
+		ft = &ftState{
+			timeoutC:   topo.SecondsToCycles(c.TimeoutSeconds),
+			hedgeC:     topo.SecondsToCycles(c.HedgeAfterSeconds),
+			maxRetries: c.MaxRetries,
+			dropN:      make([]uint64, len(f.Rigs)),
+		}
+		if ft.maxRetries == 0 {
+			ft.maxRetries = 3
+		}
+		backoff := c.BackoffSeconds
+		if backoff == 0 {
+			backoff = 5e-3
+		}
+		ft.backoffC = topo.SecondsToCycles(backoff)
+	}
+
 	var res Result
 	res.PerMachine = make([]MachineStats, len(f.Rigs))
 	var reqs []parentReq
+
+	// resolve finishes a parent request's bookkeeping exactly once.
+	resolve := func(nowC uint64, p *parentReq, ok bool) {
+		p.done = true
+		var lat uint64
+		if ok {
+			res.Completed++
+			res.MergedScalars += p.merged
+			lat = nowC - p.at
+			res.Latency.Record(lat)
+		}
+		if c.OnOutcome != nil {
+			c.OnOutcome(nowC, lat, ok)
+		}
+	}
 
 	adms := make([]*workload.Admission, len(f.Rigs))
 	for m, r := range f.Rigs {
@@ -189,16 +328,33 @@ func (c *Coordinator) Run() Result {
 			MachineID:   int32(m),
 		}
 		adm.OnComplete = func(tag int64, q *db.Query, total, service uint64) {
-			p := &reqs[tag]
+			id := tag
+			if ft != nil {
+				ft.attempts[tag].done = true
+				id = ft.attempts[tag].parent
+			}
+			p := &reqs[id]
+			if p.done {
+				return // a faster attempt already won; ignore the straggler
+			}
 			p.merged += q.Scalar(c.MergeScalar)
 			p.pending--
 			if p.pending == 0 {
+				if ft != nil {
+					resolve(f.Now(), p, true)
+					return
+				}
 				res.Completed++
 				res.MergedScalars += p.merged
 				res.Latency.Record(f.Now() - p.at)
+				if c.OnOutcome != nil {
+					c.OnOutcome(f.Now(), f.Now()-p.at, true)
+				}
 			}
 		}
 		adms[m] = adm
+		f.RegisterAdmission(m, adm)
+		defer f.RegisterAdmission(m, nil)
 		if r.Mech != nil && !c.DisableBacklog {
 			r.Mech.SetBacklog(adm.QueueLen)
 			defer r.Mech.SetBacklog(nil)
@@ -206,7 +362,278 @@ func (c *Coordinator) Run() Result {
 	}
 	plans := make([]func(k int, tag int64) *db.Plan, len(f.Rigs))
 	for m := range plans {
-		plans[m] = func(_ int, tag int64) *db.Plan { return c.Build(uint64(tag)) }
+		plans[m] = func(_ int, tag int64) *db.Plan {
+			id := tag
+			if ft != nil {
+				id = ft.attempts[tag].parent
+			}
+			return c.Build(uint64(id))
+		}
+	}
+
+	// --- FT helpers (no-ops when ft == nil; never called then) ---
+
+	// healthy reports whether machine m can take traffic right now: its
+	// admission connections are up (a crash resets them, so this is
+	// local knowledge, not an oracle) and the health monitor does not
+	// believe it dead.
+	healthy := func(m int) bool {
+		if adms[m].Down {
+			return false
+		}
+		if h := f.Health(); h != nil && h.Dead(m) {
+			return false
+		}
+		return true
+	}
+
+	var scheduleRetry func(nowC uint64, parent int64, m int, reason string)
+	scheduleRetry = func(nowC uint64, parent int64, m int, reason string) {
+		p := &reqs[parent]
+		if p.done {
+			return
+		}
+		if p.tries > ft.maxRetries {
+			res.Failed++
+			resolve(nowC, p, false)
+			return
+		}
+		shift := uint(p.tries - 1)
+		if shift > 3 {
+			shift = 3 // cap the backoff at 8x the base
+		}
+		backoff := ft.backoffC << shift
+		res.Retried++
+		ft.retryQ = append(ft.retryQ, retryEntry{parent: parent, due: nowC + backoff})
+		if bus != nil {
+			bus.Publish(obs.Event{
+				Kind: obs.KindRetry, Now: nowC, Core: -1,
+				V1: parent, V2: int64(p.tries),
+				Label: reason, Machine: int32(m),
+			})
+		}
+	}
+
+	// deliver lands one attempt in its machine's admission queue; a full
+	// (or browned-out) queue sheds the attempt into the retry path.
+	deliver := func(nowC, at uint64, m int, tag int64) {
+		if !adms[m].Offer(nowC, at, tag) {
+			scheduleRetry(nowC, ft.attempts[tag].parent, m, "shed")
+			return
+		}
+		res.PerMachine[m].Routed++
+		if bus != nil {
+			p := &reqs[ft.attempts[tag].parent]
+			shard := int64(-1)
+			if p.keyed {
+				shard = int64(f.Sharder.Shard(p.key))
+			}
+			bus.Publish(obs.Event{
+				Kind: obs.KindRoute, Now: nowC, Core: -1,
+				V1: int64(adms[m].QueueLen()), V2: shard,
+				Label: p.label, Machine: int32(m),
+			})
+		}
+	}
+
+	// sendAttempt records one send and pushes it through the (possibly
+	// degraded) link to machine m.
+	sendAttempt := func(nowC uint64, parent int64, m int, hedge bool) {
+		p := &reqs[parent]
+		id := int64(len(ft.attempts))
+		a := attempt{parent: parent, machine: m, sent: nowC, hedge: hedge}
+		if ft.timeoutC > 0 {
+			a.deadline = nowC + ft.timeoutC
+		}
+		ft.attempts = append(ft.attempts, a)
+		ft.outstanding = append(ft.outstanding, id)
+		inj := f.Injector()
+		if inj.LinkDrop(m) > 0 {
+			dropped := inj.DropRoll(m, ft.dropN[m])
+			ft.dropN[m]++
+			if dropped {
+				res.WireDropped++
+				if bus != nil {
+					bus.Publish(obs.Event{
+						Kind: obs.KindRetry, Now: nowC, Core: -1,
+						V1: parent, V2: int64(p.tries),
+						Label: "drop", Machine: int32(m),
+					})
+				}
+				return // lost on the wire; only a timeout recovers it
+			}
+		}
+		if delay := inj.LinkDelay(m); delay > 0 {
+			ft.wire = append(ft.wire, wireMsg{at: p.at, deliver: nowC + delay, machine: m, tag: id})
+			return
+		}
+		deliver(nowC, p.at, m, id)
+	}
+
+	// routeAndSend picks a machine for a (re)send: keyed requests go to
+	// the first healthy machine in the shard's owner preference order
+	// (failover when that is not the primary), unkeyed ones to the
+	// balance policy's pick among healthy machines.
+	routeAndSend := func(nowC uint64, parent int64) {
+		p := &reqs[parent]
+		m := -1
+		if p.keyed {
+			shard := f.Sharder.Shard(p.key)
+			primary := f.Sharder.Owner(shard)
+			ft.buf = f.Sharder.Owners(shard, ft.buf[:0])
+			for _, o := range ft.buf {
+				if healthy(o) {
+					m = o
+					break
+				}
+			}
+			if m >= 0 && m != primary {
+				res.Failovers++
+				if bus != nil {
+					bus.Publish(obs.Event{
+						Kind: obs.KindFailover, Now: nowC, Core: -1,
+						V1: int64(shard), V2: int64(primary),
+						Machine: int32(m),
+					})
+				}
+			}
+			if m < 0 {
+				p.tries++
+				scheduleRetry(nowC, parent, primary, "down")
+				return
+			}
+		} else {
+			best := -1
+			for o := range adms {
+				if !healthy(o) {
+					continue
+				}
+				if best < 0 {
+					best = o
+					continue
+				}
+				q, b := adms[o], adms[best]
+				if q.QueueLen() < b.QueueLen() ||
+					(q.QueueLen() == b.QueueLen() && q.InFlight() < b.InFlight()) {
+					best = o
+				}
+			}
+			if best < 0 {
+				p.tries++
+				scheduleRetry(nowC, parent, -1, "down")
+				return
+			}
+			m = best
+		}
+		p.tries++
+		sendAttempt(nowC, parent, m, false)
+	}
+
+	// expire times out overdue attempts and fires due hedges. Hedge
+	// sends are staged and applied after the scan: sendAttempt appends
+	// to outstanding, which must not grow mid-compaction.
+	expire := func(nowC uint64) {
+		ft.hedges = ft.hedges[:0]
+		kept := ft.outstanding[:0]
+		for _, id := range ft.outstanding {
+			a := &ft.attempts[id]
+			p := &reqs[a.parent]
+			if a.done || p.done {
+				continue
+			}
+			if a.deadline > 0 && nowC >= a.deadline {
+				scheduleRetry(nowC, a.parent, a.machine, "timeout")
+				continue
+			}
+			if ft.hedgeC > 0 && p.keyed && !p.hedged && !a.hedge &&
+				f.Sharder.Replicas() > 1 && nowC >= a.sent+ft.hedgeC {
+				ft.hedges = append(ft.hedges, id)
+			}
+			kept = append(kept, id)
+		}
+		ft.outstanding = kept
+		for _, id := range ft.hedges {
+			a := &ft.attempts[id]
+			p := &reqs[a.parent]
+			if p.done || p.hedged {
+				continue
+			}
+			shard := f.Sharder.Shard(p.key)
+			ft.buf = f.Sharder.Owners(shard, ft.buf[:0])
+			for _, o := range ft.buf {
+				if o != a.machine && healthy(o) {
+					p.hedged = true
+					res.Hedged++
+					if bus != nil {
+						bus.Publish(obs.Event{
+							Kind: obs.KindFailover, Now: nowC, Core: -1,
+							V1: int64(shard), V2: int64(f.Sharder.Owner(shard)),
+							Label: "hedge", Machine: int32(o),
+						})
+					}
+					sendAttempt(nowC, a.parent, o, true)
+					break
+				}
+			}
+		}
+	}
+
+	// drainRetries resends every retry whose backoff has elapsed. Due
+	// parents are staged first: a failed resend re-enters retryQ, which
+	// must not grow mid-compaction.
+	drainRetries := func(nowC uint64) {
+		ft.dueBuf = ft.dueBuf[:0]
+		kept := ft.retryQ[:0]
+		for _, e := range ft.retryQ {
+			if e.due > nowC {
+				kept = append(kept, e)
+				continue
+			}
+			ft.dueBuf = append(ft.dueBuf, e.parent)
+		}
+		ft.retryQ = kept
+		for _, parent := range ft.dueBuf {
+			if !reqs[parent].done {
+				routeAndSend(nowC, parent)
+			}
+		}
+	}
+
+	// deliverWire lands wire messages whose link delay has elapsed.
+	deliverWire := func(nowC uint64) {
+		kept := ft.wire[:0]
+		for _, w := range ft.wire {
+			if w.deliver > nowC {
+				kept = append(kept, w)
+				continue
+			}
+			if !reqs[ft.attempts[w.tag].parent].done {
+				deliver(nowC, w.at, w.machine, w.tag)
+			}
+		}
+		ft.wire = kept
+	}
+
+	if ft != nil {
+		// A crash aborts a machine's queued and in-flight attempts:
+		// scatters fail whole (a partial fan-out would merge a partial
+		// result), everything else re-enters the retry path.
+		for _, adm := range adms {
+			adm.OnFail = func(tag int64) {
+				a := &ft.attempts[tag]
+				a.done = true
+				p := &reqs[a.parent]
+				if p.done {
+					return
+				}
+				if p.label == "scatter" {
+					res.Failed++
+					resolve(f.Now(), p, false)
+					return
+				}
+				scheduleRetry(f.Now(), a.parent, a.machine, "down")
+			}
+		}
 	}
 
 	startCycle := f.Now()
@@ -233,16 +660,27 @@ func (c *Coordinator) Run() Result {
 			res.Scattered++
 			// Atomic admission: a scatter that cannot seat every
 			// sub-query is shed whole — a partial fan-out would merge a
-			// partial result.
+			// partial result. A crashed machine sheds it the same way.
 			for _, adm := range adms {
-				if adm.QueueLen() >= c.QueueCap {
+				if adm.QueueLen() >= c.QueueCap || (ft != nil && adm.Down) {
 					res.Dropped++
+					if c.OnOutcome != nil {
+						c.OnOutcome(nowC, 0, false)
+					}
 					return
 				}
 			}
 			reqs = append(reqs, parentReq{at: at, pending: len(adms), label: "scatter"})
 			for m, adm := range adms {
-				adm.Offer(nowC, at, id)
+				tag := id
+				if ft != nil {
+					// Scatter sub-queries get attempt records (the tag
+					// space is shared) but no timeout or hedge: a crash
+					// fails the parent fast instead.
+					tag = int64(len(ft.attempts))
+					ft.attempts = append(ft.attempts, attempt{parent: id, machine: m, sent: nowC})
+				}
+				adm.Offer(nowC, at, tag)
 				res.PerMachine[m].Routed++
 				if bus != nil {
 					bus.Publish(obs.Event{
@@ -252,6 +690,18 @@ func (c *Coordinator) Run() Result {
 					})
 				}
 			}
+		case ft != nil:
+			p := parentReq{at: at, pending: 1, label: "any"}
+			if c.Keys != nil {
+				p.key, p.keyed, p.label = c.Keys(k), true, "keyed"
+			}
+			reqs = append(reqs, p)
+			if p.keyed {
+				res.RoutedKeyed++
+			} else {
+				res.RoutedBalanced++
+			}
+			routeAndSend(nowC, id)
 		default:
 			m, shard, label := 0, int64(-1), "any"
 			if c.Keys != nil {
@@ -265,6 +715,9 @@ func (c *Coordinator) Run() Result {
 			if !adms[m].Offer(nowC, at, id) {
 				res.Dropped++
 				reqs[id].pending = 0
+				if c.OnOutcome != nil {
+					c.OnOutcome(nowC, 0, false)
+				}
 				return
 			}
 			res.PerMachine[m].Routed++
@@ -288,6 +741,10 @@ func (c *Coordinator) Run() Result {
 		for _, adm := range adms {
 			adm.Collect(nowC)
 		}
+		if ft != nil {
+			expire(nowC)
+			drainRetries(nowC)
+		}
 		for more && nextAt <= nowC {
 			offer(nowC, nextAt)
 			if c.MaxArrivals > 0 && res.Offered >= c.MaxArrivals {
@@ -297,11 +754,17 @@ func (c *Coordinator) Run() Result {
 			t, ok := c.Process.Next()
 			nextAt, more = startCycle+topo.SecondsToCycles(t), ok
 		}
+		if ft != nil {
+			deliverWire(nowC)
+		}
 		idle := true
 		for m, adm := range adms {
 			adm.Fill(nowC, plans[m])
 			adm.UpdatePeaks()
 			idle = idle && adm.Idle()
+		}
+		if ft != nil && idle {
+			idle = ft.quiet(reqs)
 		}
 		if !more && idle {
 			break
@@ -312,7 +775,7 @@ func (c *Coordinator) Run() Result {
 		f.Tick()
 	}
 
-	res.Abandoned = res.Offered - res.Completed - res.Dropped
+	res.Abandoned = res.Offered - res.Completed - res.Dropped - res.Failed
 	res.ElapsedSeconds = f.NowSeconds() - startTime
 	if res.ElapsedSeconds > 0 {
 		res.Throughput = float64(res.Completed) / res.ElapsedSeconds

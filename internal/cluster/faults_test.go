@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"elasticore/internal/arrivals"
+	"elasticore/internal/faults"
+	"elasticore/internal/hashmix"
+	"elasticore/internal/obs"
+	"elasticore/internal/workload"
+)
+
+// faults_test.go covers the fault-injection stack end to end: crash and
+// recovery through the fleet, health detection and shard re-assignment,
+// coordinator retry/hedge/failover, and the determinism contract under
+// failures.
+
+// faultedFleet builds a 3-machine replicated fleet with a crash window
+// on machine 1 and a fast-reacting health monitor.
+func faultedFleet(t *testing.T, spec string, replicas int, naive bool, bus *obs.Bus) *Fleet {
+	t.Helper()
+	plan, err := faults.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFleet(Options{
+		Machines: 3,
+		Shards:   6,
+		SF:       0.002,
+		Seed:     7,
+		Mode:     workload.ModeDense,
+		Replicas: replicas,
+		Faults:   plan,
+		Naive:    naive,
+		Bus:      bus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := f.Rigs[0].Machine.Topology()
+	if _, err := NewHealthMonitor(HealthConfig{
+		Fleet:           f,
+		HeartbeatEvery:  topo.SecondsToCycles(1e-3),
+		DeadAfter:       topo.SecondsToCycles(4e-3),
+		TransferLatency: topo.SecondsToCycles(5e-3),
+		BrownoutCap:     8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// faultedCoordinator drives keyed traffic with the full FT kit enabled.
+func faultedCoordinator(f *Fleet) *Coordinator {
+	sh := f.Sharder
+	return &Coordinator{
+		Fleet:   f,
+		Process: arrivals.NewPoisson(400, 11),
+		Keys: func(k int) uint64 {
+			return sh.KeyForShard(int(hashmix.Mix64(uint64(k+1))%uint64(sh.Shards())), uint64(k))
+		},
+		TimeoutSeconds:    5e-3,
+		BackoffSeconds:    2e-3,
+		MaxRetries:        5,
+		HedgeAfterSeconds: 3e-3,
+		MaxArrivals:       60,
+		MaxSeconds:        120,
+	}
+}
+
+// TestFleetCrashRecover: a crash window aborts the victim's work, the
+// health monitor declares it dead and re-homes its shards onto the
+// surviving replica, traffic fails over, and recovery re-homes them
+// back — with every request accounted for.
+func TestFleetCrashRecover(t *testing.T) {
+	bus := obs.NewBus(0)
+	f := faultedFleet(t, "crash m1 @0.02s for 0.06s", 2, false, bus)
+	res := faultedCoordinator(f).Run()
+
+	h := f.Health()
+	if h.Deaths != 1 || h.Recoveries != 1 {
+		t.Fatalf("Deaths=%d Recoveries=%d, want 1/1", h.Deaths, h.Recoveries)
+	}
+	if h.Reassigned == 0 {
+		t.Fatal("no shard re-assignments landed")
+	}
+	if res.Completed == 0 {
+		t.Fatal("nothing completed through the fault")
+	}
+	if res.Failovers == 0 && res.Hedged == 0 && res.Retried == 0 {
+		t.Fatal("the fault window triggered no fault-tolerance actions")
+	}
+	if got := res.Completed + res.Dropped + res.Failed + res.Abandoned; got != res.Offered {
+		t.Fatalf("accounting: %d+%d+%d+%d = %d, want Offered %d",
+			res.Completed, res.Dropped, res.Failed, res.Abandoned, got, res.Offered)
+	}
+
+	labels := map[string]bool{}
+	for _, e := range bus.EventsOfKind(obs.KindFault) {
+		labels[e.Label] = true
+	}
+	if !labels["crash"] || !labels["recover"] {
+		t.Fatalf("fault event labels %v, want crash and recover", labels)
+	}
+	reassign := map[string]int{}
+	for _, e := range bus.EventsOfKind(obs.KindReassign) {
+		reassign[e.Label]++
+	}
+	if reassign["begin"] == 0 || reassign["done"] == 0 {
+		t.Fatalf("reassign events %v, want begin and done", reassign)
+	}
+	if len(bus.EventsOfKind(obs.KindHeartbeat)) == 0 {
+		t.Fatal("no heartbeats on the bus with health enabled")
+	}
+	// Post-recovery the primaries must be back home.
+	for shard := 0; shard < f.Sharder.Shards(); shard++ {
+		if f.Sharder.Owner(shard) != f.Sharder.Home(shard) {
+			t.Fatalf("shard %d still re-homed on machine %d after recovery",
+				shard, f.Sharder.Owner(shard))
+		}
+	}
+}
+
+// TestCoordinatorZeroAdmission: with every machine crashed for the whole
+// run, nothing is ever admitted — every request fails or is shed, the
+// latency histogram stays empty, and the run still terminates.
+func TestCoordinatorZeroAdmission(t *testing.T) {
+	f := faultedFleet(t, "crash m0 @0s; crash m1 @0s; crash m2 @0s", 2, false, nil)
+	c := faultedCoordinator(f)
+	c.MaxArrivals = 10
+	c.MaxSeconds = 5
+	res := c.Run()
+	if res.Completed != 0 {
+		t.Fatalf("%d completions on an all-crashed fleet", res.Completed)
+	}
+	if res.Latency.Count() != 0 {
+		t.Fatalf("latency histogram has %d samples with zero admissions", res.Latency.Count())
+	}
+	if res.Failed+res.Dropped+res.Abandoned != res.Offered {
+		t.Fatalf("zero-admission accounting: Failed %d + Dropped %d + Abandoned %d != Offered %d",
+			res.Failed, res.Dropped, res.Abandoned, res.Offered)
+	}
+	if res.Failed == 0 {
+		t.Fatal("no request exhausted its retries against a dead fleet")
+	}
+}
+
+// TestFleetReplicasValidation: the replica degree must fit the fleet.
+func TestFleetReplicasValidation(t *testing.T) {
+	_, err := NewFleet(Options{Machines: 2, Shards: 4, SF: 0.002, Replicas: 3})
+	if err == nil {
+		t.Fatal("replicas > machines accepted")
+	}
+	if _, err := NewFleet(Options{Machines: 2, Shards: 4, SF: 0.002, Replicas: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFleetFaultValidation: a plan referencing machines or cores outside
+// the fleet is rejected at construction.
+func TestFleetFaultValidation(t *testing.T) {
+	plan, err := faults.Parse("crash m9 @1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFleet(Options{Machines: 3, Shards: 6, SF: 0.002, Faults: plan}); err == nil {
+		t.Fatal("plan crashing machine 9 accepted by a 3-machine fleet")
+	}
+}
+
+// faultedRun is one crash-and-recover coordinator run, the unit the
+// faulted determinism test compares.
+func faultedRun(t *testing.T, naive bool) Result {
+	t.Helper()
+	f := faultedFleet(t, "crash m1 @0.02s for 0.06s; slow m2 c0-3 x4 @0.01s for 0.1s", 2, naive, nil)
+	return faultedCoordinator(f).Run()
+}
+
+// TestFleetFaultDeterminism: a faulted run — crash, recovery, slow
+// cores, retries, hedges and re-assignment — is bit-identical across
+// repeats and between the fast and Naive simulator paths.
+func TestFleetFaultDeterminism(t *testing.T) {
+	a := faultedRun(t, false)
+	b := faultedRun(t, false)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("repeat faulted run diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	n := faultedRun(t, true)
+	if !reflect.DeepEqual(a, n) {
+		t.Fatalf("naive faulted run diverged from fast run:\n%+v\nvs\n%+v", a, n)
+	}
+}

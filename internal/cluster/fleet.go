@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"elasticore/internal/elastic"
+	"elasticore/internal/faults"
 	"elasticore/internal/hashmix"
 	"elasticore/internal/numa"
 	"elasticore/internal/obs"
@@ -39,6 +40,15 @@ type Options struct {
 	// Bus, when set, is attached to every rig and to the cluster layers
 	// (Coordinator routes, ClusterArbiter rebalances).
 	Bus *obs.Bus
+	// Replicas keeps R copies of every shard (default 1, no
+	// replication); each machine's dataset grows to its share of the
+	// replicated store. Must fit the fleet: 1 <= R <= Machines.
+	Replicas int
+	// Faults, when non-empty, is the deterministic failure plan
+	// compiled against this fleet and injected as it ticks. An empty
+	// or nil plan leaves every code path byte-identical to a fleet
+	// built before fault injection existed.
+	Faults *faults.Plan
 }
 
 // Fleet is N lockstep simulated machines behind one Sharder. All
@@ -56,7 +66,17 @@ type Fleet struct {
 	// Bus is the fleet-wide telemetry bus, nil when dark.
 	Bus *obs.Bus
 
-	arb *ClusterArbiter
+	arb    *ClusterArbiter
+	health *HealthMonitor
+
+	// injector is the compiled fault plan, nil for healthy fleets.
+	injector *faults.Injector
+	// admissions registers each machine's admission layer (set by the
+	// Coordinator) so crash injection can abort queued work and the
+	// health monitor can apply brownout caps; entries may be nil.
+	admissions []*workload.Admission
+	// nextBeat is the cycle of the next heartbeat round (health enabled).
+	nextBeat uint64
 }
 
 // fleetSeed derives machine m's dataset seed: distinct per machine (a
@@ -80,7 +100,10 @@ func NewFleet(opts Options) (*Fleet, error) {
 	if opts.Shards == 0 {
 		opts.Shards = opts.Machines
 	}
-	sh, err := NewSharder(opts.Shards, opts.Machines)
+	if opts.Replicas == 0 {
+		opts.Replicas = 1
+	}
+	sh, err := NewReplicatedSharder(opts.Shards, opts.Machines, opts.Replicas)
 	if err != nil {
 		return nil, err
 	}
@@ -91,10 +114,12 @@ func NewFleet(opts Options) (*Fleet, error) {
 		opts.Seed = 1
 	}
 	f := &Fleet{Sharder: sh, Opts: opts, Bus: opts.Bus}
+	f.admissions = make([]*workload.Admission, opts.Machines)
 	for m := 0; m < opts.Machines; m++ {
-		lo, hi := sh.ShardsOf(m)
+		// A machine stores every shard it replicates, so its dataset share
+		// is HomesOf/Shards — identical to the owned range at R = 1.
 		r, err := workload.NewRig(workload.Options{
-			SF:            opts.SF * float64(hi-lo) / float64(opts.Shards),
+			SF:            opts.SF * float64(sh.HomesOf(m)) / float64(opts.Shards),
 			Seed:          fleetSeed(opts.Seed, m),
 			Mode:          opts.Mode,
 			Strategy:      opts.Strategy,
@@ -107,6 +132,13 @@ func NewFleet(opts Options) (*Fleet, error) {
 			return nil, fmt.Errorf("cluster: machine %d: %w", m, err)
 		}
 		f.Rigs = append(f.Rigs, r)
+	}
+	if opts.Faults != nil && len(opts.Faults.Faults) > 0 {
+		topo := f.Rigs[0].Machine.Topology()
+		if err := opts.Faults.Validate(opts.Machines, topo.TotalCores()); err != nil {
+			return nil, err
+		}
+		f.injector = opts.Faults.Compile(opts.Machines, topo.TotalCores(), topo.SecondsToCycles)
 	}
 	return f, nil
 }
@@ -125,11 +157,54 @@ func (f *Fleet) NowSeconds() float64 { return f.Rigs[0].Machine.NowSeconds() }
 // mechanism self-governs.
 func (f *Fleet) Arbiter() *ClusterArbiter { return f.arb }
 
+// Health returns the attached health monitor, nil when failure detection
+// is off.
+func (f *Fleet) Health() *HealthMonitor { return f.health }
+
+// Injector returns the compiled fault plan, nil for a healthy fleet.
+// All its read methods are nil-safe, so callers query it unconditionally.
+func (f *Fleet) Injector() *faults.Injector { return f.injector }
+
+// Down reports whether machine m is currently crashed by the fault plan.
+func (f *Fleet) Down(m int) bool { return f.injector.Down(m) }
+
+// EnsureBus returns the fleet-wide bus, creating one and attaching it to
+// every machine on first use (the health monitor needs heartbeats even
+// when the caller never asked for telemetry).
+func (f *Fleet) EnsureBus() *obs.Bus {
+	if f.Bus == nil {
+		f.Bus = obs.NewBus(0)
+		for _, r := range f.Rigs {
+			r.AttachBus(f.Bus)
+		}
+	}
+	return f.Bus
+}
+
+// RegisterAdmission ties machine m's admission layer to the fleet so
+// crash injection can abort its queued work (FailAll) and the health
+// monitor can brownout-cap it. The Coordinator registers its per-machine
+// admissions at the start of a run; a machine already down at
+// registration starts gated.
+func (f *Fleet) RegisterAdmission(m int, adm *workload.Admission) {
+	f.admissions[m] = adm
+	if adm != nil && f.injector.Down(m) {
+		adm.Down = true
+	}
+}
+
 // Tick advances every machine by one scheduler quantum in index order,
 // then runs the control tier: the ClusterArbiter when attached (the
 // per-machine mechanisms only *evaluate*, via the arbiter), otherwise
-// each machine's own mechanism.
+// each machine's own mechanism. With a fault plan compiled in, fault
+// edges due at the current cycle apply BEFORE the rigs tick — a machine
+// crashing at cycle t never executes work stamped t — and heartbeats
+// plus failure detection run after the control tier, so the health
+// monitor sees the post-control allocation state.
 func (f *Fleet) Tick() {
+	if f.injector != nil {
+		f.applyFaults()
+	}
 	for _, r := range f.Rigs {
 		r.Sched.Tick()
 	}
@@ -142,10 +217,107 @@ func (f *Fleet) Tick() {
 			}
 		}
 	}
+	if f.health != nil {
+		f.heartbeats()
+		f.health.Step(f.Now())
+	}
 	for _, r := range f.Rigs {
 		if r.Probe != nil {
 			r.Probe.Maybe()
 		}
+	}
+}
+
+// applyFaults advances the injector to the fleet clock and applies every
+// fault edge that became due, in the injector's deterministic order
+// (cycle, then plan index, starts before ends).
+func (f *Fleet) applyFaults() {
+	now := f.Now()
+	for _, ch := range f.injector.Advance(now) {
+		ft := f.injector.Fault(ch.Index)
+		m := ft.Machine
+		r := f.Rigs[m]
+		label := ft.Kind.String()
+		switch ft.Kind {
+		case faults.Crash:
+			if ch.Start {
+				// Crash: the machine keeps ticking (the fleet's lockstep
+				// invariant) but every core freezes and all queued and
+				// in-flight work aborts.
+				for c := 0; c < r.Machine.Topology().TotalCores(); c++ {
+					r.Sched.SetCoreSlowdown(numa.CoreID(c), faults.StallFactor)
+				}
+				if adm := f.admissions[m]; adm != nil {
+					adm.Down = true
+					adm.FailAll()
+				}
+			} else {
+				label = "recover"
+				// Restore whatever slow/stall faults remain active on
+				// each core — the injector's combined factor, not 1.
+				for c := 0; c < r.Machine.Topology().TotalCores(); c++ {
+					r.Sched.SetCoreSlowdown(numa.CoreID(c), f.injector.CoreFactor(m, c))
+				}
+				if adm := f.admissions[m]; adm != nil {
+					adm.Down = false
+				}
+			}
+		case faults.Stall, faults.Slow:
+			if !ch.Start {
+				label += "-end"
+			}
+			// Re-apply the combined factor over the fault's core range,
+			// unless a crash currently dominates the whole machine.
+			if !f.injector.Down(m) {
+				lo, hi := ft.Core, ft.CoreHi
+				if lo < 0 {
+					lo, hi = 0, r.Machine.Topology().TotalCores()-1
+				}
+				for c := lo; c <= hi; c++ {
+					r.Sched.SetCoreSlowdown(numa.CoreID(c), f.injector.CoreFactor(m, c))
+				}
+			}
+		case faults.Link:
+			// Nothing to apply on the machine: the coordinator reads the
+			// injector's link state on every send. The event is the record.
+			if !ch.Start {
+				label += "-end"
+			}
+		}
+		if f.Bus != nil {
+			f.Bus.Publish(obs.Event{
+				Kind:    obs.KindFault,
+				Now:     ch.At,
+				Core:    int32(ft.Core),
+				V1:      int64(ft.Factor),
+				V2:      int64(ft.Drop * 1e6),
+				Dur:     f.injector.LinkDelay(m),
+				Label:   label,
+				Machine: int32(m),
+			})
+		}
+	}
+}
+
+// heartbeats publishes one liveness beat per non-crashed machine every
+// HeartbeatEvery cycles; the health monitor listens on the bus, so a
+// crashed machine's silence is what its death detection feeds on.
+func (f *Fleet) heartbeats() {
+	now := f.Now()
+	if now < f.nextBeat {
+		return
+	}
+	f.nextBeat = now + f.health.HeartbeatEvery()
+	for m := range f.Rigs {
+		if f.injector.Down(m) {
+			continue
+		}
+		f.Bus.Publish(obs.Event{
+			Kind:    obs.KindHeartbeat,
+			Now:     now,
+			Core:    -1,
+			Machine: int32(m),
+		})
 	}
 }
 

@@ -24,21 +24,46 @@ import (
 // machine placement. Keys hash to shards via SplitMix64 (stable under
 // any machine count); shards map to machines as contiguous ranges, so
 // growing the fleet re-homes whole ranges instead of rehashing keys.
+//
+// With R-way replication (NewReplicatedSharder) each shard's replica
+// set is its home machine plus the R-1 successors modulo the fleet
+// (chained declustering), and the *primary* — the machine serving the
+// shard right now — is mutable: the health monitor re-homes a dead
+// machine's primaries onto surviving replicas (Reassign) and restores
+// them on recovery. With R = 1 the primary table reproduces the static
+// Owner formula exactly, so unreplicated fleets are bit-identical to
+// the pre-replication code.
 type Sharder struct {
 	shards   int
 	machines int
+	replicas int
+	primary  []int
 }
 
 // NewSharder validates the partitioning shape: at least one machine,
 // and at least as many shards as machines so every machine owns data.
 func NewSharder(shards, machines int) (*Sharder, error) {
+	return NewReplicatedSharder(shards, machines, 1)
+}
+
+// NewReplicatedSharder builds a sharder keeping R copies of every
+// shard; replicas must fit the fleet (1 <= R <= machines).
+func NewReplicatedSharder(shards, machines, replicas int) (*Sharder, error) {
 	if machines < 1 {
 		return nil, fmt.Errorf("cluster: machines %d < 1", machines)
 	}
 	if shards < machines {
 		return nil, fmt.Errorf("cluster: shards %d < machines %d", shards, machines)
 	}
-	return &Sharder{shards: shards, machines: machines}, nil
+	if replicas < 1 || replicas > machines {
+		return nil, fmt.Errorf("cluster: replicas %d outside [1, %d machines]", replicas, machines)
+	}
+	s := &Sharder{shards: shards, machines: machines, replicas: replicas}
+	s.primary = make([]int, shards)
+	for shard := range s.primary {
+		s.primary[shard] = s.Home(shard)
+	}
+	return s, nil
 }
 
 // Shards returns the shard count.
@@ -59,9 +84,84 @@ func (s *Sharder) ShardsOf(machine int) (lo, hi int) {
 	return lo, hi
 }
 
-// Owner returns the machine owning a shard (the inverse of ShardsOf).
-func (s *Sharder) Owner(shard int) int {
+// Home returns the machine a shard's contiguous range maps to (the
+// inverse of ShardsOf) — the shard's original owner and the anchor of
+// its replica set, independent of any re-assignment.
+func (s *Sharder) Home(shard int) int {
 	return ((shard+1)*s.machines - 1) / s.shards
+}
+
+// Owner returns the machine currently serving a shard: the home until
+// a Reassign moves it.
+func (s *Sharder) Owner(shard int) int {
+	return s.primary[shard]
+}
+
+// Replicas returns the replication degree R.
+func (s *Sharder) Replicas() int { return s.replicas }
+
+// ReplicaSet appends the shard's R replica machines to buf (home
+// first, then its successors modulo the fleet) and returns it.
+func (s *Sharder) ReplicaSet(shard int, buf []int) []int {
+	home := s.Home(shard)
+	for r := 0; r < s.replicas; r++ {
+		buf = append(buf, (home+r)%s.machines)
+	}
+	return buf
+}
+
+// Owners appends the machines that can serve the shard in preference
+// order — the live primary first, then the remaining replica-set
+// members in set order — and returns buf.
+func (s *Sharder) Owners(shard int, buf []int) []int {
+	p := s.primary[shard]
+	buf = append(buf, p)
+	home := s.Home(shard)
+	for r := 0; r < s.replicas; r++ {
+		if m := (home + r) % s.machines; m != p {
+			buf = append(buf, m)
+		}
+	}
+	return buf
+}
+
+// ReplicatedOn reports whether machine m holds a copy of the shard.
+func (s *Sharder) ReplicatedOn(shard, m int) bool {
+	home := s.Home(shard)
+	for r := 0; r < s.replicas; r++ {
+		if (home+r)%s.machines == m {
+			return true
+		}
+	}
+	return false
+}
+
+// HomesOf counts the shards machine m keeps a copy of (its storage
+// share); with R = 1 this equals the ShardsOf range length.
+func (s *Sharder) HomesOf(m int) int {
+	n := 0
+	for shard := 0; shard < s.shards; shard++ {
+		if s.ReplicatedOn(shard, m) {
+			n++
+		}
+	}
+	return n
+}
+
+// Reassign re-homes a shard's primary onto machine m (the health
+// monitor's shard movement, after the data transfer completes).
+func (s *Sharder) Reassign(shard, m int) {
+	s.primary[shard] = m
+}
+
+// PrimariesOf appends the shards machine m currently serves, ascending.
+func (s *Sharder) PrimariesOf(m int, buf []int) []int {
+	for shard, p := range s.primary {
+		if p == m {
+			buf = append(buf, shard)
+		}
+	}
+	return buf
 }
 
 // MachineFor routes a key to the machine owning its shard.

@@ -108,17 +108,12 @@ type Engine struct {
 	TasksExecuted uint64
 
 	// bus, when attached, receives KindTaskDone events stamped with
-	// busTenant; nil keeps the completion path dark.
+	// busTenant; nil keeps the completion path dark. The bus replaced
+	// the pre-bus OnTaskDone single hook (replace-on-attach, so a
+	// second consumer silently clobbered the first), which was deleted
+	// once every consumer moved over.
 	bus       *obs.Bus
 	busTenant string
-
-	// OnTaskDone, if set, observes task completions.
-	//
-	// Deprecated: a single replace-on-attach hook — a second consumer
-	// silently clobbers the first. Subscribe to obs.KindTaskDone on the
-	// engine's bus instead (SetBus / EnsureBus); the field keeps firing
-	// alongside the bus for existing callers.
-	OnTaskDone func(TaskEvent)
 }
 
 // SetBus attaches the telemetry bus the engine publishes task
@@ -372,14 +367,6 @@ func (e *Engine) dispatch(w *worker) *dispatched {
 // stage drains.
 func (e *Engine) taskFinished(w *worker, d *dispatched) {
 	e.TasksExecuted++
-	if e.OnTaskDone != nil {
-		e.OnTaskDone(TaskEvent{
-			Worker: w.thread.ID,
-			Op:     d.task.Op(),
-			Start:  d.start,
-			End:    e.machine.Now(),
-		})
-	}
 	if e.bus != nil {
 		e.bus.Publish(obs.Event{
 			Kind:   obs.KindTaskDone,

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"elasticore/internal/numa"
+	"elasticore/internal/obs"
 	"elasticore/internal/sched"
 )
 
@@ -151,7 +152,11 @@ func TestConcurrentQueriesAllFinish(t *testing.T) {
 func TestQueryElapsedAndEvents(t *testing.T) {
 	r := newDBRig(t, 8000, PlacementOS)
 	var events []TaskEvent
-	r.eng.OnTaskDone = func(e TaskEvent) { events = append(events, e) }
+	r.eng.EnsureBus().Subscribe(obs.KindTaskDone, func(e obs.Event) {
+		events = append(events, TaskEvent{
+			Worker: sched.TID(e.TID), Op: e.Label, Start: e.Start, End: e.Now,
+		})
+	})
 	q := r.eng.Submit(q6Plan())
 	r.run(t, q)
 	if q.ElapsedCycles() == 0 {
@@ -217,11 +222,11 @@ func TestNUMAAwarePinningHolds(t *testing.T) {
 	for _, w := range r.eng.workers {
 		workerTIDs[w.thread.ID] = true
 	}
-	r.sched.OnMigrate = func(e sched.MigrationEvent) {
-		if workerTIDs[e.TID] && topo.NodeOf(e.From) != topo.NodeOf(e.To) {
-			t.Errorf("pinned worker %d migrated %d -> %d", e.TID, e.From, e.To)
+	r.sched.EnsureBus().Subscribe(obs.KindMigration, func(e obs.Event) {
+		if workerTIDs[sched.TID(e.TID)] && topo.NodeOf(numa.CoreID(e.From)) != topo.NodeOf(numa.CoreID(e.Core)) {
+			t.Errorf("pinned worker %d migrated %d -> %d", e.TID, e.From, e.Core)
 		}
-	}
+	})
 	var qs []*Query
 	for i := 0; i < 4; i++ {
 		qs = append(qs, r.eng.Submit(q6Plan()))
@@ -282,11 +287,11 @@ func TestRawAffinityPinsThreads(t *testing.T) {
 	r := newDBRig(t, 4000, PlacementOS)
 	topo := r.machine.Topology()
 	var migrated bool
-	r.sched.OnMigrate = func(e sched.MigrationEvent) {
-		if topo.NodeOf(e.From) != topo.NodeOf(e.To) {
+	r.sched.EnsureBus().Subscribe(obs.KindMigration, func(e obs.Event) {
+		if topo.NodeOf(numa.CoreID(e.From)) != topo.NodeOf(numa.CoreID(e.Core)) {
 			migrated = true
 		}
-	}
+	})
 	k, err := SpawnRawQ6(r.store, r.sched, 300, 4, RawDense)
 	if err != nil {
 		t.Fatal(err)

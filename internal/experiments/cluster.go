@@ -7,6 +7,7 @@ import (
 
 	"elasticore/internal/arrivals"
 	"elasticore/internal/cluster"
+	"elasticore/internal/faults"
 	"elasticore/internal/hashmix"
 	"elasticore/internal/workload"
 )
@@ -67,8 +68,14 @@ func zipfShards(shards int, theta float64, seed uint64) func(k int) int {
 
 // newFleet builds a fleet from the experiment config at a given machine
 // count (the per-machine dataset is the owned share of the total SF).
+// Config.Replicas and Config.Faults flow into every fleet built here, so
+// any cluster experiment can run replicated or under a failure plan.
 func newFleet(c Config, machines int, mode workload.Mode) (*cluster.Fleet, error) {
 	topo, err := c.machineTopology(c.SF)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := faults.Parse(c.Faults) // validated in withDefaults
 	if err != nil {
 		return nil, err
 	}
@@ -81,6 +88,8 @@ func newFleet(c Config, machines int, mode workload.Mode) (*cluster.Fleet, error
 		Topology: topo,
 		Naive:    c.Naive,
 		Bus:      c.Bus,
+		Replicas: c.Replicas,
+		Faults:   plan,
 	})
 }
 

@@ -26,6 +26,7 @@ import (
 
 	"elasticore/internal/db"
 	"elasticore/internal/elastic"
+	"elasticore/internal/faults"
 	"elasticore/internal/numa"
 	"elasticore/internal/obs"
 	"elasticore/internal/tpch"
@@ -71,6 +72,18 @@ type Config struct {
 	// selects the SF-scaled Opteron testbed. The topology-sweep
 	// experiment ignores it — it sweeps the whole zoo.
 	Topology string
+	// Replicas keeps R copies of every shard in the fleets the cluster
+	// experiments build (0 picks each experiment's own default; must fit
+	// the fleet: Replicas <= Machines). The fault-tolerance experiment
+	// uses it for its replicated variant and defaults that variant to 2.
+	Replicas int
+	// Faults is a deterministic failure-plan spec (internal/faults
+	// grammar or JSON, e.g. "crash m1 @0.02s for 0.06s") injected into
+	// every fleet the cluster experiments build. Empty disables
+	// injection and leaves every experiment byte-identical to a build
+	// without the fault subsystem; the fault-tolerance experiment
+	// synthesizes its own crash window when this is empty.
+	Faults string
 	// Naive runs every rig on the pre-optimization simulator hot paths:
 	// the walk-every-core tick loop, per-block memory charging, unpooled
 	// Go-map operator execution and uncached dataset generation. Results
@@ -142,6 +155,17 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.OpenArrivals == 0 {
 		c.OpenArrivals = 120
+	}
+	if c.Replicas < 0 {
+		return c, fmt.Errorf("experiments: negative replica count %d", c.Replicas)
+	}
+	if c.Replicas > c.Machines {
+		return c, fmt.Errorf("experiments: %d replicas exceed %d machines", c.Replicas, c.Machines)
+	}
+	if c.Faults != "" {
+		if _, err := faults.Parse(c.Faults); err != nil {
+			return c, err
+		}
 	}
 	switch c.Arrival {
 	case "":

@@ -1,0 +1,377 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"elasticore/internal/arrivals"
+	"elasticore/internal/cluster"
+	"elasticore/internal/faults"
+	"elasticore/internal/metrics"
+	"elasticore/internal/numa"
+	"elasticore/internal/workload"
+)
+
+// faults.go hosts the failure experiments: the cluster tier driven
+// through internal/faults' deterministic failure plans.
+//
+//   - fault-tolerance: one crash-and-recover window against three fleet
+//     configurations — a static baseline with nowhere to fail over to,
+//     an elastic fleet whose health monitor re-homes the dead machine's
+//     shards, and a replicated fleet that also hedges and fails over —
+//     with the latency and shed-rate timeline through the window.
+//   - partial-degradation: machines that are impaired rather than dead —
+//     a slow-core factor sweep and a lossy-link delay/drop sweep.
+
+// msOrDash renders a latency quantile in milliseconds, or "-" when the
+// histogram holds no samples: an all-shed window has no latency to
+// report, and printing the empty histogram's zero quantiles would
+// claim a 0.000 ms tail instead of admitting there was no service at
+// all. Result tables render string cells verbatim in float columns.
+func msOrDash(topo *numa.Topology, h *metrics.Histogram, q float64) any {
+	if h.Count() == 0 {
+		return "-"
+	}
+	return topo.CyclesToSeconds(h.Quantile(q)) * 1e3
+}
+
+// ftVariant is one fleet configuration of the fault-tolerance matchup.
+type ftVariant struct {
+	name     string
+	mode     workload.Mode
+	replicas int
+	health   bool
+	arbiter  bool
+	hedge    bool
+}
+
+// ftPhaseStats accumulates request outcomes inside one phase of the
+// crash timeline (pre-fault, fault, recovery), bucketed by resolve time.
+type ftPhaseStats struct {
+	ok, shed int
+	lat      metrics.Histogram
+}
+
+// ftPhaseNames label the crash timeline's three phases.
+var ftPhaseNames = [3]string{"pre-fault", "fault", "recovery"}
+
+// runFaultTolerance replays one offered stream through a crash-and-
+// recover window against three fleet configurations and reports how
+// much of the failure each one absorbs.
+func runFaultTolerance(ctx context.Context, c Config, obs Observer) (*Result, error) {
+	res := &Result{}
+	var sat float64
+	err := phase(ctx, obs, "calibrate", func() (err error) {
+		sat, err = calibrateSaturation(c)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Moderate aggregate load: the fleet has headroom, so what the crash
+	// costs is attributable to the crash, not to pre-existing overload.
+	rate := 0.7 * sat * float64(c.Machines)
+	total := c.OpenArrivals * c.Machines
+	span := float64(total) / rate
+
+	// The default plan crashes machine 1 for the middle third of the
+	// arrival stream: long enough for detection (heartbeat gap) plus
+	// shard re-assignment to land and earn their keep, short enough
+	// that a recovery phase remains. A Config.Faults spec replaces the
+	// plan; its first fault's window then frames the phase boundaries.
+	crashAt, crashFor := 0.25*span, 0.35*span
+	spec := c.Faults
+	if plan, _ := faults.Parse(spec); plan.Empty() {
+		victim := 0
+		if c.Machines > 1 {
+			victim = 1
+		}
+		spec = fmt.Sprintf("crash m%d @%.6fs for %.6fs", victim, crashAt, crashFor)
+	} else {
+		f0 := plan.Faults[0]
+		crashAt = f0.At
+		if f0.For > 0 {
+			crashFor = f0.For
+		} else {
+			crashFor = 1.4*span - crashAt
+		}
+	}
+	horizon := 1.3*float64(total)*(1/rate+1/sat) + crashFor + 0.05
+
+	rep := c.Replicas
+	if rep < 2 {
+		rep = 2
+	}
+	if rep > c.Machines {
+		rep = c.Machines
+	}
+	variants := []ftVariant{
+		{name: "static", mode: workload.ModeOS, replicas: 1},
+		{name: "elastic", mode: workload.ModeDense, replicas: 1, health: true, arbiter: true},
+		{name: "replicated", mode: workload.ModeDense, replicas: rep, health: true, arbiter: true, hedge: true},
+	}
+
+	summary := res.AddTable("fault_tolerance",
+		colS("config"), colI("offered"), colI("completed"), colI("dropped"),
+		colI("failed"), colI("retried"), colI("hedged"), colI("failover"),
+		colI("reassign"), colF("tput(q/s)", 1))
+	phases := res.AddTable("phases",
+		colS("config"), colS("phase"), colI("resolved"), colI("ok"),
+		colI("shed"), colF("shed_rate", 3), colF("p50(ms)", 3),
+		colF("p99(ms)", 3), colF("p999(ms)", 3))
+
+	// The shared timeline: request resolutions bucketed into fixed
+	// windows, identical across variants because all three replay the
+	// same arrival stream on the same clock.
+	const nWin = 12
+	winSpan := 1.4 * span
+	// winCounts is indexed [variant][window][ok|shed].
+	var winCounts [3][nWin][2]int
+
+	for vi, v := range variants {
+		vi, v := vi, v
+		err := phase(ctx, obs, v.name, func() error {
+			cc := c
+			cc.Faults = spec
+			cc.Replicas = v.replicas
+			f, err := newFleet(cc, c.Machines, v.mode)
+			if err != nil {
+				return err
+			}
+			topo := f.Rigs[0].Machine.Topology()
+			if v.arbiter {
+				// A contended budget makes the elastic story visible: the
+				// arbiter reclaims a dead machine's grant for the survivors.
+				if _, err := cluster.NewClusterArbiter(cluster.ClusterArbiterConfig{
+					Fleet:         f,
+					Budget:        c.Machines * topo.TotalCores() * 3 / 4,
+					ControlPeriod: topo.SecondsToCycles(1e-3),
+				}); err != nil {
+					return err
+				}
+			}
+			if v.health {
+				if _, err := cluster.NewHealthMonitor(cluster.HealthConfig{
+					Fleet:           f,
+					HeartbeatEvery:  topo.SecondsToCycles(1e-3),
+					TransferLatency: topo.SecondsToCycles(8e-3),
+					BrownoutCap:     4 * openSessions(c),
+				}); err != nil {
+					return err
+				}
+			}
+			crashC := topo.SecondsToCycles(crashAt)
+			recoverC := topo.SecondsToCycles(crashAt + crashFor)
+			winC := topo.SecondsToCycles(winSpan / nWin)
+			hedge := 0.0
+			if v.hedge {
+				hedge = 3e-3
+			}
+			var ph [3]ftPhaseStats
+			coord := &cluster.Coordinator{
+				Fleet:             f,
+				Process:           arrivals.NewPoisson(rate, c.Seed+401),
+				Keys:              uniformKeys(f.Sharder, c.Seed),
+				MaxInFlight:       openSessions(c),
+				QueueCap:          8 * openSessions(c),
+				MaxArrivals:       total,
+				MaxSeconds:        horizon,
+				TimeoutSeconds:    6e-3,
+				BackoffSeconds:    1.5e-3,
+				MaxRetries:        4,
+				HedgeAfterSeconds: hedge,
+				OnOutcome: func(nowC, lat uint64, ok bool) {
+					pi := 0
+					switch {
+					case nowC >= recoverC:
+						pi = 2
+					case nowC >= crashC:
+						pi = 1
+					}
+					w := int(nowC / winC)
+					if w >= nWin {
+						w = nWin - 1
+					}
+					if ok {
+						ph[pi].ok++
+						ph[pi].lat.Record(lat)
+						winCounts[vi][w][0]++
+					} else {
+						ph[pi].shed++
+						winCounts[vi][w][1]++
+					}
+				},
+			}
+			r := coord.Run()
+			reassigned, recoveries := 0, 0
+			if h := f.Health(); h != nil {
+				reassigned, recoveries = h.Reassigned, h.Recoveries
+			}
+			summary.AddRow(v.name, r.Offered, r.Completed, r.Dropped, r.Failed,
+				r.Retried, r.Hedged, r.Failovers, reassigned, r.Throughput)
+			for pi, pn := range ftPhaseNames {
+				s := &ph[pi]
+				n := s.ok + s.shed
+				shedRate := 0.0
+				if n > 0 {
+					shedRate = float64(s.shed) / float64(n)
+				}
+				phases.AddRow(v.name, pn, n, s.ok, s.shed, shedRate,
+					msOrDash(topo, &s.lat, 0.50), msOrDash(topo, &s.lat, 0.99),
+					msOrDash(topo, &s.lat, 0.999))
+			}
+			res.AddMetric("shed_fault_"+v.name, float64(ph[1].shed), "req")
+			if ph[0].lat.Count() > 0 && ph[1].lat.Count() > 0 {
+				pre := topo.CyclesToSeconds(ph[0].lat.Quantile(0.99))
+				dur := topo.CyclesToSeconds(ph[1].lat.Quantile(0.99))
+				if pre > 0 {
+					res.AddMetric("p99_fault_over_pre_"+v.name, dur/pre, "x")
+				}
+			}
+			if v.name == "replicated" {
+				res.AddMetric("recoveries_replicated", float64(recoveries), "")
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		obs.Progress(vi+1, len(variants))
+	}
+
+	tl := res.AddTable("timeline",
+		colF("t(ms)", 1), colI("static_ok"), colI("static_shed"),
+		colI("elastic_ok"), colI("elastic_shed"),
+		colI("replicated_ok"), colI("replicated_shed"))
+	for w := 0; w < nWin; w++ {
+		tl.AddRow(winSpan/nWin*float64(w)*1e3,
+			winCounts[0][w][0], winCounts[0][w][1],
+			winCounts[1][w][0], winCounts[1][w][1],
+			winCounts[2][w][0], winCounts[2][w][1])
+	}
+	res.AddMetric("saturation_tput_1", sat, "q/s")
+	res.AddMetric("crash_at", crashAt, "s")
+	res.AddMetric("crash_for", crashFor, "s")
+	return res, nil
+}
+
+// runPartialDegradation sweeps machines that are impaired rather than
+// dead: a slow-core factor sweep (one machine's cores cost more cycles)
+// and a lossy-link sweep (one machine's requests pay delay and drops).
+func runPartialDegradation(ctx context.Context, c Config, obs Observer) (*Result, error) {
+	res := &Result{}
+	var sat float64
+	err := phase(ctx, obs, "calibrate", func() (err error) {
+		sat, err = calibrateSaturation(c)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rate := 0.6 * sat * float64(c.Machines)
+	total := c.OpenArrivals * c.Machines
+	horizon := 1.3*float64(total)*(1/rate+1/sat) + 0.05
+
+	run := func(spec string, timeout bool) (*cluster.Result, *numa.Topology, error) {
+		cc := c
+		cc.Faults = spec
+		f, err := newFleet(cc, c.Machines, workload.ModeDense)
+		if err != nil {
+			return nil, nil, err
+		}
+		coord := &cluster.Coordinator{
+			Fleet:       f,
+			Process:     arrivals.NewPoisson(rate, c.Seed+501),
+			Keys:        uniformKeys(f.Sharder, c.Seed),
+			MaxInFlight: openSessions(c),
+			QueueCap:    8 * openSessions(c),
+			MaxArrivals: total,
+			MaxSeconds:  horizon,
+		}
+		if timeout {
+			coord.TimeoutSeconds = 6e-3
+			coord.BackoffSeconds = 1.5e-3
+			coord.MaxRetries = 4
+		}
+		r := coord.Run()
+		return &r, f.Rigs[0].Machine.Topology(), nil
+	}
+
+	slow := res.AddTable("slow_cores",
+		colI("factor"), colI("offered"), colI("completed"), colI("shed"),
+		colF("tput(q/s)", 1), colF("p50(ms)", 3), colF("p99(ms)", 3))
+	factors := []int{1, 4, 16}
+	points := []struct{ delayMs, drop float64 }{{0, 0}, {0.2, 0.1}, {0.5, 0.3}}
+	steps := len(factors) + len(points)
+	step := 0
+	for _, factor := range factors {
+		factor := factor
+		err := phase(ctx, obs, fmt.Sprintf("slow-x%d", factor), func() error {
+			spec := ""
+			if factor > 1 {
+				// Every core of machine 0 costs factor-x cycles; no timeout,
+				// so the table shows the pure degradation (queueing on the
+				// slow machine until its admission queue sheds).
+				spec = fmt.Sprintf("slow m0 c* x%d @0s", factor)
+			}
+			r, topo, err := run(spec, false)
+			if err != nil {
+				return err
+			}
+			slow.AddRow(factor, r.Offered, r.Completed, r.Dropped+r.Failed,
+				r.Throughput, msOrDash(topo, &r.Latency, 0.50), msOrDash(topo, &r.Latency, 0.99))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		step++
+		obs.Progress(step, steps)
+	}
+
+	lossy := res.AddTable("lossy_link",
+		colF("delay(ms)", 1), colF("drop", 2), colI("offered"), colI("completed"),
+		colI("failed"), colI("retried"), colI("wire_drop"),
+		colF("tput(q/s)", 1), colF("p99(ms)", 3))
+	for _, pt := range points {
+		pt := pt
+		err := phase(ctx, obs, fmt.Sprintf("link+%.1fms/%.0f%%", pt.delayMs, pt.drop*100), func() error {
+			spec := ""
+			if pt.delayMs > 0 || pt.drop > 0 {
+				spec = fmt.Sprintf("link m0 +%.1fms drop %.2f @0s", pt.delayMs, pt.drop)
+			}
+			// Timeout and retries on: a dropped message is invisible until
+			// its attempt deadline expires, so recovery needs the clock.
+			r, topo, err := run(spec, true)
+			if err != nil {
+				return err
+			}
+			lossy.AddRow(pt.delayMs, pt.drop, r.Offered, r.Completed, r.Failed,
+				r.Retried, r.WireDropped, r.Throughput, msOrDash(topo, &r.Latency, 0.99))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		step++
+		obs.Progress(step, steps)
+	}
+
+	if n := len(slow.Rows); n > 0 {
+		base, _ := slow.Float(0, 4)
+		worst, _ := slow.Float(n-1, 4)
+		res.AddMetric("tput_slow_x1", base, "q/s")
+		res.AddMetric("tput_slow_max", worst, "q/s")
+	}
+	if n := len(lossy.Rows); n > 0 {
+		clean, _ := lossy.Float(0, 8)
+		worst, _ := lossy.Float(n-1, 8)
+		retried, _ := lossy.Float(n-1, 5)
+		res.AddMetric("p99_link_clean", clean, "ms")
+		res.AddMetric("p99_link_lossy", worst, "ms")
+		res.AddMetric("retried_link_lossy", retried, "req")
+	}
+	res.AddMetric("saturation_tput_1", sat, "q/s")
+	return res, nil
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"elasticore/internal/metrics"
+	"elasticore/internal/numa"
+)
+
+// faults_test.go covers the failure-experiment plumbing that the golden
+// files cannot: zero-sample quantile rendering and the Config-level
+// validation of fault plans and replica degrees.
+
+// TestMsOrDashZeroSamples: an empty histogram must render "-", not the
+// empty histogram's zero quantiles — an all-shed window had no service,
+// and a 0.000 ms tail would claim the opposite.
+func TestMsOrDashZeroSamples(t *testing.T) {
+	topo, err := numa.ParseTopology("2x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var empty, one metrics.Histogram
+	one.Record(topo.SecondsToCycles(1e-3))
+	if got := msOrDash(topo, &empty, 0.99); got != "-" {
+		t.Fatalf("empty histogram rendered %v, want -", got)
+	}
+	v, ok := msOrDash(topo, &one, 0.99).(float64)
+	if !ok || v <= 0 {
+		t.Fatalf("non-empty histogram rendered %v, want a positive float", v)
+	}
+
+	// End to end: the dash must survive the table renderer inside a
+	// float column, and zero must not appear in its place.
+	res := &Result{Name: "dash"}
+	tbl := res.AddTable("phases", colS("phase"), colF("p99(ms)", 3))
+	tbl.AddRow("fault", msOrDash(topo, &empty, 0.99))
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "-") {
+		t.Fatalf("rendered table lost the dash:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "0.000") {
+		t.Fatalf("rendered table shows a zero quantile for an empty window:\n%s", buf.String())
+	}
+}
+
+// TestConfigFaultValidation: a malformed fault spec and an oversized
+// replica degree are rejected centrally in withDefaults, before any
+// experiment body runs.
+func TestConfigFaultValidation(t *testing.T) {
+	if _, err := (Config{Faults: "explode m0 @1s"}).withDefaults(); err == nil {
+		t.Error("unknown fault kind accepted")
+	}
+	if _, err := (Config{Faults: "crash m1 @nope"}).withDefaults(); err == nil {
+		t.Error("malformed fault time accepted")
+	}
+	if _, err := (Config{Replicas: -1}).withDefaults(); err == nil {
+		t.Error("negative replica count accepted")
+	}
+	if _, err := (Config{Machines: 2, Replicas: 3}).withDefaults(); err == nil {
+		t.Error("replicas > machines accepted")
+	}
+	c, err := (Config{Machines: 4, Replicas: 2, Faults: "crash m1 @0.02s for 0.06s"}).withDefaults()
+	if err != nil {
+		t.Fatalf("valid faulted config rejected: %v", err)
+	}
+	if c.Replicas != 2 || c.Faults == "" {
+		t.Fatalf("valid faulted config mangled: %+v", c)
+	}
+}

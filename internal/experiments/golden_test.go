@@ -216,6 +216,96 @@ func TestRebalanceCostCharges(t *testing.T) {
 	}
 }
 
+// TestGoldenFaultTolerance pins the crash-and-recover matchup: same
+// seed, same synthesized crash plan, same arrival stream must render
+// byte-identically across the three fleet configurations.
+func TestGoldenFaultTolerance(t *testing.T) {
+	res := goldenRun(t, "fault-tolerance")
+	for _, format := range []string{"text", "json", "csv"} {
+		checkGolden(t, res, format)
+	}
+}
+
+// TestGoldenPartialDegradation pins the slow-core and lossy-link sweeps.
+func TestGoldenPartialDegradation(t *testing.T) {
+	res := goldenRun(t, "partial-degradation")
+	for _, format := range []string{"text", "json", "csv"} {
+		checkGolden(t, res, format)
+	}
+}
+
+// TestFaultToleranceSignature asserts the acceptance criteria on the
+// pinned golden run: the no-replica baseline sheds during the crash
+// window, the replicated+hedged fleet holds its fault-window p99 within
+// 3x of pre-fault while shedding less than the baseline, and the fleet
+// detects the recovery.
+func TestFaultToleranceSignature(t *testing.T) {
+	res := goldenRun(t, "fault-tolerance")
+	shedStatic, ok := res.Metric("shed_fault_static")
+	if !ok || shedStatic == 0 {
+		t.Errorf("static baseline shed nothing through the crash window (metric present: %v)", ok)
+	}
+	shedRep, ok := res.Metric("shed_fault_replicated")
+	if !ok {
+		t.Fatal("fault-tolerance result missing shed_fault_replicated")
+	}
+	if shedRep >= shedStatic {
+		t.Errorf("replication did not reduce shedding: replicated %v vs static %v", shedRep, shedStatic)
+	}
+	ratio, ok := res.Metric("p99_fault_over_pre_replicated")
+	if !ok {
+		t.Fatal("fault-tolerance result missing p99_fault_over_pre_replicated (a phase histogram was empty)")
+	}
+	if ratio > 3 {
+		t.Errorf("replicated+hedged fault-window p99 is %.2fx pre-fault, want <= 3x", ratio)
+	}
+	if rec, ok := res.Metric("recoveries_replicated"); !ok || rec < 1 {
+		t.Errorf("health monitor saw no recovery (metric present: %v, value %v)", ok, rec)
+	}
+	// Full recovery: the post-window phase completes work again for
+	// every configuration.
+	tbl := res.Table("phases")
+	if tbl == nil || len(tbl.Rows) != 9 {
+		t.Fatalf("phases table missing or short: %v", tbl)
+	}
+	for i := 2; i < len(tbl.Rows); i += 3 {
+		if okd, _ := tbl.Float(i, 3); okd == 0 {
+			t.Errorf("phase row %d: nothing completed in the recovery phase", i)
+		}
+	}
+}
+
+// TestPartialDegradationSignature asserts the impairment signatures on
+// the pinned golden run: a 16x slow machine costs tail latency or
+// throughput, and a lossy link forces retries.
+func TestPartialDegradationSignature(t *testing.T) {
+	res := goldenRun(t, "partial-degradation")
+	base, ok1 := res.Metric("tput_slow_x1")
+	worst, ok2 := res.Metric("tput_slow_max")
+	if !ok1 || !ok2 {
+		t.Fatal("partial-degradation result missing slow-core throughput metrics")
+	}
+	slow := res.Table("slow_cores")
+	if slow == nil || len(slow.Rows) < 2 {
+		t.Fatal("slow_cores table missing or short")
+	}
+	shedWorst, _ := slow.Float(len(slow.Rows)-1, 3)
+	if worst >= base && shedWorst == 0 {
+		t.Errorf("a 16x slow machine cost nothing: tput %.1f vs %.1f q/s, shed %v", worst, base, shedWorst)
+	}
+	if retried, ok := res.Metric("retried_link_lossy"); !ok || retried == 0 {
+		t.Errorf("lossy link forced no retries (metric present: %v, value %v)", ok, retried)
+	}
+	lossy := res.Table("lossy_link")
+	if lossy == nil || len(lossy.Rows) < 2 {
+		t.Fatal("lossy_link table missing or short")
+	}
+	wd, _ := lossy.Float(len(lossy.Rows)-1, 6)
+	if wd == 0 {
+		t.Error("lossy link dropped no messages on the wire")
+	}
+}
+
 // TestGoldenRunsAreDeterministic guards the premise of the golden files:
 // two runs at the same seed render identically.
 func TestGoldenRunsAreDeterministic(t *testing.T) {

@@ -122,4 +122,16 @@ func init() {
 		Summary: "A hot shard that shifts machines mid-run under a contended cluster core budget: moved cores, charged migration cycles and throughput per migration latency.",
 		Tags:    []string{"cluster", "elastic"},
 	}, runRebalanceCost))
+
+	Register(New("fault-tolerance", Description{
+		Title:   "Cluster: crash-and-recover window, static vs elastic vs replicated+hedged",
+		Summary: "One deterministic crash plan against three fleet configurations: per-phase shed rate and latency percentiles, retry/hedge/failover counts and the resolution timeline through the failure window.",
+		Tags:    []string{"cluster", "faults"},
+	}, runFaultTolerance))
+
+	Register(New("partial-degradation", Description{
+		Title:   "Cluster: impaired-not-dead machines — slow cores and lossy links",
+		Summary: "A slow-core factor sweep and a lossy-link delay/drop sweep on one machine of the fleet: throughput, shed and tail latency per impairment level, with timeout-driven retry recovery for dropped messages.",
+		Tags:    []string{"cluster", "faults"},
+	}, runPartialDegradation))
 }

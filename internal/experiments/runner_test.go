@@ -11,13 +11,15 @@ import (
 
 // TestRegistryCataloguesThirteenArtifacts pins the platform's content:
 // the 13 paper artifacts in registration order, followed by the
-// open-loop traffic scenarios, the topology sweep and the cluster tier.
+// open-loop traffic scenarios, the topology sweep, the cluster tier
+// and the failure experiments.
 func TestRegistryCataloguesThirteenArtifacts(t *testing.T) {
 	want := []string{
 		"fig4", "fig5", "fig7", "fig13", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "fig19", "fig20", "overhead", "consolidation",
 		"latency-load", "burst-response", "topology-sweep",
 		"scale-out", "shard-skew", "rebalance-cost",
+		"fault-tolerance", "partial-degradation",
 	}
 	names := Names()
 	if len(names) != len(want) {

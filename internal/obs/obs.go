@@ -69,8 +69,31 @@ const (
 	// changed by V1 cores to V2, with Dur cycles of migration latency
 	// charged before an increase takes effect.
 	KindRebalance
+	// KindFault is a fault-plan transition on Machine: Label names the
+	// fault ("crash", "recover", "slow", "stall", "link", plus the
+	// matching "-end" forms), Core the affected core (-1 for
+	// machine-level faults), V1 the slowdown factor or scaled drop
+	// probability, Dur the added link delay in cycles.
+	KindFault
+	// KindRetry is a coordinator re-send after a timeout, refused offer
+	// or link drop: request V1, attempt number V2, next target Machine;
+	// Label is the reason ("timeout", "down", "drop", "shed").
+	KindRetry
+	// KindFailover is a keyed request served away from its primary:
+	// shard V1's traffic went to Machine instead of primary V2 ("hedge"
+	// in Label when the send is a hedged duplicate rather than a
+	// primary-down reroute).
+	KindFailover
+	// KindReassign is a shard re-homing: shard V1 moved to Machine from
+	// V2 after Dur cycles of simulated data transfer ("begin" events
+	// carry the schedule, "done" the landing; Label distinguishes them).
+	KindReassign
+	// KindHeartbeat is a fleet liveness beat from Machine, published
+	// only when health monitoring is enabled (V1 = 1 while the machine
+	// is serving).
+	KindHeartbeat
 
-	kindCount = int(KindRebalance) + 1
+	kindCount = int(KindHeartbeat) + 1
 )
 
 // String names the kind for exporters and diagnostics.
@@ -96,6 +119,16 @@ func (k Kind) String() string {
 		return "route"
 	case KindRebalance:
 		return "rebalance"
+	case KindFault:
+		return "fault"
+	case KindRetry:
+		return "retry"
+	case KindFailover:
+		return "failover"
+	case KindReassign:
+		return "reassign"
+	case KindHeartbeat:
+		return "heartbeat"
 	default:
 		return "unknown"
 	}

@@ -30,7 +30,11 @@ import (
 //	pid 10+m "machine m" one lane per fleet machine: coordinator routing
 //	                  decisions as instants plus a per-machine queue-depth
 //	                  counter, cluster-arbiter rebalances as instants with
-//	                  a core-budget counter
+//	                  a core-budget counter, retries and failovers on the
+//	                  routing lane, and a "faults" lane carrying fault-plan
+//	                  transitions and shard re-assignments (heartbeats are
+//	                  deliberately not rendered — one instant per beat per
+//	                  machine would dwarf every other lane)
 //
 // Metadata (M) events name exactly the processes and threads that carry
 // at least one event, so every declared track is non-empty by
@@ -159,6 +163,26 @@ func WriteTrace(w io.Writer, events []Event) error {
 				map[string]any{"s": "t", "args": map[string]any{"delta": e.V1, "cores": e.V2, "latency": e.Dur}}))
 			out = append(out, pftEvent("C", "core budget", pid, 1, int64(e.Now),
 				map[string]any{"args": map[string]any{"cores": e.V2}}))
+		case KindFault:
+			pid := perfettoPidMachineBase + int(e.Machine)
+			use(pid, 2, "faults")
+			out = append(out, pftEvent("i", "fault "+e.Label, pid, 2, int64(e.Now),
+				map[string]any{"s": "t", "args": map[string]any{"core": e.Core, "v": e.V1, "delay": e.Dur}}))
+		case KindRetry:
+			pid := perfettoPidMachineBase + int(e.Machine)
+			use(pid, 0, "routing")
+			out = append(out, pftEvent("i", "retry "+e.Label, pid, 0, int64(e.Now),
+				map[string]any{"s": "t", "args": map[string]any{"req": e.V1, "attempt": e.V2}}))
+		case KindFailover:
+			pid := perfettoPidMachineBase + int(e.Machine)
+			use(pid, 0, "routing")
+			out = append(out, pftEvent("i", "failover "+e.Label, pid, 0, int64(e.Now),
+				map[string]any{"s": "t", "args": map[string]any{"shard": e.V1, "primary": e.V2}}))
+		case KindReassign:
+			pid := perfettoPidMachineBase + int(e.Machine)
+			use(pid, 2, "faults")
+			out = append(out, pftEvent("i", "reassign "+e.Label, pid, 2, int64(e.Now),
+				map[string]any{"s": "t", "args": map[string]any{"shard": e.V1, "from": e.V2, "transfer": e.Dur}}))
 		}
 	}
 

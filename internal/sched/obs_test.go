@@ -83,14 +83,13 @@ func TestTracedTickMatchesUntraced(t *testing.T) {
 	}
 }
 
-// TestBusAndHookCoexist: the deprecated OnMigrate/OnRunSlice fields keep
-// firing alongside bus subscribers, and several bus subscribers see the
-// same stream — the replace-on-attach clobbering is gone.
-func TestBusAndHookCoexist(t *testing.T) {
+// TestBusSubscribersCoexist: several bus subscribers see the same
+// stream — the replace-on-attach clobbering of the deleted single hooks
+// cannot recur.
+func TestBusSubscribersCoexist(t *testing.T) {
 	machine := numa.NewMachine(numa.Opteron8387())
 	s := New(machine, Config{})
-	hookSlices, busSlicesA, busSlicesB := 0, 0, 0
-	s.OnRunSlice = func(RunSlice) { hookSlices++ }
+	busSlicesA, busSlicesB := 0, 0
 	b := s.EnsureBus()
 	b.Subscribe(obs.KindRunSlice, func(obs.Event) { busSlicesA++ })
 	b.Subscribe(obs.KindRunSlice, func(obs.Event) { busSlicesB++ })
@@ -101,8 +100,8 @@ func TestBusAndHookCoexist(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		s.Tick()
 	}
-	if hookSlices == 0 || hookSlices != busSlicesA || hookSlices != busSlicesB {
-		t.Fatalf("hook saw %d slices, bus subscribers %d and %d — want all equal and > 0",
-			hookSlices, busSlicesA, busSlicesB)
+	if busSlicesA == 0 || busSlicesA != busSlicesB {
+		t.Fatalf("bus subscribers saw %d and %d slices — want equal and > 0",
+			busSlicesA, busSlicesB)
 	}
 }

@@ -105,21 +105,18 @@ type Scheduler struct {
 	execCtx []ExecContext
 
 	// bus, when attached, receives KindMigration and KindRunSlice events;
-	// nil (the default) keeps the hot path dark.
+	// nil (the default) keeps the hot path dark. The bus is the only
+	// observation surface — the pre-bus OnMigrate/OnRunSlice single
+	// hooks (replace-on-attach, so a second consumer silently clobbered
+	// the first) were deleted once every consumer moved over.
 	bus *obs.Bus
 
-	// OnMigrate, if set, observes every thread reassignment.
-	//
-	// Deprecated: a single replace-on-attach hook — a second consumer
-	// silently clobbers the first. Subscribe to obs.KindMigration on the
-	// scheduler's bus instead (SetBus / EnsureBus); the field keeps
-	// firing alongside the bus for existing callers.
-	OnMigrate func(MigrationEvent)
-	// OnRunSlice, if set, observes every executed slice.
-	//
-	// Deprecated: single replace-on-attach hook; subscribe to
-	// obs.KindRunSlice on the scheduler's bus instead.
-	OnRunSlice func(RunSlice)
+	// slow, when non-nil, holds a per-core cycle-cost multiplier for
+	// fault injection: factor 1 is a healthy core, factor F makes every
+	// unit of work cost F wall cycles, faults.StallFactor freezes the
+	// core outright. nil (the default) keeps the hot path free of the
+	// division.
+	slow []uint64
 }
 
 // New creates a scheduler over the machine with the given configuration.
@@ -169,6 +166,36 @@ func (s *Scheduler) EnsureBus() *obs.Bus {
 		s.bus = obs.NewBus(0)
 	}
 	return s.bus
+}
+
+// SetCoreSlowdown installs a cycle-cost multiplier on one core: 1
+// restores full speed, factor F makes work cost F wall cycles per
+// retired cycle, and a factor larger than the quantum (canonically
+// faults.StallFactor) freezes the core — threads stay queued but make
+// no progress. The per-core table is allocated on first use; an
+// untouched scheduler never pays for the feature.
+func (s *Scheduler) SetCoreSlowdown(core numa.CoreID, factor uint64) {
+	if factor == 0 {
+		factor = 1
+	}
+	if s.slow == nil {
+		if factor == 1 {
+			return
+		}
+		s.slow = make([]uint64, s.topo.TotalCores())
+		for i := range s.slow {
+			s.slow[i] = 1
+		}
+	}
+	s.slow[int(core)] = factor
+}
+
+// CoreSlowdown reports the core's live cycle-cost multiplier.
+func (s *Scheduler) CoreSlowdown(core numa.CoreID) uint64 {
+	if s.slow == nil {
+		return 1
+	}
+	return s.slow[int(core)]
 }
 
 // Stats returns a copy of the scheduler counters.
@@ -475,9 +502,6 @@ func (s *Scheduler) recordMigration(t *Thread, to numa.CoreID) {
 	if s.topo.NodeOf(from) != s.topo.NodeOf(to) {
 		s.stats.CrossNodeMigrations++
 	}
-	if s.OnMigrate != nil {
-		s.OnMigrate(MigrationEvent{TID: t.ID, From: from, To: to, Now: s.machine.Now()})
-	}
 	if s.bus != nil {
 		s.bus.Publish(obs.Event{
 			Kind: obs.KindMigration,
@@ -566,12 +590,22 @@ func (s *Scheduler) sliceCtx(core numa.CoreID, t *Thread) *ExecContext {
 
 // runCore executes up to one quantum of work on a core, rotating through
 // its queue if threads block or finish early.
+//
+// A per-core slowdown factor (SetCoreSlowdown) divides the budget handed
+// to the runner and multiplies the wall cycles charged back: the runner
+// retires used work-cycles while the clock sees used*factor. The factor
+// logic is identical on the fast and naive paths, so injected faults
+// preserve the bit-identity contract.
 func (s *Scheduler) runCore(core numa.CoreID, start uint64) {
 	if s.queues[core].Len() == 0 {
 		// Idle balancing: an idling CPU immediately tries to pull work
 		// from the busiest queue (Linux idle_balance), trading cache
 		// affinity for utilization — the stolen tasks of Fig 13 (d).
 		s.idleSteal(core)
+	}
+	factor := uint64(1)
+	if s.slow != nil {
+		factor = s.slow[core]
 	}
 	budget := s.cfg.Quantum
 	guard := s.queues[core].Len() + 1 // at most one attempt per queued thread
@@ -580,35 +614,41 @@ func (s *Scheduler) runCore(core numa.CoreID, start uint64) {
 		if s.queues[core].Len() == 0 {
 			break
 		}
+		avail := budget
+		if factor > 1 {
+			// A frozen (or too-slow-to-progress) core keeps its queue
+			// intact and idles the rest of the quantum away.
+			if avail = budget / factor; avail == 0 {
+				break
+			}
+		}
 		t := s.popFront(core)
 		if t.state == Done {
 			continue
 		}
 		t.state = Running
 		ctx := s.sliceCtx(core, t)
-		used, blocked, done := t.runner.Run(ctx, budget)
-		if used > budget {
-			used = budget
+		used, blocked, done := t.runner.Run(ctx, avail)
+		if used > avail {
+			used = avail
 		}
+		wall := used * factor // factor <= budget here, so no overflow
 		if used > 0 {
-			s.machine.ChargeBusy(core, used)
-			if s.OnRunSlice != nil {
-				s.OnRunSlice(RunSlice{TID: t.ID, Core: core, Start: start + (s.cfg.Quantum - budget), Cycles: used})
-			}
+			s.machine.ChargeBusy(core, wall)
 			if s.bus != nil {
 				sliceStart := start + (s.cfg.Quantum - budget)
 				s.bus.Publish(obs.Event{
 					Kind:  obs.KindRunSlice,
-					Now:   sliceStart + used,
+					Now:   sliceStart + wall,
 					TID:   int64(t.ID),
 					Core:  int32(core),
 					Start: sliceStart,
-					Dur:   used,
+					Dur:   wall,
 					Label: t.Name,
 				})
 			}
 		}
-		budget -= used
+		budget -= wall
 		switch {
 		case done:
 			t.state = Done

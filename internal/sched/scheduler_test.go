@@ -3,7 +3,9 @@ package sched
 import (
 	"testing"
 
+	"elasticore/internal/faults"
 	"elasticore/internal/numa"
+	"elasticore/internal/obs"
 )
 
 func newTestSched() *Scheduler {
@@ -245,7 +247,11 @@ func TestRunUntil(t *testing.T) {
 func TestMigrationEventsObserved(t *testing.T) {
 	s := newTestSched()
 	var events []MigrationEvent
-	s.OnMigrate = func(e MigrationEvent) { events = append(events, e) }
+	s.EnsureBus().Subscribe(obs.KindMigration, func(e obs.Event) {
+		events = append(events, MigrationEvent{
+			TID: TID(e.TID), From: numa.CoreID(e.From), To: numa.CoreID(e.Core), Now: e.Now,
+		})
+	})
 	g := s.NewCGroup("g")
 	g.AddPID(1)
 	g.SetCPUs(NewCPUSet(0))
@@ -260,5 +266,49 @@ func TestMigrationEventsObserved(t *testing.T) {
 		if e.To != 2 && e.To != 3 {
 			t.Errorf("migration target %d outside new cpuset", e.To)
 		}
+	}
+}
+
+// TestCoreSlowdown: a factor-F core charges F wall cycles per retired
+// work cycle; a stalled core freezes its queue without losing threads;
+// clearing the factor restores full speed.
+func TestCoreSlowdown(t *testing.T) {
+	s := newTestSched()
+	q := s.Quantum()
+	th := s.Spawn(1, "w", &fixedWork{remaining: 4 * q}, Pinned(NewCPUSet(0)))
+	if got := s.CoreSlowdown(0); got != 1 {
+		t.Fatalf("untouched core reports factor %d", got)
+	}
+
+	s.SetCoreSlowdown(0, 4)
+	s.Tick() // retires q/4 work in one quantum of wall time
+	if th.State() != Runnable {
+		t.Fatalf("thread state %v after slowed tick", th.State())
+	}
+	for i := 0; i < 14; i++ { // 15 slowed quanta < 16 needed
+		s.Tick()
+	}
+	if th.State() == Done {
+		t.Fatal("4x-slowed thread finished as if at full speed")
+	}
+
+	s.SetCoreSlowdown(0, faults.StallFactor)
+	before := s.machine.Now()
+	for i := 0; i < 8; i++ {
+		s.Tick()
+	}
+	if th.State() == Done {
+		t.Fatal("stalled core retired work")
+	}
+	if s.machine.Now() != before+8*q {
+		t.Fatal("stalled ticks did not advance the clock")
+	}
+	if s.QueueLengths()[0] != 1 {
+		t.Fatal("stalled core lost its queued thread")
+	}
+
+	s.SetCoreSlowdown(0, 1)
+	if !s.RunUntil(func() bool { return th.State() == Done }, 100*q) {
+		t.Fatal("thread did not finish after the stall lifted")
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"elasticore/internal/db"
 	"elasticore/internal/numa"
+	"elasticore/internal/obs"
 	"elasticore/internal/sched"
 	"elasticore/internal/tpch"
 )
@@ -140,14 +141,14 @@ func TestTomographParallelism(t *testing.T) {
 // TestTraceConsumersCoexist: before the bus, each trace constructor
 // replaced the scheduler's single hook, so attaching a second consumer
 // silently disconnected the first. All consumers now subscribe to the
-// shared bus, and the deprecated raw hooks still fire beside them.
+// shared bus and see the same stream; the raw hooks are gone.
 func TestTraceConsumersCoexist(t *testing.T) {
 	sc, eng, m := tracedRig(t)
 	trA := NewMigrationTrace(sc)
 	trB := NewMigrationTrace(sc) // would have clobbered trA pre-bus
 	tg := NewTomograph(eng, m.Topology())
 	rawSlices := 0
-	sc.OnRunSlice = func(sched.RunSlice) { rawSlices++ }
+	sc.EnsureBus().Subscribe(obs.KindRunSlice, func(obs.Event) { rawSlices++ })
 
 	q := eng.Submit(tpch.BuildQ6(1))
 	if !sc.RunUntil(q.Done, m.Topology().SecondsToCycles(300)) {
@@ -161,7 +162,7 @@ func TestTraceConsumersCoexist(t *testing.T) {
 		t.Fatalf("traces diverged: %d vs %d slices", len(trA.slices), len(trB.slices))
 	}
 	if rawSlices != len(trA.slices) {
-		t.Fatalf("deprecated hook saw %d slices, bus consumers %d", rawSlices, len(trA.slices))
+		t.Fatalf("raw bus subscriber saw %d slices, trace consumers %d", rawSlices, len(trA.slices))
 	}
 	if len(tg.Stats()) == 0 {
 		t.Fatal("tomograph saw no tasks while migration traces attached")

@@ -54,15 +54,34 @@ type Admission struct {
 	// before Release, so scatter-gather callers can read partial scalars)
 	// and the total latency and service cycles.
 	OnComplete func(tag int64, q *db.Query, total, service uint64)
+	// OnFail, when set, observes each request aborted by FailAll (the
+	// machine crashed under it); the coordinator uses it to retry or
+	// fail the routed parent. Callers must not re-enter the Admission
+	// from inside the callback.
+	OnFail func(tag int64)
+
+	// Down marks the machine as crashed: the coordinator stops offering
+	// arrivals here until it clears. The flag is bookkeeping only —
+	// Offer itself stays untouched so healthy-path behavior is
+	// bit-identical with faults compiled out.
+	Down bool
+	// BrownoutCap, when positive and below QueueCap, temporarily
+	// tightens the admission queue (health-monitor load shedding while
+	// the fleet rebuilds capacity after a failure).
+	BrownoutCap int
 
 	queue   deque.Deque[pendingRequest]
 	flights []admFlight
+	// zombies are flights whose requester gave up (FailAll aborted
+	// them) but whose queries are still executing; their sessions are
+	// released silently once the engine finishes them.
+	zombies []admFlight
 
 	// Offered counts arrivals presented to Offer; Admitted those seated
 	// into a session; Dropped those rejected at a full queue; Completed
-	// those whose query finished. Offered - Admitted - Dropped requests
-	// are still queued.
-	Offered, Admitted, Dropped, Completed int
+	// those whose query finished; Failed those aborted by FailAll.
+	// Offered - Admitted - Dropped requests are still queued.
+	Offered, Admitted, Dropped, Completed, Failed int
 	// PeakQueueDepth and PeakInFlight are maxima over UpdatePeaks calls.
 	PeakQueueDepth, PeakInFlight int
 	// QueueWait, Service and Latency accumulate per-query cycles.
@@ -89,8 +108,33 @@ func (a *Admission) QueueLen() int { return a.queue.Len() }
 // InFlight is the number of occupied server sessions.
 func (a *Admission) InFlight() int { return len(a.flights) }
 
-// Idle reports whether nothing is queued or executing.
+// Idle reports whether nothing is queued or executing. Zombie flights
+// don't count: their requesters already saw a failure, so no caller is
+// waiting on them.
 func (a *Admission) Idle() bool { return a.queue.Len() == 0 && len(a.flights) == 0 }
+
+// FailAll aborts every queued and in-flight request (the machine under
+// this admission crashed): queued requests are dropped outright,
+// in-flight queries become zombies reaped silently by later Collect
+// calls, and OnFail fires per aborted tag in deterministic order
+// (queue FCFS, then flight seating order).
+func (a *Admission) FailAll() {
+	for a.queue.Len() > 0 {
+		req, _ := a.queue.PopFront()
+		a.Failed++
+		if a.OnFail != nil {
+			a.OnFail(req.tag)
+		}
+	}
+	for _, f := range a.flights {
+		a.zombies = append(a.zombies, f)
+		a.Failed++
+		if a.OnFail != nil {
+			a.OnFail(f.tag)
+		}
+	}
+	a.flights = a.flights[:0]
+}
 
 // Collect reaps finished queries, freeing their sessions and recording
 // latency. Order-preserving compaction keeps the release order (and thus
@@ -125,6 +169,19 @@ func (a *Admission) Collect(nowC uint64) {
 		a.Rig.Engine.Release(f.q)
 	}
 	a.flights = kept
+	if len(a.zombies) > 0 {
+		zkept := a.zombies[:0]
+		for _, f := range a.zombies {
+			if !f.q.Done() {
+				zkept = append(zkept, f)
+				continue
+			}
+			// The requester already counted this a failure: no
+			// histograms, no events — just recycle the session.
+			a.Rig.Engine.Release(f.q)
+		}
+		a.zombies = zkept
+	}
 }
 
 // Offer presents one arrival (arrival cycle at, caller tag) against the
@@ -132,7 +189,11 @@ func (a *Admission) Collect(nowC uint64) {
 func (a *Admission) Offer(nowC, at uint64, tag int64) bool {
 	a.normalize()
 	a.Offered++
-	if a.queue.Len() >= a.QueueCap {
+	qcap := a.QueueCap
+	if a.BrownoutCap > 0 && a.BrownoutCap < qcap {
+		qcap = a.BrownoutCap
+	}
+	if a.queue.Len() >= qcap {
 		a.Dropped++
 		if bus := a.Rig.Bus; bus != nil {
 			bus.Publish(obs.Event{
@@ -153,6 +214,9 @@ func (a *Admission) Offer(nowC, at uint64, tag int64) bool {
 // the k-th admitted query of this machine (0-based) from its tag.
 func (a *Admission) Fill(nowC uint64, plan func(k int, tag int64) *db.Plan) {
 	a.normalize()
+	if a.Down {
+		return // a crashed machine seats nothing until recovery
+	}
 	for len(a.flights) < a.MaxInFlight && a.queue.Len() > 0 {
 		req, _ := a.queue.PopFront()
 		p := plan(a.Admitted, req.tag)

@@ -240,6 +240,11 @@ func NewRig(opts Options) (*Rig, error) {
 	return r, nil
 }
 
+// AttachBus wires one externally owned bus into every producer of the
+// rig — the fleet uses it to light all machines on one shared stream
+// after construction. Attach before subscribing consumers.
+func (r *Rig) AttachBus(b *obs.Bus) { r.attachBus(b) }
+
 // attachBus wires one bus into every producer of the rig.
 func (r *Rig) attachBus(b *obs.Bus) {
 	r.Bus = b
