@@ -20,12 +20,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"runtime"
 	"time"
 
+	"elasticore/internal/arrivals"
+	"elasticore/internal/cluster"
 	"elasticore/internal/experiments"
+	"elasticore/internal/hashmix"
 	"elasticore/internal/numa"
+	"elasticore/internal/obs"
+	"elasticore/internal/workload"
 )
 
 // benchEntry is one pinned suite point.
@@ -77,11 +83,52 @@ type benchConfigJSON struct {
 	Tenants int     `json:"tenants,omitempty"`
 }
 
+// benchFleetEntry pins one fleet operating point: the scale-out shape —
+// one fixed keyed stream whose rate and arrival count do not depend on
+// fleet size, against a fleet storing one fixed total dataset.
+type benchFleetEntry struct {
+	Name     string
+	Tier     string
+	Machines int
+	SF       float64 // total scale factor, split across the fleet
+	Arrivals int
+	Rate     float64
+}
+
+// benchFleetSuite returns the pinned fleet points: the same operating
+// point at 1 and 16 machines, so the pair reads as "what does spreading
+// the fixed workload over a fleet cost in wall-clock".
+func benchFleetSuite() []benchFleetEntry {
+	return []benchFleetEntry{
+		{"fleet-1", "quick", 1, 0.008, 240, 4000},
+		{"fleet-16", "quick", 16, 0.008, 240, 4000},
+		{"fleet-1", "full", 1, 0.016, 640, 4000},
+		{"fleet-16", "full", 16, 0.016, 640, 4000},
+	}
+}
+
+// benchFleetRecord is one fleet point measured under both engines: the
+// sequential Tick loop (workers 1) and the parallel epoch-barrier engine
+// at Workers goroutines. IdenticalOutput gates the engines' equivalence:
+// the run summary (including an order-sensitive hash of the full bus
+// event stream) must match byte for byte.
+type benchFleetRecord struct {
+	Name            string           `json:"name"`
+	Tier            string           `json:"tier"`
+	Machines        int              `json:"machines"`
+	Workers         int              `json:"workers"`
+	Sequential      benchMeasurement `json:"sequential"`
+	Parallel        benchMeasurement `json:"parallel"`
+	Speedup         float64          `json:"speedup,omitempty"`
+	IdenticalOutput *bool            `json:"identical_output,omitempty"`
+}
+
 // benchReport is the BENCH_<n>.json document.
 type benchReport struct {
-	Schema  int           `json:"schema"`
-	Suite   string        `json:"suite"`
-	Entries []benchRecord `json:"entries"`
+	Schema  int                `json:"schema"`
+	Suite   string             `json:"suite"`
+	Entries []benchRecord      `json:"entries"`
+	Fleet   []benchFleetRecord `json:"fleet,omitempty"`
 	Totals  struct {
 		FastWallSeconds  float64 `json:"fast_wall_seconds"`
 		NaiveWallSeconds float64 `json:"naive_wall_seconds,omitempty"`
@@ -105,7 +152,7 @@ func cmdBench(args []string) error {
 		return fmt.Errorf("bench takes no positional arguments")
 	}
 
-	report := benchReport{Schema: 1, Suite: "elasticore-bench"}
+	report := benchReport{Schema: 2, Suite: "elasticore-bench"}
 	for _, e := range benchSuite() {
 		if *quick && e.Tier != "quick" {
 			continue
@@ -120,6 +167,17 @@ func cmdBench(args []string) error {
 			report.Totals.NaiveWallSeconds += rec.Naive.WallSeconds
 		}
 		printBenchRecord(rec)
+	}
+	for _, e := range benchFleetSuite() {
+		if *quick && e.Tier != "quick" {
+			continue
+		}
+		rec, err := runFleetEntry(e)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", e.Name, e.Tier, err)
+		}
+		report.Fleet = append(report.Fleet, rec)
+		printFleetRecord(rec)
 	}
 	if report.Totals.NaiveWallSeconds > 0 && report.Totals.FastWallSeconds > 0 {
 		report.Totals.Speedup = report.Totals.NaiveWallSeconds / report.Totals.FastWallSeconds
@@ -221,6 +279,138 @@ func measureRun(name string, cfg experiments.Config, naive bool) (benchMeasureme
 	return m, buf.Bytes(), nil
 }
 
+// benchWorkers is the parallel worker count the fleet entries measure:
+// NumCPU, floored at 2 so the parallel engine actually engages even on a
+// single-core host (where the two goroutines simply interleave).
+func benchWorkers() int {
+	w := runtime.NumCPU()
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
+// runFleetEntry measures one fleet point under the sequential engine and
+// the parallel engine, and fails unless the two runs summarize — down to
+// an order-sensitive hash of every bus event — byte-identically.
+func runFleetEntry(e benchFleetEntry) (benchFleetRecord, error) {
+	rec := benchFleetRecord{Name: e.Name, Tier: e.Tier, Machines: e.Machines, Workers: benchWorkers()}
+	seq, seqOut, err := measureFleet(e, 1)
+	if err != nil {
+		return rec, err
+	}
+	rec.Sequential = seq
+	par, parOut, err := measureFleet(e, rec.Workers)
+	if err != nil {
+		return rec, err
+	}
+	rec.Parallel = par
+	if par.WallSeconds > 0 {
+		rec.Speedup = seq.WallSeconds / par.WallSeconds
+	}
+	identical := bytes.Equal(seqOut, parOut)
+	rec.IdenticalOutput = &identical
+	if !identical {
+		return rec, fmt.Errorf("parallel and sequential engines produced different results — the epoch-barrier contract broke")
+	}
+	return rec, nil
+}
+
+// fleetRunSummary is the comparable digest of one fleet run; every field
+// is deterministic, so the sequential and parallel serializations must be
+// byte-equal.
+type fleetRunSummary struct {
+	Offered, Completed, Dropped, Abandoned int
+	RoutedKeyed, RoutedBalanced, Scattered int
+	MergedScalars                          float64
+	P50, P99                               uint64
+	PerMachineRouted                       []int
+	Allocated                              []int
+	Now                                    uint64
+	Events                                 int
+	EventHash                              uint64
+}
+
+// measureFleet builds and drives one fleet point at a worker count,
+// timing construction plus the coordinator run (fleet construction is
+// real work — dataset generation — and the parallel engine accelerates
+// it too).
+func measureFleet(e benchFleetEntry, workers int) (benchMeasurement, []byte, error) {
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
+	cyclesBefore := numa.SimulatedCycles()
+	start := time.Now()
+
+	bus := obs.NewBus(0)
+	f, err := cluster.NewFleet(cluster.Options{
+		Machines: e.Machines,
+		Shards:   16,
+		SF:       e.SF,
+		Seed:     7,
+		Mode:     workload.ModeDense,
+		Bus:      bus,
+		Workers:  workers,
+	})
+	if err != nil {
+		return benchMeasurement{}, nil, err
+	}
+	sh := f.Sharder
+	coord := &cluster.Coordinator{
+		Fleet:   f,
+		Process: arrivals.NewPoisson(e.Rate, 11),
+		Keys: func(k int) uint64 {
+			return sh.KeyForShard(int(hashmix.Mix64(uint64(k+1))%uint64(sh.Shards())), uint64(k))
+		},
+		MaxInFlight: 4,
+		MaxArrivals: e.Arrivals,
+		MaxSeconds:  600,
+	}
+	res := coord.Run()
+
+	wall := time.Since(start).Seconds()
+	cycles := numa.SimulatedCycles() - cyclesBefore
+	runtime.ReadMemStats(&msAfter)
+	m := benchMeasurement{
+		WallSeconds: wall,
+		SimCycles:   cycles,
+		Allocs:      msAfter.Mallocs - msBefore.Mallocs,
+	}
+	if wall > 0 {
+		m.SimCyclesPerSecond = float64(cycles) / wall
+	}
+
+	h := fnv.New64a()
+	for _, ev := range bus.Events() {
+		fmt.Fprintf(h, "%v\n", ev)
+	}
+	sum := fleetRunSummary{
+		Offered: res.Offered, Completed: res.Completed,
+		Dropped: res.Dropped, Abandoned: res.Abandoned,
+		RoutedKeyed: res.RoutedKeyed, RoutedBalanced: res.RoutedBalanced,
+		Scattered: res.Scattered, MergedScalars: res.MergedScalars,
+		P50: res.Latency.P50(), P99: res.Latency.P99(),
+		Allocated: f.AllocatedCores(),
+		Now:       f.Now(),
+		Events:    bus.Len(),
+		EventHash: h.Sum64(),
+	}
+	for _, st := range res.PerMachine {
+		sum.PerMachineRouted = append(sum.PerMachineRouted, st.Routed)
+	}
+	out, err := json.Marshal(sum)
+	if err != nil {
+		return benchMeasurement{}, nil, err
+	}
+	return m, out, nil
+}
+
+func printFleetRecord(rec benchFleetRecord) {
+	fmt.Printf("%-14s %-5s seq  %7.3fs  %6.1f Mcyc/s  %9d allocs  | par(w=%d) %7.3fs  speedup %5.2fx\n",
+		rec.Name, rec.Tier, rec.Sequential.WallSeconds, rec.Sequential.SimCyclesPerSecond/1e6,
+		rec.Sequential.Allocs, rec.Workers, rec.Parallel.WallSeconds, rec.Speedup)
+}
+
 func printBenchRecord(rec benchRecord) {
 	line := fmt.Sprintf("%-14s %-5s fast %7.3fs  %6.1f Mcyc/s  %9d allocs",
 		rec.Name, rec.Tier, rec.Fast.WallSeconds, rec.Fast.SimCyclesPerSecond/1e6, rec.Fast.Allocs)
@@ -264,6 +454,27 @@ func checkBaseline(cur benchReport, path string, maxRegress, minWall float64) er
 			rec.Name, rec.Tier, b.Fast.WallSeconds, rec.Fast.WallSeconds, ratio, note)
 		if ratio > maxRegress && b.Fast.WallSeconds >= minWall {
 			failed = append(failed, fmt.Sprintf("%s/%s regressed %.2fx (limit %.2fx)",
+				rec.Name, rec.Tier, ratio, maxRegress))
+		}
+	}
+	fleetByKey := make(map[string]benchFleetRecord, len(base.Fleet))
+	for _, rec := range base.Fleet {
+		fleetByKey[rec.Name+"/"+rec.Tier] = rec
+	}
+	for _, rec := range cur.Fleet {
+		b, ok := fleetByKey[rec.Name+"/"+rec.Tier]
+		if !ok || b.Parallel.WallSeconds <= 0 {
+			continue
+		}
+		ratio := rec.Parallel.WallSeconds / b.Parallel.WallSeconds
+		note := ""
+		if b.Parallel.WallSeconds < minWall {
+			note = "  (below noise floor, informational)"
+		}
+		fmt.Printf("baseline %-14s %-5s %7.3fs -> %7.3fs (%.2fx) [parallel]%s\n",
+			rec.Name, rec.Tier, b.Parallel.WallSeconds, rec.Parallel.WallSeconds, ratio, note)
+		if ratio > maxRegress && b.Parallel.WallSeconds >= minWall {
+			failed = append(failed, fmt.Sprintf("%s/%s parallel regressed %.2fx (limit %.2fx)",
 				rec.Name, rec.Tier, ratio, maxRegress))
 		}
 	}

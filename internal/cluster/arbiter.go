@@ -197,6 +197,21 @@ func (ca *ClusterArbiter) SetReserved(n int) {
 	ca.reserved = n
 }
 
+// NextAt returns the next cycle at which Maybe has real work: the next
+// rebalance round, or the earliest pending migration landing — applyDue
+// runs every call, so an in-flight grant is as hard a deadline as the
+// control period. The parallel fleet engine caps decoupled stretches at
+// it.
+func (ca *ClusterArbiter) NextAt() uint64 {
+	at := ca.nextEval
+	for _, p := range ca.pending {
+		if p.due < at {
+			at = p.due
+		}
+	}
+	return at
+}
+
 // InTransit returns cores currently migrating (granted, not yet landed).
 func (ca *ClusterArbiter) InTransit() int {
 	n := 0

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"elasticore/internal/elastic"
 	"elasticore/internal/faults"
@@ -49,6 +51,13 @@ type Options struct {
 	// or nil plan leaves every code path byte-identical to a fleet
 	// built before fault injection existed.
 	Faults *faults.Plan
+	// Workers is the goroutine count machine construction and machine
+	// ticks spread over (0 selects GOMAXPROCS, 1 forces the fully
+	// sequential engine). Simulated results are bit-identical at every
+	// value: machines decouple only between the epoch barriers where
+	// cross-machine state is read, and staged telemetry replays onto the
+	// shared bus in sequential order (see Advance).
+	Workers int
 }
 
 // Fleet is N lockstep simulated machines behind one Sharder. All
@@ -68,6 +77,12 @@ type Fleet struct {
 
 	arb    *ClusterArbiter
 	health *HealthMonitor
+
+	// views are the per-machine staging views of Bus (nil entries never
+	// exist: either every rig has one, or the slice is nil). Workers > 1
+	// publishes through them so concurrent machine ticks keep the bus's
+	// sequential event order (see internal/obs/stage.go).
+	views []*obs.Bus
 
 	// injector is the compiled fault plan, nil for healthy fleets.
 	injector *faults.Injector
@@ -113,12 +128,24 @@ func NewFleet(opts Options) (*Fleet, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
+	if opts.Workers == 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
 	f := &Fleet{Sharder: sh, Opts: opts, Bus: opts.Bus}
 	f.admissions = make([]*workload.Admission, opts.Machines)
-	for m := 0; m < opts.Machines; m++ {
+	buildRig := func(m int) (*workload.Rig, error) {
 		// A machine stores every shard it replicates, so its dataset share
-		// is HomesOf/Shards — identical to the owned range at R = 1.
-		r, err := workload.NewRig(workload.Options{
+		// is HomesOf/Shards — identical to the owned range at R = 1. In
+		// parallel mode the rig is built dark and gets a staging view of
+		// the shared bus afterwards.
+		bus := opts.Bus
+		if opts.Workers > 1 {
+			bus = nil
+		}
+		return workload.NewRig(workload.Options{
 			SF:            opts.SF * float64(sh.HomesOf(m)) / float64(opts.Shards),
 			Seed:          fleetSeed(opts.Seed, m),
 			Mode:          opts.Mode,
@@ -126,12 +153,42 @@ func NewFleet(opts Options) (*Fleet, error) {
 			ControlPeriod: opts.ControlPeriod,
 			Topology:      opts.Topology,
 			Naive:         opts.Naive,
-			Bus:           opts.Bus,
+			Bus:           bus,
 		})
-		if err != nil {
-			return nil, fmt.Errorf("cluster: machine %d: %w", m, err)
+	}
+	f.Rigs = make([]*workload.Rig, opts.Machines)
+	if w := min(opts.Workers, opts.Machines); w > 1 {
+		// Build machines concurrently: dataset generation dominates rig
+		// construction, distinct (SF, seed) keys generate in parallel and
+		// identical ones coalesce in the tpch cache's singleflight.
+		errs := make([]error, opts.Machines)
+		var wg sync.WaitGroup
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for m := g; m < opts.Machines; m += w {
+					f.Rigs[m], errs[m] = buildRig(m)
+				}
+			}(g)
 		}
-		f.Rigs = append(f.Rigs, r)
+		wg.Wait()
+		for m, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("cluster: machine %d: %w", m, err)
+			}
+		}
+	} else {
+		for m := 0; m < opts.Machines; m++ {
+			r, err := buildRig(m)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: machine %d: %w", m, err)
+			}
+			f.Rigs[m] = r
+		}
+	}
+	if opts.Bus != nil && opts.Workers > 1 {
+		f.attachViews()
 	}
 	if opts.Faults != nil && len(opts.Faults.Faults) > 0 {
 		topo := f.Rigs[0].Machine.Topology()
@@ -174,11 +231,27 @@ func (f *Fleet) Down(m int) bool { return f.injector.Down(m) }
 func (f *Fleet) EnsureBus() *obs.Bus {
 	if f.Bus == nil {
 		f.Bus = obs.NewBus(0)
-		for _, r := range f.Rigs {
-			r.AttachBus(f.Bus)
+		if f.Opts.Workers > 1 {
+			f.attachViews()
+		} else {
+			for _, r := range f.Rigs {
+				r.AttachBus(f.Bus)
+			}
 		}
 	}
 	return f.Bus
+}
+
+// attachViews gives every rig a staging view of the fleet bus: rigs
+// publish through their view, which forwards to the shared bus except
+// during a parallel tick section, where events stage per machine and
+// replay in deterministic order at the barrier.
+func (f *Fleet) attachViews() {
+	f.views = make([]*obs.Bus, len(f.Rigs))
+	for m, r := range f.Rigs {
+		f.views[m] = obs.NewView(f.Bus)
+		r.AttachBus(f.views[m])
+	}
 }
 
 // RegisterAdmission ties machine m's admission layer to the fleet so
@@ -193,21 +266,44 @@ func (f *Fleet) RegisterAdmission(m int, adm *workload.Admission) {
 	}
 }
 
-// Tick advances every machine by one scheduler quantum in index order,
-// then runs the control tier: the ClusterArbiter when attached (the
-// per-machine mechanisms only *evaluate*, via the arbiter), otherwise
-// each machine's own mechanism. With a fault plan compiled in, fault
-// edges due at the current cycle apply BEFORE the rigs tick — a machine
-// crashing at cycle t never executes work stamped t — and heartbeats
-// plus failure detection run after the control tier, so the health
-// monitor sees the post-control allocation state.
-func (f *Fleet) Tick() {
+// Tick advances every machine by one scheduler quantum, then runs the
+// control tier: the ClusterArbiter when attached (the per-machine
+// mechanisms only *evaluate*, via the arbiter), otherwise each machine's
+// own mechanism. With a fault plan compiled in, fault edges due at the
+// current cycle apply BEFORE the rigs tick — a machine crashing at cycle
+// t never executes work stamped t — and heartbeats plus failure
+// detection run after the control tier, so the health monitor sees the
+// post-control allocation state.
+//
+// With Workers > 1 the machines tick on concurrent goroutines; the
+// control tier, heartbeats, health and probe steps always run on the
+// calling goroutine, after the barrier. Results are bit-identical to the
+// sequential engine.
+func (f *Fleet) Tick() { f.advanceStretch(1) }
+
+// Advance runs n quanta through the epoch-barrier engine: machines
+// advance decoupled through a stretch of quanta, then synchronize before
+// anything that reads cross-machine state runs. A stretch is capped at
+// the earliest due control event — mechanism evaluation, cluster
+// rebalance or migration landing, probe sample, fault edge — so every
+// control action fires on exactly the quantum a Tick-by-Tick run would
+// have fired it on, and a health-monitored fleet (whose failure detector
+// steps every quantum) degenerates to stretch 1.
+func (f *Fleet) Advance(n int) {
+	for n > 0 {
+		s := f.safeStretch(n)
+		f.advanceStretch(s)
+		n -= s
+	}
+}
+
+// advanceStretch runs one epoch: due fault edges, `stretch` decoupled
+// quanta per machine, then the barrier work in sequential order.
+func (f *Fleet) advanceStretch(stretch int) {
 	if f.injector != nil {
 		f.applyFaults()
 	}
-	for _, r := range f.Rigs {
-		r.Sched.Tick()
-	}
+	f.tickRigs(stretch)
 	if f.arb != nil {
 		f.arb.Maybe()
 	} else {
@@ -224,6 +320,125 @@ func (f *Fleet) Tick() {
 	for _, r := range f.Rigs {
 		if r.Probe != nil {
 			r.Probe.Maybe()
+		}
+	}
+}
+
+// safeStretch returns how many quanta the machines may advance before
+// the next epoch barrier, at most max: the number of quanta until the
+// earliest due control event. Mechanism and probe due times are checked
+// after a quantum runs, fault edges before one runs; both give the same
+// bound — ceil((due - now) / quantum) — because a barrier ends exactly
+// at the due quantum's edge.
+func (f *Fleet) safeStretch(max int) int {
+	if max <= 1 {
+		return 1
+	}
+	if f.health != nil {
+		// The failure detector reads every machine's beat gap each
+		// quantum; there is no safe decoupled stretch.
+		return 1
+	}
+	next := ^uint64(0)
+	due := func(at uint64) {
+		if at < next {
+			next = at
+		}
+	}
+	if f.arb != nil {
+		due(f.arb.NextAt())
+	} else {
+		for _, r := range f.Rigs {
+			if r.Mech != nil {
+				due(r.Mech.NextAt())
+			}
+		}
+	}
+	for _, r := range f.Rigs {
+		if r.Probe != nil {
+			due(r.Probe.NextAt())
+		}
+	}
+	if f.injector != nil {
+		due(f.injector.NextEdge())
+	}
+	if next == ^uint64(0) {
+		// No control tier, no probes, no faults: nothing reads
+		// cross-machine state until the caller does.
+		return max
+	}
+	now := f.Now()
+	if next <= now {
+		return 1
+	}
+	q := f.Rigs[0].Sched.Quantum()
+	s := (next - now + q - 1) / q
+	if s < 1 {
+		return 1
+	}
+	if s > uint64(max) {
+		return max
+	}
+	return int(s)
+}
+
+// tickRigs advances every machine by `stretch` quanta. Workers <= 1 (or
+// a single machine) runs the plain sequential loop. Otherwise machines
+// spread across Workers goroutines; each machine stages its telemetry
+// per quantum, and after the barrier the staged events replay onto the
+// shared bus in (quantum, machine) order — the exact order the
+// sequential loop publishes in.
+func (f *Fleet) tickRigs(stretch int) {
+	w := f.Opts.Workers
+	if w > len(f.Rigs) {
+		w = len(f.Rigs)
+	}
+	if w <= 1 {
+		for q := 0; q < stretch; q++ {
+			for _, r := range f.Rigs {
+				r.Sched.Tick()
+			}
+		}
+		return
+	}
+	staged := f.views != nil
+	if staged {
+		for _, v := range f.views {
+			v.BeginStage()
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for m := g; m < len(f.Rigs); m += w {
+				r := f.Rigs[m]
+				if staged {
+					v := f.views[m]
+					for q := 0; q < stretch; q++ {
+						r.Sched.Tick()
+						v.Mark()
+					}
+				} else {
+					for q := 0; q < stretch; q++ {
+						r.Sched.Tick()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if staged {
+		for q := 0; q < stretch; q++ {
+			for _, v := range f.views {
+				for _, e := range v.Staged(q) {
+					f.Bus.Publish(e)
+				}
+			}
+		}
+		for _, v := range f.views {
+			v.EndStage()
 		}
 	}
 }

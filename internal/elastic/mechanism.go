@@ -144,6 +144,11 @@ func (m *Mechanism) Events() []TransitionEvent { return m.events }
 // ControlPeriod returns the sampling interval in cycles.
 func (m *Mechanism) ControlPeriod() uint64 { return m.cfg.ControlPeriod }
 
+// NextAt returns the cycle of the next control evaluation. The parallel
+// fleet engine caps decoupled stretches at it so Maybe fires on exactly
+// the quantum a sequential run would have fired on.
+func (m *Mechanism) NextAt() uint64 { return m.nextEval }
+
 // Maybe runs one control step if the control period has elapsed. It is
 // cheap to call every scheduler tick.
 func (m *Mechanism) Maybe() {

@@ -90,6 +90,7 @@ func newFleet(c Config, machines int, mode workload.Mode) (*cluster.Fleet, error
 		Bus:      c.Bus,
 		Replicas: c.Replicas,
 		Faults:   plan,
+		Workers:  c.Workers,
 	})
 }
 

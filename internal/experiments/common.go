@@ -84,6 +84,13 @@ type Config struct {
 	// without the fault subsystem; the fault-tolerance experiment
 	// synthesizes its own crash window when this is empty.
 	Faults string
+	// Workers is the goroutine count every fleet the cluster experiments
+	// build spreads machine construction and machine ticks over (0
+	// selects GOMAXPROCS, 1 forces the sequential engine; negative
+	// rejected). Results are bit-identical at every value — the parallel
+	// engine synchronizes at control-period epoch barriers and replays
+	// staged telemetry in sequential order.
+	Workers int
 	// Naive runs every rig on the pre-optimization simulator hot paths:
 	// the walk-every-core tick loop, per-block memory charging, unpooled
 	// Go-map operator execution and uncached dataset generation. Results
@@ -158,6 +165,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Replicas < 0 {
 		return c, fmt.Errorf("experiments: negative replica count %d", c.Replicas)
+	}
+	if c.Workers < 0 {
+		return c, fmt.Errorf("experiments: negative worker count %d", c.Workers)
 	}
 	if c.Replicas > c.Machines {
 		return c, fmt.Errorf("experiments: %d replicas exceed %d machines", c.Replicas, c.Machines)

@@ -146,6 +146,17 @@ func (in *Injector) recompute(m int) {
 // Done reports whether every window edge has been applied.
 func (in *Injector) Done() bool { return in == nil || in.next >= len(in.transitions) }
 
+// NextEdge returns the cycle of the next un-applied window edge, or
+// ^uint64(0) when every edge has been applied. The parallel fleet engine
+// caps decoupled stretches at it so Advance applies each edge on exactly
+// the quantum a sequential run would have.
+func (in *Injector) NextEdge() uint64 {
+	if in.Done() {
+		return ^uint64(0)
+	}
+	return in.transitions[in.next].at
+}
+
 // Down reports whether machine m is currently crashed.
 func (in *Injector) Down(m int) bool { return in != nil && in.down[m] }
 

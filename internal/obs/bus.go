@@ -21,6 +21,13 @@ type Bus struct {
 	total uint64
 
 	subs [kindCount][]func(Event)
+
+	// View state (see stage.go): a view forwards to parent and owns no
+	// ring; while staging it buffers events for ordered replay instead.
+	parent  *Bus
+	staged  []Event
+	marks   []int
+	staging bool
 }
 
 // NewBus creates a bus retaining up to capacity events; capacity <= 0
@@ -34,7 +41,17 @@ func NewBus(capacity int) *Bus {
 
 // Publish appends the event to the ring (overwriting the oldest when
 // full) and fans it out to the kind's subscribers in subscription order.
+// On a view it forwards to the parent — or, while staging, buffers the
+// event for the section driver to replay in deterministic order.
 func (b *Bus) Publish(e Event) {
+	if b.parent != nil {
+		if b.staging {
+			b.staged = append(b.staged, e)
+			return
+		}
+		b.parent.Publish(e)
+		return
+	}
 	b.ring[b.w] = e
 	b.w++
 	if b.w == len(b.ring) {
@@ -54,11 +71,19 @@ func (b *Bus) Publish(e Event) {
 // interest simply ignores its callbacks (subscriptions live as long as
 // the rig, matching how traces are used).
 func (b *Bus) Subscribe(k Kind, fn func(Event)) {
+	if b.parent != nil {
+		b.parent.Subscribe(k, fn)
+		return
+	}
 	b.subs[k] = append(b.subs[k], fn)
 }
 
 // SubscribeAll registers fn for every subsequent event of any kind.
 func (b *Bus) SubscribeAll(fn func(Event)) {
+	if b.parent != nil {
+		b.parent.SubscribeAll(fn)
+		return
+	}
 	for k := range b.subs {
 		b.subs[k] = append(b.subs[k], fn)
 	}
@@ -67,6 +92,9 @@ func (b *Bus) SubscribeAll(fn func(Event)) {
 // Events returns the retained window, oldest first. The slice is a copy;
 // the ring is not disturbed.
 func (b *Bus) Events() []Event {
+	if b.parent != nil {
+		return b.parent.Events()
+	}
 	out := make([]Event, b.n)
 	start := b.w - b.n
 	if start < 0 {
@@ -80,6 +108,9 @@ func (b *Bus) Events() []Event {
 
 // EventsOfKind returns the retained events of one kind, oldest first.
 func (b *Bus) EventsOfKind(k Kind) []Event {
+	if b.parent != nil {
+		return b.parent.EventsOfKind(k)
+	}
 	var out []Event
 	start := b.w - b.n
 	if start < 0 {
@@ -94,14 +125,34 @@ func (b *Bus) EventsOfKind(k Kind) []Event {
 }
 
 // Len returns the number of retained events.
-func (b *Bus) Len() int { return b.n }
+func (b *Bus) Len() int {
+	if b.parent != nil {
+		return b.parent.Len()
+	}
+	return b.n
+}
 
 // Cap returns the ring capacity.
-func (b *Bus) Cap() int { return len(b.ring) }
+func (b *Bus) Cap() int {
+	if b.parent != nil {
+		return b.parent.Cap()
+	}
+	return len(b.ring)
+}
 
 // Total counts every event ever published.
-func (b *Bus) Total() uint64 { return b.total }
+func (b *Bus) Total() uint64 {
+	if b.parent != nil {
+		return b.parent.Total()
+	}
+	return b.total
+}
 
 // Dropped counts events overwritten in the ring (published minus
 // retained). Subscribers saw them; Events no longer returns them.
-func (b *Bus) Dropped() uint64 { return b.total - uint64(b.n) }
+func (b *Bus) Dropped() uint64 {
+	if b.parent != nil {
+		return b.parent.Dropped()
+	}
+	return b.total - uint64(b.n)
+}

@@ -91,6 +91,10 @@ func (p *Probe) SetLatency(h *metrics.Histogram) { p.latency = h }
 // Every returns the sampling interval in cycles.
 func (p *Probe) Every() uint64 { return p.cfg.Every }
 
+// NextAt returns the cycle of the next due sample. The parallel fleet
+// engine caps decoupled stretches at it so Maybe is never late.
+func (p *Probe) NextAt() uint64 { return p.nextAt }
+
 // Maybe samples if the interval has elapsed; cheap to call every tick.
 func (p *Probe) Maybe() {
 	if p.cfg.Machine.Now() < p.nextAt {

@@ -9,6 +9,16 @@ import "sync"
 // construction. The cache shares the immutable value slices across rigs;
 // every store still receives its own BAT headers and simulated regions,
 // so placement, residency and all simulated behaviour are unaffected.
+//
+// The cache is a per-key singleflight: the first requester of a key
+// inserts a pending entry under the lock and generates outside it;
+// later requesters of the same key block on that entry's ready channel
+// instead of generating redundantly, while distinct keys generate
+// concurrently. Eviction is deterministic — insertion order, oldest
+// first — so a bounded cache never picks a map-iteration-random victim
+// (which could evict the entry a concurrent caller just inserted and
+// is about to wait on; an evicted in-flight entry still completes for
+// the waiters holding it, it just stops being findable).
 
 // cacheKey identifies one generated dataset.
 type cacheKey struct {
@@ -20,15 +30,24 @@ type cacheKey struct {
 // (SF, Seed) points, so a small bound holds everything that recurs.
 const cacheEntries = 16
 
-var datasetCache = struct {
-	sync.Mutex
-	m map[cacheKey]*cachedDataset
-}{m: make(map[cacheKey]*cachedDataset)}
-
+// cachedDataset is one cache slot. Readers wait on ready (closed by the
+// generating goroutine after sizes and tables are set), so the fields
+// are immutable once visible.
 type cachedDataset struct {
+	ready  chan struct{}
 	sizes  Sizes
 	tables []genTable
 }
+
+var datasetCache = struct {
+	sync.Mutex
+	m map[cacheKey]*cachedDataset
+	// order lists live keys oldest-insertion-first: the eviction order.
+	order []cacheKey
+	// generations counts datasets actually generated through the cache
+	// (the singleflight tests assert on it).
+	generations uint64
+}{m: make(map[cacheKey]*cachedDataset)}
 
 // datasetFor returns the generated dataset for the config, from the cache
 // when possible. Config.NoCache forces regeneration and leaves the cache
@@ -41,24 +60,23 @@ func datasetFor(cfg Config) (Sizes, []genTable) {
 	datasetCache.Lock()
 	if e, ok := datasetCache.m[key]; ok {
 		datasetCache.Unlock()
+		<-e.ready
 		return e.sizes, e.tables
 	}
-	datasetCache.Unlock()
-	// Generate outside the lock: concurrent rigs for different keys
-	// should not serialize on each other. A racing duplicate for the same
-	// key costs one redundant generation and is then deduplicated.
-	sizes, tables := generate(cfg)
-	datasetCache.Lock()
-	defer datasetCache.Unlock()
-	if e, ok := datasetCache.m[key]; ok {
-		return e.sizes, e.tables
-	}
+	e := &cachedDataset{ready: make(chan struct{})}
 	if len(datasetCache.m) >= cacheEntries {
-		for k := range datasetCache.m {
-			delete(datasetCache.m, k)
-			break
-		}
+		victim := datasetCache.order[0]
+		datasetCache.order = datasetCache.order[1:]
+		delete(datasetCache.m, victim)
 	}
-	datasetCache.m[key] = &cachedDataset{sizes: sizes, tables: tables}
-	return sizes, tables
+	datasetCache.m[key] = e
+	datasetCache.order = append(datasetCache.order, key)
+	datasetCache.generations++
+	datasetCache.Unlock()
+	// Generate outside the lock: concurrent rigs for different keys must
+	// not serialize on each other. Same-key followers are parked on
+	// e.ready above, so this generation happens exactly once per key.
+	e.sizes, e.tables = generate(cfg)
+	close(e.ready)
+	return e.sizes, e.tables
 }

@@ -1,0 +1,111 @@
+package tpch
+
+import (
+	"sync"
+	"testing"
+)
+
+// resetDatasetCache empties the process-wide cache so each test observes
+// its own generation counts.
+func resetDatasetCache() {
+	datasetCache.Lock()
+	datasetCache.m = make(map[cacheKey]*cachedDataset)
+	datasetCache.order = nil
+	datasetCache.generations = 0
+	datasetCache.Unlock()
+}
+
+func cacheGenerations() uint64 {
+	datasetCache.Lock()
+	defer datasetCache.Unlock()
+	return datasetCache.generations
+}
+
+// TestDatasetCacheSingleflight: N concurrent requesters of one key cost
+// exactly one generation, and all of them receive the shared dataset.
+func TestDatasetCacheSingleflight(t *testing.T) {
+	resetDatasetCache()
+	defer resetDatasetCache()
+	cfg := Config{SF: 0.0005, Seed: 42}
+	const callers = 16
+	results := make([][]genTable, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, results[i] = datasetFor(cfg)
+		}(i)
+	}
+	wg.Wait()
+	if got := cacheGenerations(); got != 1 {
+		t.Fatalf("%d concurrent same-key requests cost %d generations, want 1", callers, got)
+	}
+	for i, tables := range results {
+		if len(tables) == 0 {
+			t.Fatalf("caller %d got an empty dataset", i)
+		}
+		// Singleflight shares the one generated value, not copies.
+		if &tables[0] != &results[0][0] {
+			t.Fatalf("caller %d got a private dataset copy — generation was not shared", i)
+		}
+	}
+}
+
+// TestDatasetCacheDistinctKeysConcurrent: distinct keys do not serialize
+// on one another and each generates exactly once under concurrent demand.
+func TestDatasetCacheDistinctKeysConcurrent(t *testing.T) {
+	resetDatasetCache()
+	defer resetDatasetCache()
+	const keys = 4
+	const callersPerKey = 8
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		for i := 0; i < callersPerKey; i++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				datasetFor(Config{SF: 0.0005, Seed: uint64(100 + k)})
+			}(k)
+		}
+	}
+	wg.Wait()
+	if got := cacheGenerations(); got != keys {
+		t.Fatalf("%d keys x %d callers cost %d generations, want %d", keys, callersPerKey, got, keys)
+	}
+}
+
+// TestDatasetCacheDeterministicEviction: a full cache evicts the oldest
+// insertion, never a map-iteration-random victim.
+func TestDatasetCacheDeterministicEviction(t *testing.T) {
+	resetDatasetCache()
+	defer resetDatasetCache()
+	for k := 0; k < cacheEntries; k++ {
+		datasetFor(Config{SF: 0.0005, Seed: uint64(k + 1)})
+	}
+	datasetCache.Lock()
+	if n := len(datasetCache.m); n != cacheEntries {
+		datasetCache.Unlock()
+		t.Fatalf("cache holds %d entries after filling, want %d", n, cacheEntries)
+	}
+	datasetCache.Unlock()
+
+	// One more insertion must evict exactly the oldest key (seed 1).
+	datasetFor(Config{SF: 0.0005, Seed: uint64(cacheEntries + 1)})
+	datasetCache.Lock()
+	defer datasetCache.Unlock()
+	if n := len(datasetCache.m); n != cacheEntries {
+		t.Fatalf("cache holds %d entries after eviction, want %d", n, cacheEntries)
+	}
+	if _, ok := datasetCache.m[cacheKey{sf: 0.0005, seed: 1}]; ok {
+		t.Fatal("oldest entry (seed 1) survived eviction")
+	}
+	for k := 1; k <= cacheEntries; k++ {
+		if _, ok := datasetCache.m[cacheKey{sf: 0.0005, seed: uint64(k + 1)}]; !ok {
+			t.Fatalf("entry seed %d missing after eviction of the oldest", k+1)
+		}
+	}
+	if got := datasetCache.order[0]; got != (cacheKey{sf: 0.0005, seed: 2}) {
+		t.Fatalf("eviction order head = %+v, want seed 2", got)
+	}
+}
