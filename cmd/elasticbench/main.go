@@ -155,6 +155,7 @@ type runFlags struct {
 	parallel int
 	verbose  bool
 	loads    string
+	ratios   string
 	trace    string
 }
 
@@ -165,6 +166,7 @@ func bindRunFlags(fs *flag.FlagSet) (*runFlags, *string) {
 	fs.Uint64Var(&rf.cfg.Seed, "seed", 1, "data and parameter seed")
 	fs.IntVar(&rf.cfg.Tenants, "tenants", 3, "tenant count for the consolidation experiment (2..4)")
 	fs.StringVar(&rf.loads, "loads", "", "comma-separated offered-load fractions for latency-load (default 0.25,0.5,0.75,1,1.5,2)")
+	fs.StringVar(&rf.ratios, "lookup-ratios", "", "comma-separated point-lookup fractions for htap-mix (default 0,0.25,0.5,0.75,1)")
 	fs.StringVar(&rf.cfg.Arrival, "arrival", "", "latency-load arrival process: poisson | mmpp | diurnal")
 	fs.IntVar(&rf.cfg.OpenArrivals, "open-arrivals", 0, "arrivals offered per open-loop point (default 120)")
 	fs.IntVar(&rf.cfg.Machines, "machines", 0, "fleet size for the cluster experiments (default 4)")
@@ -197,6 +199,15 @@ func (rf *runFlags) applyEngine(engine string) error {
 				return fmt.Errorf("bad -loads entry %q: %v", field, err)
 			}
 			rf.cfg.Loads = append(rf.cfg.Loads, l)
+		}
+	}
+	if rf.ratios != "" {
+		for _, field := range strings.Split(rf.ratios, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+			if err != nil {
+				return fmt.Errorf("bad -lookup-ratios entry %q: %v", field, err)
+			}
+			rf.cfg.LookupRatios = append(rf.cfg.LookupRatios, r)
 		}
 	}
 	return nil

@@ -27,6 +27,7 @@ func ExampleRegistry() {
 	// Output:
 	// topology-sweep [topology numa elastic]
 	// tenancy: consolidation
+	// tenancy: htap-mix
 }
 
 // ExampleRunner executes a custom experiment through the worker-pool

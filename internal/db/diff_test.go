@@ -1,0 +1,636 @@
+package db
+
+import (
+	"sort"
+	"testing"
+
+	"elasticore/internal/hashmix"
+)
+
+// diff_test.go is the differential harness of the vectorized operator
+// layer: every Operator is driven standalone through Next with
+// SplitMix64-randomized batch sizes and compared against a row-at-a-time
+// reference implementation written independently of the kernels. The
+// assertions are exact — identical output values AND identical charged
+// compute cycles — across fixed seeds, randomized sizes/selectivities
+// and the degenerate inputs (empty, single row, all-match, none-match).
+
+var diffSeeds = []uint64{1, 7, 42}
+
+// diffRNG is a SplitMix64 stream for deterministic randomized inputs.
+type diffRNG struct{ hashmix.Stream }
+
+func newDiffRNG(seed uint64) *diffRNG {
+	return &diffRNG{hashmix.Stream{State: seed*2654435761 + 1}}
+}
+
+func (r *diffRNG) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Next() % uint64(n))
+}
+
+func (r *diffRNG) f64() float64 { return float64(r.Next()>>11) / float64(1<<53) }
+
+// diffSizes are the input cardinalities every operator case runs at:
+// empty, single row, small, and a randomized mid-size batch.
+func diffSizes(r *diffRNG) []int {
+	return []int{0, 1, 13, 64 + r.intn(200)}
+}
+
+// drain drives op to exhaustion with randomized Next sizes, returning
+// every output value in emission order.
+func drain(op Operator, r *diffRNG) (oi []int64, of []float64) {
+	for {
+		b := op.Next(1 + r.intn(17))
+		if b == nil {
+			return oi, of
+		}
+		oi = append(oi, b.I...)
+		of = append(of, b.F...)
+	}
+}
+
+func eqI64(t *testing.T, label string, got, want []int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: value %d = %d, want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+func eqF64(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: value %d = %g, want %g", label, i, got[i], want[i])
+		}
+	}
+}
+
+func eqCycles(t *testing.T, label string, op Operator, want uint64) {
+	t.Helper()
+	if got := op.Charged(); got != want {
+		t.Fatalf("%s: charged %d cycles, want %d", label, got, want)
+	}
+}
+
+// genI64 returns n values in [0, span).
+func genI64(r *diffRNG, n, span int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(r.intn(span))
+	}
+	return out
+}
+
+func genF64(r *diffRNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}
+
+// genCand returns a sorted random subset of rows [0, n) as OIDs.
+func genCand(r *diffRNG, n int) []int64 {
+	var out []int64
+	for i := 0; i < n; i++ {
+		if r.intn(3) > 0 {
+			out = append(out, int64(i))
+		}
+	}
+	return out
+}
+
+// diffPred pairs an engine predicate with an independent row test.
+type diffPred struct {
+	name string
+	kind Kind
+	p    Pred
+	refI func(v int64) bool
+	refF func(v float64) bool
+}
+
+func diffPreds() []diffPred {
+	return []diffPred{
+		{"irange", KindI64, PredIRange(20, 60), func(v int64) bool { return v >= 20 && v < 60 }, nil},
+		{"ieq", KindI64, PredIEq(5), func(v int64) bool { return v == 5 }, nil},
+		{"iin", KindI64, PredIIn(1, 2, 3), func(v int64) bool { return v == 1 || v == 2 || v == 3 }, nil},
+		{"iall", KindI64, PredAll(), func(int64) bool { return true }, nil},
+		{"inone", KindI64, PredIEq(-1), func(int64) bool { return false }, nil},
+		{"igeneric", KindI64, Pred{I: func(v int64) bool { return v%7 == 0 }}, func(v int64) bool { return v%7 == 0 }, nil},
+		{"frange", KindF64, PredFRange(0.2, 0.6), nil, func(v float64) bool { return v >= 0.2 && v <= 0.6 }},
+		{"fless", KindF64, PredFLess(0.3), nil, func(v float64) bool { return v < 0.3 }},
+		{"fall", KindF64, PredFRange(-1, 2), nil, func(v float64) bool { return v >= -1 && v <= 2 }},
+		{"fnone", KindF64, PredFLess(-1), nil, func(v float64) bool { return v < -1 }},
+		{"fgeneric", KindF64, Pred{F: func(v float64) bool { return v > 0.5 }}, nil, func(v float64) bool { return v > 0.5 }},
+	}
+}
+
+// predColumn builds a column of the predicate's kind.
+func predColumn(r *diffRNG, pd diffPred, n int) *BAT {
+	if pd.kind == KindI64 {
+		return NewI64("c", genI64(r, n, 100))
+	}
+	return NewF64("c", genF64(r, n))
+}
+
+func refMatch(pd diffPred, col *BAT, row int) bool {
+	if pd.kind == KindI64 {
+		return pd.refI(col.I[row])
+	}
+	return pd.refF(col.F[row])
+}
+
+func TestDiffFilterScan(t *testing.T) {
+	for _, seed := range diffSeeds {
+		r := newDiffRNG(seed)
+		for _, size := range diffSizes(r) {
+			for _, pd := range diffPreds() {
+				col := predColumn(r, pd, size)
+				// Full range and a strict sub-range.
+				for _, rng := range [][2]int{{0, size}, {size / 3, size - size/3}} {
+					lo, hi := rng[0], rng[1]
+					if hi < lo {
+						hi = lo
+					}
+					var want []int64
+					for i := lo; i < hi; i++ {
+						if refMatch(pd, col, i) {
+							want = append(want, int64(i))
+						}
+					}
+					op := NewFilterScan(col, pd.p, lo, hi, nil)
+					got, _ := drain(op, r)
+					label := pd.name
+					eqI64(t, label, got, want)
+					eqCycles(t, label, op, uint64(hi-lo)*cyclesScan)
+				}
+			}
+		}
+	}
+}
+
+func TestDiffFilterRefine(t *testing.T) {
+	for _, seed := range diffSeeds {
+		r := newDiffRNG(seed)
+		for _, size := range diffSizes(r) {
+			for _, pd := range diffPreds() {
+				col := predColumn(r, pd, size)
+				cand := NewI64("cand", genCand(r, size))
+				var want []int64
+				for _, oid := range cand.I {
+					if refMatch(pd, col, int(oid)) {
+						want = append(want, oid)
+					}
+				}
+				op := NewFilterRefine(col, pd.p, cand, nil)
+				got, _ := drain(op, r)
+				eqI64(t, pd.name, got, want)
+				eqCycles(t, pd.name, op, uint64(cand.Len())*cyclesGather)
+			}
+		}
+	}
+}
+
+func TestDiffGather(t *testing.T) {
+	for _, seed := range diffSeeds {
+		r := newDiffRNG(seed)
+		for _, size := range diffSizes(r) {
+			cand := NewI64("cand", genCand(r, size))
+			// Integer column.
+			colI := NewI64("ci", genI64(r, size, 1000))
+			wantI := make([]int64, 0, cand.Len())
+			for _, oid := range cand.I {
+				wantI = append(wantI, colI.I[oid])
+			}
+			opI := NewGather(colI, cand, NewI64("out", nil))
+			gotI, _ := drain(opI, r)
+			eqI64(t, "gather-i64", gotI, wantI)
+			eqCycles(t, "gather-i64", opI, uint64(cand.Len())*cyclesGather)
+			// Float column.
+			colF := NewF64("cf", genF64(r, size))
+			wantF := make([]float64, 0, cand.Len())
+			for _, oid := range cand.I {
+				wantF = append(wantF, colF.F[oid])
+			}
+			opF := NewGather(colF, cand, NewF64("out", nil))
+			_, gotF := drain(opF, r)
+			eqF64(t, "gather-f64", gotF, wantF)
+			eqCycles(t, "gather-f64", opF, uint64(cand.Len())*cyclesGather)
+		}
+	}
+}
+
+func TestDiffMapBinary(t *testing.T) {
+	f := func(x, y float64) float64 { return x*y + 1 }
+	for _, seed := range diffSeeds {
+		r := newDiffRNG(seed)
+		for _, size := range diffSizes(r) {
+			a := NewF64("a", genF64(r, size))
+			b := NewF64("b", genF64(r, size))
+			want := make([]float64, size)
+			for i := range want {
+				want[i] = f(a.F[i], b.F[i])
+			}
+			op := NewMapBinary(a, b, f, nil)
+			_, got := drain(op, r)
+			eqF64(t, "map2", got, want)
+			eqCycles(t, "map2", op, uint64(size)*cyclesMap)
+		}
+	}
+}
+
+func TestDiffSumAgg(t *testing.T) {
+	for _, seed := range diffSeeds {
+		r := newDiffRNG(seed)
+		for _, size := range diffSizes(r) {
+			in := NewF64("v", genF64(r, size))
+			want := 0.0
+			for _, v := range in.F {
+				want += v
+			}
+			op := NewSumAgg(in)
+			_, got := drain(op, r)
+			// The sum arrives as exactly one final value, even on empty
+			// input (sum 0).
+			eqF64(t, "sum", got, []float64{want})
+			eqCycles(t, "sum", op, uint64(size)*cyclesSum)
+		}
+	}
+}
+
+func TestDiffHashBuild(t *testing.T) {
+	for _, seed := range diffSeeds {
+		r := newDiffRNG(seed)
+		for _, size := range diffSizes(r) {
+			keys := NewI64("k", genI64(r, size, size/2+1)) // forced duplicates
+			cases := []struct {
+				name string
+				vals *BAT
+			}{
+				{"membership", nil},
+				{"payload-i64", NewI64("v", genI64(r, size, 1000))},
+				{"payload-f64", NewF64("v", genF64(r, size))},
+			}
+			for _, tc := range cases {
+				want := map[int64]int64{}
+				for i, k := range keys.I {
+					payload := int64(1)
+					if tc.vals != nil {
+						if tc.vals.Kind == KindI64 {
+							payload = tc.vals.I[i]
+						} else {
+							payload = int64(tc.vals.F[i])
+						}
+					}
+					want[k] = payload
+				}
+				set := &i64Map{}
+				op := NewHashBuild(keys, tc.vals, set)
+				got, _ := drain(op, r)
+				eqI64(t, tc.name, got, []int64{int64(len(want))})
+				if set.Len() != len(want) {
+					t.Fatalf("%s: table holds %d keys, want %d", tc.name, set.Len(), len(want))
+				}
+				for k, v := range want {
+					if gv, ok := set.Get(k); !ok || gv != v {
+						t.Fatalf("%s: key %d = (%d, %v), want (%d, true)", tc.name, k, gv, ok, v)
+					}
+				}
+				eqCycles(t, tc.name, op, uint64(size)*cyclesBuild)
+			}
+		}
+	}
+}
+
+func TestDiffHashProbe(t *testing.T) {
+	for _, seed := range diffSeeds {
+		r := newDiffRNG(seed)
+		for _, size := range diffSizes(r) {
+			col := NewI64("c", genI64(r, size, 50))
+			cand := NewI64("cand", genCand(r, size))
+			sets := []struct {
+				name string
+				fill func(*i64Map)
+			}{
+				{"mixed", func(m *i64Map) {
+					for v := int64(0); v < 25; v++ {
+						m.Put(v, v*10)
+					}
+				}},
+				{"all-match", func(m *i64Map) {
+					for v := int64(0); v < 50; v++ {
+						m.Put(v, v)
+					}
+				}},
+				{"none-match", func(*i64Map) {}},
+			}
+			for _, sc := range sets {
+				for _, mode := range []struct {
+					name        string
+					anti, fetch bool
+				}{{"semi", false, false}, {"anti", true, false}, {"fetch", false, true}} {
+					set := &i64Map{}
+					sc.fill(set)
+					want := map[int64]int64{}
+					set.Range(func(k, v int64) { want[k] = v })
+					var wantIDs, wantPays []int64
+					for _, oid := range cand.I {
+						payload, hit := want[col.I[oid]], false
+						if _, ok := want[col.I[oid]]; ok {
+							hit = true
+						}
+						if hit == mode.anti {
+							continue
+						}
+						wantIDs = append(wantIDs, oid)
+						if mode.fetch {
+							wantPays = append(wantPays, payload)
+						}
+					}
+					label := sc.name + "/" + mode.name
+					op := NewHashProbe(col, cand, set, mode.anti, mode.fetch, nil, nil)
+					got, _ := drain(op, r)
+					eqI64(t, label, got, wantIDs)
+					if mode.fetch {
+						eqI64(t, label+" payloads", op.Payloads(), wantPays)
+					}
+					eqCycles(t, label, op, uint64(cand.Len())*cyclesProbe)
+				}
+			}
+		}
+	}
+}
+
+func TestDiffGroupAgg(t *testing.T) {
+	for _, seed := range diffSeeds {
+		r := newDiffRNG(seed)
+		for _, size := range diffSizes(r) {
+			keys := NewI64("k", genI64(r, size, size/4+1))
+			for _, tc := range []struct {
+				name string
+				vals *BAT
+			}{{"count", nil}, {"sum", NewF64("v", genF64(r, size))}} {
+				want := map[int64]float64{}
+				for i, k := range keys.I {
+					v := 1.0
+					if tc.vals != nil {
+						v = tc.vals.F[i]
+					}
+					want[k] += v
+				}
+				wantKeys := make([]int64, 0, len(want))
+				for k := range want {
+					wantKeys = append(wantKeys, k)
+				}
+				sort.Slice(wantKeys, func(a, b int) bool { return wantKeys[a] < wantKeys[b] })
+
+				agg := &i64fMap{}
+				op := NewGroupAgg(keys, tc.vals, agg)
+				got, _ := drain(op, r)
+				eqI64(t, tc.name, got, wantKeys)
+				consumed := uint64(size) * cyclesGroup
+				eqCycles(t, tc.name, op, consumed)
+
+				gk, gs := op.Finalize()
+				eqI64(t, tc.name+" finalize keys", gk, wantKeys)
+				wantSums := make([]float64, len(wantKeys))
+				for i, k := range wantKeys {
+					wantSums[i] = want[k]
+				}
+				eqF64(t, tc.name+" finalize sums", gs, wantSums)
+				// Finalize charges the engine's merge formula on top.
+				eqCycles(t, tc.name+" finalized", op,
+					consumed+uint64(agg.Len())*cyclesGroup+uint64(len(gk))*cyclesSort)
+			}
+		}
+	}
+}
+
+// refTopN is an independent stable top-n: repeatedly scan for the
+// leftmost strictly-largest remaining sum.
+func refTopN(sums []float64, n int) []int {
+	taken := make([]bool, len(sums))
+	if n > len(sums) {
+		n = len(sums)
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := make([]int, 0, n)
+	for len(out) < n {
+		best := -1
+		for i := range sums {
+			if taken[i] {
+				continue
+			}
+			if best == -1 || sums[i] > sums[best] {
+				best = i
+			}
+		}
+		taken[best] = true
+		out = append(out, best)
+	}
+	return out
+}
+
+func TestDiffSortLimit(t *testing.T) {
+	for _, seed := range diffSeeds {
+		r := newDiffRNG(seed)
+		for _, size := range diffSizes(r) {
+			keys := NewI64("k", genI64(r, size, 10000))
+			// Sums from a tiny value set force ties, so stable ranking is
+			// actually exercised.
+			sumVals := genI64(r, size, 4)
+			sums := make([]float64, size)
+			for i, v := range sumVals {
+				sums[i] = float64(v)
+			}
+			sumsBAT := NewF64("s", sums)
+			for _, n := range []int{0, 1, 3, size, size + 7} {
+				idx := refTopN(sums, n)
+				wantKeys := make([]int64, len(idx))
+				wantSums := make([]float64, len(idx))
+				for i, j := range idx {
+					wantKeys[i] = keys.I[j]
+					wantSums[i] = sums[j]
+				}
+				op := NewSortLimit(keys, sumsBAT, n)
+				got, _ := drain(op, r)
+				eqI64(t, "topn keys", got, wantKeys)
+				eqF64(t, "topn sums", op.Sums(), wantSums)
+				eqCycles(t, "topn", op, uint64(size)*cyclesSort)
+			}
+		}
+	}
+}
+
+// refProbeCount re-derives the bisection probe count for one key: the
+// halving steps of the [lo, hi) search, which is what the operator and
+// the PointLookup stage both charge (+1 for the final fetch).
+func refProbeCount(keys []int64, key int64) int {
+	count := 0
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		count++
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return count
+}
+
+func TestDiffLookup(t *testing.T) {
+	for _, seed := range diffSeeds {
+		r := newDiffRNG(seed)
+		for _, size := range diffSizes(r) {
+			// Sorted unique keys with gaps, so absent probes exist between
+			// present ones.
+			keys := make([]int64, size)
+			next := int64(0)
+			for i := range keys {
+				next += int64(1 + r.intn(3))
+				keys[i] = next
+			}
+			keyBAT := NewI64("k", keys)
+			valF := NewF64("v", genF64(r, size))
+			valI := NewI64("v", genI64(r, size, 1000))
+
+			probeSets := map[string][]int64{
+				"empty":  nil,
+				"single": {next / 2},
+				"mixed":  nil,
+			}
+			var mixed []int64
+			for i := 0; i < size; i++ {
+				if r.intn(2) == 0 {
+					mixed = append(mixed, keys[r.intn(size)]) // present
+				} else {
+					mixed = append(mixed, int64(r.intn(int(next)+3))-1) // maybe absent
+				}
+			}
+			mixed = append(mixed, -5, next+100) // below min, above max
+			probeSets["mixed"] = mixed
+
+			for name, probes := range probeSets {
+				for _, val := range []*BAT{valF, valI} {
+					var wantI []int64
+					var wantF []float64
+					wantFound, wantCycles := 0, uint64(0)
+					for _, key := range probes {
+						wantCycles += uint64(refProbeCount(keys, key)+1) * cyclesProbe
+						row := -1
+						for i, k := range keys {
+							if k == key {
+								row = i
+								break
+							}
+						}
+						if row < 0 {
+							continue
+						}
+						wantFound++
+						if val.Kind == KindI64 {
+							wantI = append(wantI, val.I[row])
+						} else {
+							wantF = append(wantF, val.F[row])
+						}
+					}
+					op := NewLookup(keyBAT, val, probes)
+					gotI, gotF := drain(op, r)
+					eqI64(t, name, gotI, wantI)
+					eqF64(t, name, gotF, wantF)
+					if op.Found != wantFound {
+						t.Fatalf("%s: found %d keys, want %d", name, op.Found, wantFound)
+					}
+					eqCycles(t, name, op, wantCycles)
+				}
+			}
+		}
+	}
+}
+
+func TestDiffFusedQ6(t *testing.T) {
+	for _, seed := range diffSeeds {
+		r := newDiffRNG(seed)
+		for _, size := range diffSizes(r) {
+			sd := make([]int64, size)
+			for i := range sd {
+				sd[i] = int64(19960101 + r.intn(40000))
+			}
+			qty := make([]float64, size)
+			dis := make([]float64, size)
+			pr := make([]float64, size)
+			for i := 0; i < size; i++ {
+				qty[i] = float64(r.intn(50))
+				dis[i] = float64(r.intn(11)) / 100
+				pr[i] = 100 + float64(r.intn(900))
+			}
+			shipdate, quantity := NewI64("sd", sd), NewF64("q", qty)
+			discount, price := NewF64("d", dis), NewF64("p", pr)
+			for _, rng := range [][2]int{{0, size}, {size / 4, size / 2}} {
+				lo, hi := rng[0], rng[1]
+				want := 0.0
+				for i := lo; i < hi; i++ {
+					if sd[i] >= 19970101 && sd[i] < 19980101 &&
+						dis[i] >= 0.06 && dis[i] <= 0.08 && qty[i] < 24 {
+						want += pr[i] * dis[i]
+					}
+				}
+				op := NewFusedQ6(shipdate, quantity, discount, price, lo, hi)
+				_, got := drain(op, r)
+				eqF64(t, "q6", got, []float64{want})
+				if op.Revenue() != want {
+					t.Fatalf("q6: revenue %g, want %g", op.Revenue(), want)
+				}
+				eqCycles(t, "q6", op, uint64(hi-lo)*cyclesScan)
+			}
+		}
+	}
+}
+
+// TestDiffNextZero pins the n <= 0 contract: before exhaustion the batch
+// is non-nil and empty, and nothing is charged.
+func TestDiffNextZero(t *testing.T) {
+	col := NewI64("c", []int64{1, 2, 3})
+	ops := []Operator{
+		NewFilterScan(col, PredAll(), 0, 3, nil),
+		NewFilterRefine(col, PredAll(), NewI64("cand", []int64{0, 1}), nil),
+		NewGather(col, NewI64("cand", []int64{0, 1}), NewI64("out", nil)),
+		NewMapBinary(NewF64("a", []float64{1}), NewF64("b", []float64{2}), func(x, y float64) float64 { return x + y }, nil),
+		NewSumAgg(NewF64("v", []float64{1, 2})),
+		NewHashBuild(col, nil, &i64Map{}),
+		NewHashProbe(col, NewI64("cand", []int64{0}), &i64Map{}, false, false, nil, nil),
+		NewGroupAgg(col, nil, &i64fMap{}),
+		NewSortLimit(col, NewF64("s", []float64{1, 2, 3}), 2),
+		NewLookup(col, NewF64("v", []float64{1, 2, 3}), []int64{2}),
+		NewFusedQ6(NewI64("sd", []int64{19970201}), NewF64("q", []float64{1}), NewF64("d", []float64{0.07}), NewF64("p", []float64{100}), 0, 1),
+	}
+	for _, op := range ops {
+		for _, n := range []int{0, -3} {
+			b := op.Next(n)
+			if b == nil {
+				t.Fatalf("%s: Next(%d) before exhaustion returned nil", op.Op(), n)
+			}
+			if b.Len() != 0 {
+				t.Fatalf("%s: Next(%d) produced %d values", op.Op(), n, b.Len())
+			}
+		}
+		if op.Charged() != 0 {
+			t.Fatalf("%s: charged %d cycles for zero-size batches", op.Op(), op.Charged())
+		}
+	}
+}

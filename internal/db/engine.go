@@ -426,11 +426,14 @@ func (e *Engine) ActiveQueries() int {
 // client observes completion, which is what lets a steady stream of
 // queries run out of recycled storage. The query's intermediates must not
 // be read afterwards; callers that read results after the fact use Drain
-// instead, which never recycles.
+// instead, which never recycles. Release is idempotent: a second call on
+// an already-released query is a no-op, so a buffer can never reach the
+// pool twice and be handed to two future queries at once.
 func (e *Engine) Release(q *Query) {
-	if q == nil || !q.done {
+	if q == nil || !q.done || q.released {
 		return
 	}
+	q.released = true
 	for i := range e.queries {
 		if e.queries[i] == q {
 			e.queries = append(e.queries[:i], e.queries[i+1:]...)

@@ -3,7 +3,6 @@ package db
 import (
 	"fmt"
 	"slices"
-	"sort"
 
 	"elasticore/internal/numa"
 	"elasticore/internal/sched"
@@ -410,11 +409,11 @@ func ThetaSelect(table, col, out string, p Pred) StageFn {
 		for i, r := range ranges {
 			i, r := i, r
 			t := newChunkTask("algebra.thetasubselect", q.Machine(), []*BAT{c}, r[0], r[1], cyclesScan)
-			ids := q.scratchI64((r[1] - r[0]) / 2)
-			t.process = selectScanLoop(c, predFor(q, p), &ids)
+			op := NewFilterScan(c, predFor(q, p), r[0], r[1], q.scratchI64((r[1]-r[0])/2))
+			t.process = op.runRange
 			t.finish = func(*sched.ExecContext) []*BAT {
-				q.ownI64(ids)
-				frag := NewI64(out, ids)
+				q.ownI64(op.ids)
+				frag := NewI64(out, op.ids)
 				ps.Parts[i] = frag
 				return []*BAT{frag}
 			}
@@ -461,11 +460,11 @@ func SubSelect(in, table, col, out string, p Pred) StageFn {
 			}
 			t := newChunkTask("algebra.subselect", q.Machine(), []*BAT{cand}, 0, cand.Len(), cyclesGather)
 			t.extraCharge = gatherCharge(cand, c)
-			ids := q.scratchI64(cand.Len() / 2)
-			t.process = gatherScanLoop(c, predFor(q, p), cand, &ids)
+			op := NewFilterRefine(c, predFor(q, p), cand, q.scratchI64(cand.Len()/2))
+			t.process = op.runRange
 			t.finish = func(*sched.ExecContext) []*BAT {
-				q.ownI64(ids)
-				frag := NewI64(out, ids)
+				q.ownI64(op.ids)
+				frag := NewI64(out, op.ids)
 				ps.Parts[i] = frag
 				return []*BAT{frag}
 			}
@@ -499,16 +498,8 @@ func Projection(in, table, col, out string) StageFn {
 			} else {
 				outB.F = q.scratchF64(cand.Len())
 			}
-			t.process = func(a, b int) {
-				for k := a; k < b && k < len(cand.I); k++ {
-					row := int(cand.I[k])
-					if c.Kind == KindI64 {
-						outB.I = append(outB.I, c.I[row])
-					} else {
-						outB.F = append(outB.F, c.F[row])
-					}
-				}
-			}
+			op := NewGather(c, cand, outB)
+			t.process = op.runRange
 			t.finish = func(*sched.ExecContext) []*BAT {
 				q.ownI64(outB.I)
 				q.ownF64(outB.F)
@@ -547,15 +538,11 @@ func MapF2(a, b, out string, f func(x, y float64) float64) StageFn {
 				continue
 			}
 			t := newChunkTask("batcalc.*", q.Machine(), []*BAT{fa, fb}, 0, fa.Len(), cyclesMap)
-			res := q.scratchF64(fa.Len())
-			t.process = func(lo, hi int) {
-				for k := lo; k < hi && k < len(fa.F); k++ {
-					res = append(res, f(fa.F[k], fb.F[k]))
-				}
-			}
+			op := NewMapBinary(fa, fb, f, q.scratchF64(fa.Len()))
+			t.process = op.runRange
 			t.finish = func(*sched.ExecContext) []*BAT {
-				q.ownF64(res)
-				frag := NewF64(out, res)
+				q.ownF64(op.res)
+				frag := NewF64(out, op.res)
 				ps.Parts[i] = frag
 				return []*BAT{frag}
 			}
@@ -577,14 +564,10 @@ func SumF(in, scalar string) StageFn {
 				continue
 			}
 			t := newChunkTask("aggr.sum", q.Machine(), []*BAT{frag}, 0, frag.Len(), cyclesSum)
-			var partial float64
-			t.process = func(a, b int) {
-				for k := a; k < b && k < len(frag.F); k++ {
-					partial += frag.F[k]
-				}
-			}
+			op := NewSumAgg(frag)
+			t.process = op.runRange
 			t.finish = func(*sched.ExecContext) []*BAT {
-				q.AddScalar(scalar, partial)
+				q.AddScalar(scalar, op.partial)
 				return nil
 			}
 			tasks = append(tasks, t)
@@ -649,18 +632,12 @@ func BuildMap(keysVar, valsVar, setName string) StageFn {
 					continue
 				}
 				cost += frag.chargeRange(ctx, 0, frag.Len(), false)
-				for k, key := range frag.I {
-					payload := int64(1)
-					if vals != nil {
-						vf := vals.Parts[pi]
-						if vf.Kind == KindI64 {
-							payload = vf.I[k]
-						} else {
-							payload = int64(vf.F[k])
-						}
-					}
-					m.Put(key, payload)
+				var vf *BAT
+				if vals != nil {
+					vf = vals.Parts[pi]
 				}
+				op := NewHashBuild(frag, vf, m)
+				op.runRange(0, frag.Len())
 				cost += uint64(frag.Len()) * cyclesBuild
 			}
 			q.SetSet(setName, m)
@@ -712,32 +689,21 @@ func probe(inCand, table, col, setName, outCand, outVals string, anti bool) Stag
 			}
 			t := newChunkTask("join.probe", q.Machine(), []*BAT{cand}, 0, cand.Len(), cyclesProbe)
 			t.extraCharge = gatherCharge(cand, c)
-			ids := q.scratchI64(cand.Len() / 2)
 			var payloads []int64
+			ids := q.scratchI64(cand.Len() / 2)
 			if vps != nil {
 				payloads = q.scratchI64(cand.Len() / 2)
 			}
-			t.process = func(a, b int) {
-				for k := a; k < b && k < len(cand.I); k++ {
-					row := int(cand.I[k])
-					payload, hit := set.Get(c.I[row])
-					if hit == anti {
-						continue
-					}
-					ids = append(ids, cand.I[k])
-					if vps != nil {
-						payloads = append(payloads, payload)
-					}
-				}
-			}
+			op := NewHashProbe(c, cand, set, anti, vps != nil, ids, payloads)
+			t.process = op.runRange
 			t.finish = func(*sched.ExecContext) []*BAT {
-				q.ownI64(ids)
-				frag := NewI64(outCand, ids)
+				q.ownI64(op.ids)
+				frag := NewI64(outCand, op.ids)
 				ps.Parts[i] = frag
 				outs := []*BAT{frag}
 				if vps != nil {
-					q.ownI64(payloads)
-					vf := NewI64(outVals, payloads)
+					q.ownI64(op.payloads)
+					vf := NewI64(outVals, op.payloads)
 					vps.Parts[i] = vf
 					outs = append(outs, vf)
 				}
@@ -749,15 +715,55 @@ func probe(inCand, table, col, setName, outCand, outVals string, anti bool) Stag
 	}
 }
 
-// ScanAll plans a full scan over a base column producing all row OIDs
-// (the sql.tid pattern: a candidate list covering the table).
-func ScanAll(table, col, out string) StageFn {
-	always := Pred{
+// PredAll matches every row of either kind (full scans).
+func PredAll() Pred {
+	return Pred{
 		I:    func(int64) bool { return true },
 		F:    func(float64) bool { return true },
 		form: predAll,
 	}
-	return ThetaSelect(table, col, out, always)
+}
+
+// ScanAll plans a full scan over a base column producing all row OIDs
+// (the sql.tid pattern: a candidate list covering the table).
+func ScanAll(table, col, out string) StageFn {
+	return ThetaSelect(table, col, out, PredAll())
+}
+
+// PointLookup plans an index-style point read (algebra.find): one short
+// task binary-searches the sorted key column of table for key and, on a
+// hit, projects the value column at that row into the named scalar
+// (misses leave it at zero; outScalar+".found" counts hits). Against the
+// fan-out scans above this is the core-scalability extreme: a handful of
+// probes in a single task, with nothing for additional cores to do —
+// the OLTP half of a heterogeneous tenant mix.
+func PointLookup(table, keyCol, valCol string, key int64, outScalar string) StageFn {
+	return func(q *Query) []Task {
+		tb := q.eng.store.Table(table)
+		kc, vc := tb.Col(keyCol), tb.Col(valCol)
+		t := &funcTask{op: "algebra.find", pref: numa.NoNode}
+		t.work = func(ctx *sched.ExecContext) uint64 {
+			var cost uint64
+			row, probes, ok := lookupVisit(kc.I, key, func(mid int) {
+				cost += kc.chargeRange(ctx, mid, mid+1, false)
+			})
+			cost += uint64(probes+1) * cyclesProbe
+			q.SetScalar(outScalar, 0)
+			if ok {
+				cost += vc.chargeRange(ctx, row, row+1, false)
+				var v float64
+				if vc.Kind == KindI64 {
+					v = float64(vc.I[row])
+				} else {
+					v = vc.F[row]
+				}
+				q.SetScalar(outScalar, v)
+				q.AddScalar(outScalar+".found", 1)
+			}
+			return cost
+		}
+		return []Task{t}
+	}
 }
 
 // GroupSum plans the partial phase of a grouped aggregation: per-partition
@@ -790,22 +796,14 @@ func GroupSum(keysVar, valsVar, partialsName string) StageFn {
 				inputs = append(inputs, vf)
 			}
 			t := newChunkTask("group.sum", q.Machine(), inputs, 0, kf.Len(), cyclesGroup)
-			m := q.scratchMapIF()
-			t.process = func(a, b int) {
-				for k := a; k < b && k < len(kf.I); k++ {
-					v := 1.0
-					if !countMode && vf != nil && vf.Len() > k {
-						if vf.Kind == KindF64 {
-							v = vf.F[k]
-						} else {
-							v = float64(vf.I[k])
-						}
-					}
-					m.Add(kf.I[k], v)
-				}
+			aggIn := vf
+			if countMode {
+				aggIn = nil
 			}
+			op := NewGroupAgg(kf, aggIn, q.scratchMapIF())
+			t.process = op.runRange
 			t.finish = func(*sched.ExecContext) []*BAT {
-				partials[i] = m
+				partials[i] = op.agg
 				return nil
 			}
 			tasks = append(tasks, t)
@@ -889,19 +887,12 @@ func TopN(outKeys, outSums string, n int) StageFn {
 		t.work = func(ctx *sched.ExecContext) uint64 {
 			keys := q.Var(outKeys).FlattenI64()
 			sums := q.Var(outSums).FlattenF64()
-			idx := make([]int, len(keys))
-			for i := range idx {
-				idx[i] = i
-			}
-			sort.SliceStable(idx, func(a, b int) bool { return sums[idx[a]] > sums[idx[b]] })
-			if n > len(idx) {
-				n = len(idx)
-			}
-			ks := q.scratchI64(n)[:n]
-			ss := q.scratchF64(n)[:n]
-			for i := 0; i < n; i++ {
-				ks[i] = keys[idx[i]]
-				ss[i] = sums[idx[i]]
+			idx := topNIndex(sums, n)
+			ks := q.scratchI64(len(idx))[:len(idx)]
+			ss := q.scratchF64(len(idx))[:len(idx)]
+			for i, j := range idx {
+				ks[i] = keys[j]
+				ss[i] = sums[j]
 			}
 			q.ownI64(ks)
 			q.ownF64(ss)

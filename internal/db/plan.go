@@ -68,6 +68,7 @@ type Query struct {
 	stage     int
 	pending   int
 	done      bool
+	released  bool
 	taskQueue deque.Deque[*dispatched] // per-query dataflow queue (PlacementOS)
 
 	// owned registers pooled buffers backing this query's intermediates,

@@ -107,19 +107,10 @@ func SpawnRawQ6(s *Store, sc *sched.Scheduler, pid, nthreads int, aff RawAffinit
 func (k *RawQ6) sliceTask(machine *numa.Machine, lo, hi int) sched.Runner {
 	ct := newChunkTask("raw.q6", machine,
 		[]*BAT{k.shipdate, k.quantity, k.discount, k.price}, lo, hi, cyclesScan)
-	var partial float64
-	ct.process = func(a, b int) {
-		sd, qty := k.shipdate.I, k.quantity.F
-		dis, pr := k.discount.F, k.price.F
-		for i := a; i < b; i++ {
-			if sd[i] >= 19970101 && sd[i] < 19980101 &&
-				dis[i] >= 0.06 && dis[i] <= 0.08 && qty[i] < 24 {
-				partial += pr[i] * dis[i]
-			}
-		}
-	}
+	op := NewFusedQ6(k.shipdate, k.quantity, k.discount, k.price, lo, hi)
+	ct.process = op.runRange
 	ct.finish = func(*sched.ExecContext) []*BAT {
-		k.Revenue += partial
+		k.Revenue += op.partial
 		k.remaining--
 		return nil
 	}

@@ -1,0 +1,734 @@
+package db
+
+import "sort"
+
+// vops.go is the pluggable vectorized operator layer. Each operator of
+// the MAL-like set — leaf filter scans, candidate refinement, gather
+// projection, binary maps, aggregates, hash build/probe, group
+// aggregation, sort/limit and point lookup — is an object wrapping the
+// form-specialized kernel loops, drivable two ways:
+//
+//   - Inside the engine, stage builders (operators.go) construct the
+//     operator and hand its runRange method to a chunkTask, which walks
+//     the input in block-sized chunks and charges BOTH the per-tuple
+//     compute cycles and the simulated NUMA memory accesses itself. This
+//     is the only drive mode queries use, so the refactor leaves every
+//     engine-visible byte identical.
+//
+//   - Standalone, Next(n) consumes up to n input units (base rows for
+//     leaf scans, candidate positions for refinements/probes/gathers,
+//     value rows for maps and aggregates) and returns the batch those
+//     units produced: an empty BAT when nothing survived, nil once the
+//     input is exhausted. Aggregating operators emit their result as one
+//     final batch after the last input unit, then return nil. Next
+//     charges the operator's Meter with the same per-tuple compute
+//     constants the engine charges (cyclesScan, cyclesGather, ...);
+//     simulated memory accesses need an ExecContext and remain the
+//     driving task's job. The differential harness (diff_test.go) drives
+//     this mode against row-at-a-time references and asserts identical
+//     outputs and identical charged cycles.
+//
+// Because both modes run the same kernel closures over the same state,
+// agreement in one mode is agreement in the other.
+
+// Operator is the pluggable batch-iterator contract of the vectorized
+// execution layer.
+type Operator interface {
+	// Next consumes up to n input units and returns the produced batch;
+	// nil reports exhaustion. n <= 0 consumes nothing and returns an
+	// empty batch (still non-nil before exhaustion).
+	Next(n int) *BAT
+	// Op returns the operator's MAL-ish label (matches the engine's task
+	// labels, e.g. "algebra.thetasubselect").
+	Op() string
+	// Charged returns the compute cycles charged by Next calls so far.
+	Charged() uint64
+}
+
+// meter accumulates the per-tuple compute cycles of standalone Next
+// drives.
+type meter struct{ cycles uint64 }
+
+func (m *meter) add(units int, perTuple uint64) {
+	if units > 0 {
+		m.cycles += uint64(units) * perTuple
+	}
+}
+
+// span clamps a Next request to the remaining input [cursor, hi).
+func span(cursor, n, hi int) int {
+	if n < 0 {
+		n = 0
+	}
+	if rem := hi - cursor; n > rem {
+		n = rem
+	}
+	return n
+}
+
+// tailView returns a BAT over the values appended beyond mark, capped so
+// later in-place growth cannot leak into the returned batch.
+func tailViewI64(name string, buf []int64, mark int) *BAT {
+	return NewI64(name, buf[mark:len(buf):len(buf)])
+}
+
+func tailViewF64(name string, buf []float64, mark int) *BAT {
+	return NewF64(name, buf[mark:len(buf):len(buf)])
+}
+
+// FilterScan is the leaf selection operator (algebra.thetasubselect): it
+// scans base rows [lo, hi) of a column and accumulates matching row OIDs.
+// One input unit is one base row; one output value is one surviving OID.
+type FilterScan struct {
+	col    *BAT
+	ids    []int64
+	loop   func(a, b int)
+	lo, hi int
+
+	cursor int
+	m      meter
+}
+
+// NewFilterScan builds the operator over rows [lo, hi) of col. buf seeds
+// the OID accumulator (pass a pooled scratch buffer inside the engine,
+// nil standalone).
+func NewFilterScan(col *BAT, p Pred, lo, hi int, buf []int64) *FilterScan {
+	fs := &FilterScan{col: col, ids: buf, lo: lo, hi: hi, cursor: lo}
+	fs.loop = selectScanLoop(col, p, &fs.ids)
+	return fs
+}
+
+// runRange runs the kernel over base rows [a, b) (engine drive).
+func (fs *FilterScan) runRange(a, b int) { fs.loop(a, b) }
+
+// Op implements Operator.
+func (fs *FilterScan) Op() string { return "algebra.thetasubselect" }
+
+// Charged implements Operator.
+func (fs *FilterScan) Charged() uint64 { return fs.m.cycles }
+
+// Next implements Operator: scans up to n base rows.
+func (fs *FilterScan) Next(n int) *BAT {
+	if fs.cursor >= fs.hi {
+		return nil
+	}
+	n = span(fs.cursor, n, fs.hi)
+	mark := len(fs.ids)
+	fs.loop(fs.cursor, fs.cursor+n)
+	fs.cursor += n
+	fs.m.add(n, cyclesScan)
+	return tailViewI64(fs.col.Name+".sel", fs.ids, mark)
+}
+
+// FilterRefine is the candidate refinement operator (algebra.subselect):
+// it tests the base column at each candidate OID and keeps survivors. One
+// input unit is one candidate position.
+type FilterRefine struct {
+	col, cand *BAT
+	ids       []int64
+	loop      func(a, b int)
+
+	cursor int
+	m      meter
+}
+
+// NewFilterRefine builds the operator over the candidate list cand.
+func NewFilterRefine(col *BAT, p Pred, cand *BAT, buf []int64) *FilterRefine {
+	fr := &FilterRefine{col: col, cand: cand, ids: buf}
+	fr.loop = gatherScanLoop(col, p, cand, &fr.ids)
+	return fr
+}
+
+func (fr *FilterRefine) runRange(a, b int) { fr.loop(a, b) }
+
+// Op implements Operator.
+func (fr *FilterRefine) Op() string { return "algebra.subselect" }
+
+// Charged implements Operator.
+func (fr *FilterRefine) Charged() uint64 { return fr.m.cycles }
+
+// Next implements Operator: tests up to n candidate positions.
+func (fr *FilterRefine) Next(n int) *BAT {
+	if fr.cursor >= fr.cand.Len() {
+		return nil
+	}
+	n = span(fr.cursor, n, fr.cand.Len())
+	mark := len(fr.ids)
+	fr.loop(fr.cursor, fr.cursor+n)
+	fr.cursor += n
+	fr.m.add(n, cyclesGather)
+	return tailViewI64(fr.col.Name+".sel", fr.ids, mark)
+}
+
+// Gather is the projection operator (algebra.projection): it fetches the
+// base column's value at each candidate OID, producing a value vector
+// aligned with the candidate list. One input unit is one candidate.
+type Gather struct {
+	col, cand *BAT
+	out       *BAT
+
+	cursor int
+	m      meter
+}
+
+// NewGather builds the operator; out receives the gathered values and
+// must match col's kind (its tail may be a pooled scratch buffer).
+func NewGather(col, cand, out *BAT) *Gather {
+	return &Gather{col: col, cand: cand, out: out}
+}
+
+func (g *Gather) runRange(a, b int) {
+	cand, c, outB := g.cand, g.col, g.out
+	for k := a; k < b && k < len(cand.I); k++ {
+		row := int(cand.I[k])
+		if c.Kind == KindI64 {
+			outB.I = append(outB.I, c.I[row])
+		} else {
+			outB.F = append(outB.F, c.F[row])
+		}
+	}
+}
+
+// Op implements Operator.
+func (g *Gather) Op() string { return "algebra.projection" }
+
+// Charged implements Operator.
+func (g *Gather) Charged() uint64 { return g.m.cycles }
+
+// Next implements Operator: gathers up to n candidate positions.
+func (g *Gather) Next(n int) *BAT {
+	if g.cursor >= g.cand.Len() {
+		return nil
+	}
+	n = span(g.cursor, n, g.cand.Len())
+	markI, markF := len(g.out.I), len(g.out.F)
+	g.runRange(g.cursor, g.cursor+n)
+	g.cursor += n
+	g.m.add(n, cyclesGather)
+	if g.col.Kind == KindI64 {
+		return tailViewI64(g.out.Name, g.out.I, markI)
+	}
+	return tailViewF64(g.out.Name, g.out.F, markF)
+}
+
+// MapBinary is the batcalc binary arithmetic operator: out[k] =
+// f(a[k], b[k]) over two aligned float vectors. One input unit is one
+// aligned row.
+type MapBinary struct {
+	a, b *BAT
+	f    func(x, y float64) float64
+	res  []float64
+
+	cursor int
+	m      meter
+}
+
+// NewMapBinary builds the operator over aligned float BATs a and b.
+func NewMapBinary(a, b *BAT, f func(x, y float64) float64, buf []float64) *MapBinary {
+	return &MapBinary{a: a, b: b, f: f, res: buf}
+}
+
+func (mb *MapBinary) runRange(lo, hi int) {
+	fa, fb := mb.a, mb.b
+	for k := lo; k < hi && k < len(fa.F); k++ {
+		mb.res = append(mb.res, mb.f(fa.F[k], fb.F[k]))
+	}
+}
+
+// Op implements Operator.
+func (mb *MapBinary) Op() string { return "batcalc.*" }
+
+// Charged implements Operator.
+func (mb *MapBinary) Charged() uint64 { return mb.m.cycles }
+
+// Next implements Operator: maps up to n aligned rows.
+func (mb *MapBinary) Next(n int) *BAT {
+	if mb.cursor >= mb.a.Len() {
+		return nil
+	}
+	n = span(mb.cursor, n, mb.a.Len())
+	mark := len(mb.res)
+	mb.runRange(mb.cursor, mb.cursor+n)
+	mb.cursor += n
+	mb.m.add(n, cyclesMap)
+	return tailViewF64(mb.a.Name+".map", mb.res, mark)
+}
+
+// SumAgg is the aggr.sum operator: it folds a float vector into one
+// scalar, emitted as a single-row batch once the input is exhausted.
+type SumAgg struct {
+	in      *BAT
+	partial float64
+
+	cursor  int
+	emitted bool
+	m       meter
+}
+
+// NewSumAgg builds the operator over the float BAT in.
+func NewSumAgg(in *BAT) *SumAgg { return &SumAgg{in: in} }
+
+func (s *SumAgg) runRange(a, b int) {
+	frag := s.in
+	for k := a; k < b && k < len(frag.F); k++ {
+		s.partial += frag.F[k]
+	}
+}
+
+// Op implements Operator.
+func (s *SumAgg) Op() string { return "aggr.sum" }
+
+// Charged implements Operator.
+func (s *SumAgg) Charged() uint64 { return s.m.cycles }
+
+// Next implements Operator: consumes up to n rows; the sum arrives as a
+// one-row batch after the last row.
+func (s *SumAgg) Next(n int) *BAT {
+	if s.cursor < s.in.Len() {
+		n = span(s.cursor, n, s.in.Len())
+		s.runRange(s.cursor, s.cursor+n)
+		s.cursor += n
+		s.m.add(n, cyclesSum)
+		if s.cursor < s.in.Len() {
+			return NewF64(s.in.Name+".sum", nil)
+		}
+	}
+	if s.emitted {
+		return nil
+	}
+	s.emitted = true
+	return NewF64(s.in.Name+".sum", []float64{s.partial})
+}
+
+// HashBuild is the hash-join build-side operator: it inserts key →
+// payload pairs into an i64Map (payload 1 when vals is nil, the semijoin
+// membership case). One input unit is one key row; the build side itself
+// is the product, exposed by Result.
+type HashBuild struct {
+	keys, vals *BAT
+	set        *i64Map
+
+	cursor  int
+	emitted bool
+	m       meter
+}
+
+// NewHashBuild builds the operator inserting into set (pass a pooled
+// scratch map inside the engine).
+func NewHashBuild(keys, vals *BAT, set *i64Map) *HashBuild {
+	return &HashBuild{keys: keys, vals: vals, set: set}
+}
+
+func (hb *HashBuild) runRange(a, b int) {
+	keys, vals := hb.keys, hb.vals
+	for k := a; k < b && k < len(keys.I); k++ {
+		payload := int64(1)
+		if vals != nil {
+			if vals.Kind == KindI64 {
+				payload = vals.I[k]
+			} else {
+				payload = int64(vals.F[k])
+			}
+		}
+		hb.set.Put(keys.I[k], payload)
+	}
+}
+
+// Result returns the build table.
+func (hb *HashBuild) Result() *i64Map { return hb.set }
+
+// Op implements Operator.
+func (hb *HashBuild) Op() string { return "hash.build" }
+
+// Charged implements Operator.
+func (hb *HashBuild) Charged() uint64 { return hb.m.cycles }
+
+// Next implements Operator: inserts up to n key rows; the final batch
+// carries the table's size.
+func (hb *HashBuild) Next(n int) *BAT {
+	if hb.cursor < hb.keys.Len() {
+		n = span(hb.cursor, n, hb.keys.Len())
+		hb.runRange(hb.cursor, hb.cursor+n)
+		hb.cursor += n
+		hb.m.add(n, cyclesBuild)
+		if hb.cursor < hb.keys.Len() {
+			return NewI64(hb.keys.Name+".build", nil)
+		}
+	}
+	if hb.emitted {
+		return nil
+	}
+	hb.emitted = true
+	return NewI64(hb.keys.Name+".build", []int64{int64(hb.set.Len())})
+}
+
+// HashProbe is the probe-side operator of semi, fetch and anti joins: it
+// looks the base column's value at each candidate OID up in the build
+// table and keeps survivors (hits, or misses when anti). Fetch mode
+// additionally gathers the build side's payloads, exposed by Payloads.
+// One input unit is one candidate position.
+type HashProbe struct {
+	col, cand *BAT
+	set       *i64Map
+	anti      bool
+	fetch     bool
+
+	ids, payloads []int64
+
+	cursor int
+	m      meter
+}
+
+// NewHashProbe builds the operator; idBuf and payloadBuf seed the output
+// accumulators (payloadBuf is only used in fetch mode).
+func NewHashProbe(col, cand *BAT, set *i64Map, anti, fetch bool, idBuf, payloadBuf []int64) *HashProbe {
+	return &HashProbe{col: col, cand: cand, set: set, anti: anti, fetch: fetch, ids: idBuf, payloads: payloadBuf}
+}
+
+func (hp *HashProbe) runRange(a, b int) {
+	cand, c := hp.cand, hp.col
+	for k := a; k < b && k < len(cand.I); k++ {
+		row := int(cand.I[k])
+		payload, hit := hp.set.Get(c.I[row])
+		if hit == hp.anti {
+			continue
+		}
+		hp.ids = append(hp.ids, cand.I[k])
+		if hp.fetch {
+			hp.payloads = append(hp.payloads, payload)
+		}
+	}
+}
+
+// Payloads returns the gathered build-side payloads (fetch mode).
+func (hp *HashProbe) Payloads() []int64 { return hp.payloads }
+
+// Op implements Operator.
+func (hp *HashProbe) Op() string { return "join.probe" }
+
+// Charged implements Operator.
+func (hp *HashProbe) Charged() uint64 { return hp.m.cycles }
+
+// Next implements Operator: probes up to n candidate positions.
+func (hp *HashProbe) Next(n int) *BAT {
+	if hp.cursor >= hp.cand.Len() {
+		return nil
+	}
+	n = span(hp.cursor, n, hp.cand.Len())
+	mark := len(hp.ids)
+	hp.runRange(hp.cursor, hp.cursor+n)
+	hp.cursor += n
+	hp.m.add(n, cyclesProbe)
+	return tailViewI64(hp.col.Name+".probe", hp.ids, mark)
+}
+
+// GroupAgg is the partial phase of grouped aggregation (group.sum): it
+// accumulates sum(vals) per key into an i64fMap (count per key when vals
+// is nil). One input unit is one key row. Finalize merges and sorts the
+// table into aligned key/sum vectors, mirroring the engine's mat.pack
+// phase for a single partition.
+type GroupAgg struct {
+	keys, vals *BAT
+	agg        *i64fMap
+
+	cursor  int
+	emitted bool
+	m       meter
+}
+
+// NewGroupAgg builds the operator accumulating into agg (pass a pooled
+// scratch map inside the engine; vals nil counts rows per key).
+func NewGroupAgg(keys, vals *BAT, agg *i64fMap) *GroupAgg {
+	return &GroupAgg{keys: keys, vals: vals, agg: agg}
+}
+
+func (ga *GroupAgg) runRange(a, b int) {
+	kf, vf := ga.keys, ga.vals
+	for k := a; k < b && k < len(kf.I); k++ {
+		v := 1.0
+		if vf != nil && vf.Len() > k {
+			if vf.Kind == KindF64 {
+				v = vf.F[k]
+			} else {
+				v = float64(vf.I[k])
+			}
+		}
+		ga.agg.Add(kf.I[k], v)
+	}
+}
+
+// Result returns the partial table.
+func (ga *GroupAgg) Result() *i64fMap { return ga.agg }
+
+// Finalize sorts the accumulated groups by key ascending and returns the
+// aligned key and sum vectors, charging the engine's merge cost formula
+// (cyclesGroup per merged entry plus cyclesSort per group).
+func (ga *GroupAgg) Finalize() (keys []int64, sums []float64) {
+	keys = make([]int64, 0, ga.agg.Len())
+	ga.agg.Range(func(k int64, _ float64) { keys = append(keys, k) })
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	sums = make([]float64, len(keys))
+	for i, k := range keys {
+		v, _ := ga.agg.Get(k)
+		sums[i] = v
+	}
+	ga.m.add(ga.agg.Len(), cyclesGroup)
+	ga.m.add(len(keys), cyclesSort)
+	return keys, sums
+}
+
+// Op implements Operator.
+func (ga *GroupAgg) Op() string { return "group.sum" }
+
+// Charged implements Operator.
+func (ga *GroupAgg) Charged() uint64 { return ga.m.cycles }
+
+// Next implements Operator: accumulates up to n key rows; the final batch
+// carries the sorted group keys.
+func (ga *GroupAgg) Next(n int) *BAT {
+	if ga.cursor < ga.keys.Len() {
+		n = span(ga.cursor, n, ga.keys.Len())
+		ga.runRange(ga.cursor, ga.cursor+n)
+		ga.cursor += n
+		ga.m.add(n, cyclesGroup)
+		if ga.cursor < ga.keys.Len() {
+			return NewI64(ga.keys.Name+".group", nil)
+		}
+	}
+	if ga.emitted {
+		return nil
+	}
+	ga.emitted = true
+	ks := make([]int64, 0, ga.agg.Len())
+	ga.agg.Range(func(k int64, _ float64) { ks = append(ks, k) })
+	sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+	return NewI64(ga.keys.Name+".group", ks)
+}
+
+// topNIndex stable-sorts row indices of sums descending and returns the
+// first n (all rows when n exceeds the input). Shared by the engine's
+// TopN stage and the SortLimit operator, so both rank ties identically.
+func topNIndex(sums []float64, n int) []int {
+	idx := make([]int, len(sums))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return sums[idx[a]] > sums[idx[b]] })
+	if n > len(idx) {
+		n = len(idx)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return idx[:n]
+}
+
+// SortLimit is the algebra.topn operator: it consumes aligned key/sum
+// rows and, once exhausted, emits the keys of the n largest sums
+// (stable descending order). One input unit is one aligned row; the
+// matching sums are exposed by Sums after the final batch.
+type SortLimit struct {
+	keys, sums *BAT
+	n          int
+
+	outSums []float64
+	cursor  int
+	emitted bool
+	m       meter
+}
+
+// NewSortLimit builds the operator keeping the top n of the aligned
+// key/sum vectors.
+func NewSortLimit(keys, sums *BAT, n int) *SortLimit {
+	return &SortLimit{keys: keys, sums: sums, n: n}
+}
+
+// Sums returns the sums aligned with the emitted top-n keys.
+func (sl *SortLimit) Sums() []float64 { return sl.outSums }
+
+// Op implements Operator.
+func (sl *SortLimit) Op() string { return "algebra.topn" }
+
+// Charged implements Operator.
+func (sl *SortLimit) Charged() uint64 { return sl.m.cycles }
+
+// Next implements Operator: consumes up to n aligned rows; the ranked
+// keys arrive as one final batch.
+func (sl *SortLimit) Next(n int) *BAT {
+	if sl.cursor < sl.keys.Len() {
+		n = span(sl.cursor, n, sl.keys.Len())
+		sl.cursor += n
+		sl.m.add(n, cyclesSort)
+		if sl.cursor < sl.keys.Len() {
+			return NewI64(sl.keys.Name+".topn", nil)
+		}
+	}
+	if sl.emitted {
+		return nil
+	}
+	sl.emitted = true
+	idx := topNIndex(sl.sums.F, sl.n)
+	ks := make([]int64, len(idx))
+	sl.outSums = make([]float64, len(idx))
+	for i, j := range idx {
+		ks[i] = sl.keys.I[j]
+		sl.outSums[i] = sl.sums.F[j]
+	}
+	return NewI64(sl.keys.Name+".topn", ks)
+}
+
+// lookupVisit binary-searches the sorted key vector for key, invoking
+// visit for every probed position, and returns the insertion row, the
+// probe count and whether the key is present. Shared by the PointLookup
+// stage and the Lookup operator so both charge the same probe count.
+func lookupVisit(keys []int64, key int64, visit func(mid int)) (row, probes int, ok bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if visit != nil {
+			visit(mid)
+		}
+		probes++
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, probes, lo < len(keys) && keys[lo] == key
+}
+
+// Lookup is the point-read operator (algebra.find): it binary-searches a
+// sorted key column for each probe key and gathers the aligned value
+// column at hits (misses produce nothing). One input unit is one probe
+// key; each costs (probes+1) * cyclesProbe — the bisection steps plus
+// the final fetch — the same formula the PointLookup stage charges.
+type Lookup struct {
+	key, val *BAT
+	probes   []int64
+
+	// Found counts probe keys that hit.
+	Found int
+
+	cursor int
+	m      meter
+}
+
+// NewLookup builds the operator probing the sorted key column for each
+// key in probes.
+func NewLookup(key, val *BAT, probes []int64) *Lookup {
+	return &Lookup{key: key, val: val, probes: probes}
+}
+
+// Op implements Operator.
+func (l *Lookup) Op() string { return "algebra.find" }
+
+// Charged implements Operator.
+func (l *Lookup) Charged() uint64 { return l.m.cycles }
+
+// Next implements Operator: resolves up to n probe keys.
+func (l *Lookup) Next(n int) *BAT {
+	if l.cursor >= len(l.probes) {
+		return nil
+	}
+	n = span(l.cursor, n, len(l.probes))
+	var outI []int64
+	var outF []float64
+	for _, key := range l.probes[l.cursor : l.cursor+n] {
+		row, probes, ok := lookupVisit(l.key.I, key, nil)
+		l.m.add(probes+1, cyclesProbe)
+		if !ok {
+			continue
+		}
+		l.Found++
+		if l.val.Kind == KindI64 {
+			outI = append(outI, l.val.I[row])
+		} else {
+			outF = append(outF, l.val.F[row])
+		}
+	}
+	l.cursor += n
+	if l.val.Kind == KindI64 {
+		return NewI64(l.val.Name+".find", outI)
+	}
+	return NewF64(l.val.Name+".find", outF)
+}
+
+// FusedQ6 is the raw kernel's fused Q6 scan as a vectorized operator: one
+// pass over aligned shipdate/quantity/discount/price slices accumulating
+// revenue, emitted as a one-row batch at exhaustion. One input unit is
+// one base row.
+type FusedQ6 struct {
+	shipdate, quantity *BAT
+	discount, price    *BAT
+	partial            float64
+	lo, hi             int
+
+	cursor  int
+	emitted bool
+	m       meter
+}
+
+// NewFusedQ6 builds the operator over rows [lo, hi) of the four aligned
+// columns.
+func NewFusedQ6(shipdate, quantity, discount, price *BAT, lo, hi int) *FusedQ6 {
+	return &FusedQ6{
+		shipdate: shipdate, quantity: quantity, discount: discount, price: price,
+		lo: lo, hi: hi, cursor: lo,
+	}
+}
+
+func (fq *FusedQ6) runRange(a, b int) {
+	sd, qty := fq.shipdate.I, fq.quantity.F
+	dis, pr := fq.discount.F, fq.price.F
+	for i := a; i < b; i++ {
+		if sd[i] >= 19970101 && sd[i] < 19980101 &&
+			dis[i] >= 0.06 && dis[i] <= 0.08 && qty[i] < 24 {
+			fq.partial += pr[i] * dis[i]
+		}
+	}
+}
+
+// Revenue returns the accumulated revenue so far.
+func (fq *FusedQ6) Revenue() float64 { return fq.partial }
+
+// Op implements Operator.
+func (fq *FusedQ6) Op() string { return "raw.q6" }
+
+// Charged implements Operator.
+func (fq *FusedQ6) Charged() uint64 { return fq.m.cycles }
+
+// Next implements Operator: scans up to n rows; revenue arrives as a
+// one-row batch after the last row.
+func (fq *FusedQ6) Next(n int) *BAT {
+	if fq.cursor < fq.hi {
+		n = span(fq.cursor, n, fq.hi)
+		fq.runRange(fq.cursor, fq.cursor+n)
+		fq.cursor += n
+		fq.m.add(n, cyclesScan)
+		if fq.cursor < fq.hi {
+			return NewF64("raw.q6", nil)
+		}
+	}
+	if fq.emitted {
+		return nil
+	}
+	fq.emitted = true
+	return NewF64("raw.q6", []float64{fq.partial})
+}
+
+// Compile-time interface checks: every vectorized operator satisfies the
+// pluggable contract.
+var (
+	_ Operator = (*FilterScan)(nil)
+	_ Operator = (*FilterRefine)(nil)
+	_ Operator = (*Gather)(nil)
+	_ Operator = (*MapBinary)(nil)
+	_ Operator = (*SumAgg)(nil)
+	_ Operator = (*HashBuild)(nil)
+	_ Operator = (*HashProbe)(nil)
+	_ Operator = (*GroupAgg)(nil)
+	_ Operator = (*SortLimit)(nil)
+	_ Operator = (*Lookup)(nil)
+	_ Operator = (*FusedQ6)(nil)
+)

@@ -91,6 +91,10 @@ type Config struct {
 	// engine synchronizes at control-period epoch barriers and replays
 	// staged telemetry in sequential order.
 	Workers int
+	// LookupRatios is the point-lookup fraction sweep of the htap-mix
+	// experiment (default 0, 0.25, 0.5, 0.75, 1; every entry must lie in
+	// [0, 1]).
+	LookupRatios []float64
 	// Naive runs every rig on the pre-optimization simulator hot paths:
 	// the walk-every-core tick loop, per-block memory charging, unpooled
 	// Go-map operator execution and uncached dataset generation. Results
@@ -171,6 +175,14 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Replicas > c.Machines {
 		return c, fmt.Errorf("experiments: %d replicas exceed %d machines", c.Replicas, c.Machines)
+	}
+	if len(c.LookupRatios) == 0 {
+		c.LookupRatios = []float64{0, 0.25, 0.5, 0.75, 1}
+	}
+	for _, r := range c.LookupRatios {
+		if r < 0 || r > 1 {
+			return c, fmt.Errorf("experiments: lookup ratio %g outside [0, 1]", r)
+		}
 	}
 	if c.Faults != "" {
 		if _, err := faults.Parse(c.Faults); err != nil {

@@ -51,6 +51,17 @@ func TestNaiveConsolidationMatchesGolden(t *testing.T) {
 	}
 }
 
+// TestNaiveHTAPMixMatchesGolden covers the heterogeneous mix: point
+// lookups (funcTask binary search), compiled declarative pipelines and
+// the hand-written analytics must all charge identically on the naive
+// path, down to the per-class latency splits.
+func TestNaiveHTAPMixMatchesGolden(t *testing.T) {
+	res := naiveGoldenRun(t, "htap-mix")
+	for _, format := range []string{"text", "json", "csv"} {
+		checkGolden(t, res, format)
+	}
+}
+
 // TestNaiveLatencyLoadMatchesGolden extends the equivalence guarantee to
 // the open-loop path: arrival admission, queue waits and histogram
 // percentiles must be bit-identical between the two tick loops.

@@ -88,6 +88,49 @@ func TestGoldenConsolidation(t *testing.T) {
 	}
 }
 
+// TestGoldenHTAPMix pins the heterogeneous point-lookup:scan sweep: the
+// same seed must submit the same per-slot query classes and render
+// byte-identically across all three formats.
+func TestGoldenHTAPMix(t *testing.T) {
+	res := goldenRun(t, "htap-mix")
+	for _, format := range []string{"text", "json", "csv"} {
+		checkGolden(t, res, format)
+	}
+}
+
+// TestHTAPMixSignature asserts the sweep's class structure on the pinned
+// golden run: the ratio-0 rows contain no lookups, the ratio-1 rows
+// nothing but lookups, and wherever both classes completed, the mean
+// point-lookup latency is far below the mean scan latency.
+func TestHTAPMixSignature(t *testing.T) {
+	res := goldenRun(t, "htap-mix")
+	tbl := res.Table("mix")
+	if tbl == nil || len(tbl.Rows) == 0 {
+		t.Fatal("htap-mix result missing mix table")
+	}
+	for i := range tbl.Rows {
+		ratio, _ := tbl.Float(i, 0)
+		lookups, _ := tbl.Int(i, 2)
+		scans, _ := tbl.Int(i, 3)
+		if lookups+scans == 0 {
+			t.Errorf("row %d: tenant completed nothing", i)
+		}
+		if ratio == 0 && lookups != 0 {
+			t.Errorf("row %d: ratio 0 completed %d lookups", i, lookups)
+		}
+		if ratio == 1 && scans != 0 {
+			t.Errorf("row %d: ratio 1 completed %d scans", i, scans)
+		}
+		if lookups > 0 && scans > 0 {
+			lkMS, _ := tbl.Float(i, 5)
+			scMS, _ := tbl.Float(i, 6)
+			if lkMS >= scMS {
+				t.Errorf("row %d: point lookups (%.3fms) not faster than scans (%.3fms)", i, lkMS, scMS)
+			}
+		}
+	}
+}
+
 // TestGoldenLatencyLoad pins the open-loop sweep: same (seed, process,
 // load) must render byte-identical histogram percentiles across runs.
 func TestGoldenLatencyLoad(t *testing.T) {

@@ -87,6 +87,12 @@ func init() {
 		Tags:    []string{"tenancy", "elastic"},
 	}, runConsolidation))
 
+	Register(New("htap-mix", Description{
+		Title:   "HTAP mix: point-lookup vs scan ratio sweep per tenant",
+		Summary: "Consolidated tenants each submitting a deterministic blend of single-row order lookups and scan/join/aggregate pipelines across the lookup:scan ratio sweep, with per-class throughput and latency split by completion hooks.",
+		Tags:    []string{"tenancy", "workload", "htap"},
+	}, runHTAPMix))
+
 	Register(New("latency-load", Description{
 		Title:   "Open loop: throughput and latency percentiles vs offered load",
 		Summary: "Seeded arrival streams from 0.25x to 2x the closed-loop saturation throughput: completions, load shedding and p50/p90/p99/max latency per point.",

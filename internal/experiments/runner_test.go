@@ -17,7 +17,7 @@ func TestRegistryCataloguesThirteenArtifacts(t *testing.T) {
 	want := []string{
 		"fig4", "fig5", "fig7", "fig13", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "fig19", "fig20", "overhead", "consolidation",
-		"latency-load", "burst-response", "topology-sweep",
+		"htap-mix", "latency-load", "burst-response", "topology-sweep",
 		"scale-out", "shard-skew", "rebalance-cost",
 		"fault-tolerance", "partial-degradation",
 	}
@@ -38,9 +38,9 @@ func TestRegistryCataloguesThirteenArtifacts(t *testing.T) {
 			t.Errorf("%s has incomplete description: %+v", name, d)
 		}
 	}
-	// Tag selection finds the consolidation scenario.
+	// Tag selection finds the consolidated-tenant scenarios.
 	tenancy := WithTag("tenancy")
-	if len(tenancy) != 1 || tenancy[0].Name() != "consolidation" {
+	if len(tenancy) != 2 || tenancy[0].Name() != "consolidation" || tenancy[1].Name() != "htap-mix" {
 		t.Errorf("WithTag(tenancy) = %v", tenancy)
 	}
 }

@@ -10,6 +10,12 @@ import (
 // nil ends the client's stream early.
 type PlanFor func(client, k int) *db.Plan
 
+// QueryDone observes the finished k-th query of client c before the
+// driver releases it — the query's scalars are still readable, so
+// callers can attribute results per query class (the htap-mix experiment
+// splits lookups from scans this way).
+type QueryDone func(client, k int, q *db.Query)
+
 // PhaseResult summarizes one driven phase.
 type PhaseResult struct {
 	// ElapsedSeconds is the virtual wall time of the phase.
@@ -53,6 +59,9 @@ type streamSet struct {
 	plan    PlanFor
 	length  int
 	clients []stream
+	// onDone, when non-nil, observes each finished query (with its stream
+	// coordinates) before it is released back to the engine.
+	onDone QueryDone
 
 	// Completed counts finished queries; LatencySum accumulates their
 	// latencies in seconds.
@@ -103,6 +112,9 @@ func (s *streamSet) Pump() {
 		if cs.cur != nil && cs.cur.Done() {
 			s.Completed++
 			s.LatencySum += s.topo.CyclesToSeconds(cs.cur.ElapsedCycles())
+			if s.onDone != nil {
+				s.onDone(c, cs.next-1, cs.cur)
+			}
 			s.engine.Release(cs.cur)
 			cs.cur = nil
 		}

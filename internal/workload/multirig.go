@@ -220,6 +220,9 @@ type TenantLoad struct {
 	QueriesPerClient int
 	// Plan supplies the k-th query of client c; nil ends the stream.
 	Plan PlanFor
+	// OnDone, when non-nil, observes each finished query before release
+	// (per-class accounting in heterogeneous mixes).
+	OnDone QueryDone
 }
 
 // TenantPhaseResult is one tenant's outcome of a consolidated phase.
@@ -280,6 +283,7 @@ func (m *MultiRig) Run(loads []TenantLoad, sampleEvery, maxSeconds float64) (*Mu
 			maxCores:   n,
 			sampleSnap: m.Machine.Snapshot(),
 		}
+		states[i].streams.onDone = ld.OnDone
 	}
 
 	startTime := m.Machine.NowSeconds()
